@@ -1,0 +1,92 @@
+"""E9 — Figure 1: correct estimates cluster around ∇Q; Byzantine is arbitrary.
+
+The paper's Figure 1 is an illustration; this bench renders it as
+statistics: the distance distribution of correct proposals around the
+true gradient (concentrated at ~√d·σ), the Byzantine proposal's distance
+(arbitrary — here enormous), and which of them Krum picks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackContext
+from repro.attacks.random_noise import GaussianAttack
+from repro.core.krum import Krum
+from repro.experiments.reporting import format_table
+from repro.models.quadratic import QuadraticBowl
+
+from benchmarks.conftest import emit, run_once
+
+DIMENSION = 2  # Figure 1 is drawn in the plane
+NUM_WORKERS = 12
+F = 2
+SIGMA = 0.3
+TRIALS = 300
+
+
+def bench_fig1_gradient_cloud_statistics(benchmark):
+    def run():
+        bowl = QuadraticBowl(DIMENSION, optimum=np.zeros(DIMENSION))
+        x = np.array([3.0, -2.0])
+        gradient = bowl.exact_gradient(x)
+        estimator = bowl.as_estimator(SIGMA)
+        attack = GaussianAttack(sigma=50.0)
+        rng = np.random.default_rng(0)
+
+        honest_dists, byz_dists, krum_dists, byz_selected = [], [], [], 0
+        num_honest = NUM_WORKERS - F
+        for trial in range(TRIALS):
+            honest = np.stack(
+                [estimator.estimate(x, rng) for _ in range(num_honest)]
+            )
+            context = AttackContext(
+                round_index=trial,
+                params=x,
+                honest_gradients=honest,
+                byzantine_indices=np.arange(num_honest, NUM_WORKERS),
+                honest_indices=np.arange(num_honest),
+                num_workers=NUM_WORKERS,
+                rng=rng,
+                true_gradient=gradient,
+            )
+            byzantine = attack.craft(context)
+            stack = np.vstack([honest, byzantine])
+            result = Krum(f=F).aggregate_detailed(stack)
+            honest_dists.extend(np.linalg.norm(honest - gradient, axis=1))
+            byz_dists.extend(np.linalg.norm(byzantine - gradient, axis=1))
+            krum_dists.append(float(np.linalg.norm(result.vector - gradient)))
+            if int(result.selected[0]) >= num_honest:
+                byz_selected += 1
+        return (
+            np.asarray(honest_dists),
+            np.asarray(byz_dists),
+            np.asarray(krum_dists),
+            byz_selected,
+            gradient,
+        )
+
+    honest_dists, byz_dists, krum_dists, byz_selected, gradient = run_once(
+        benchmark, run
+    )
+    emit(
+        format_table(
+            ["population", "mean ‖V − ∇Q‖", "p95", "max"],
+            [
+                ["correct workers", honest_dists.mean(), np.percentile(honest_dists, 95), honest_dists.max()],
+                ["byzantine workers", byz_dists.mean(), np.percentile(byz_dists, 95), byz_dists.max()],
+                ["krum output", krum_dists.mean(), np.percentile(krum_dists, 95), krum_dists.max()],
+            ],
+            title=(
+                f"Figure 1 — estimate cloud around ∇Q (‖∇Q‖={np.linalg.norm(gradient):.2f}, "
+                f"√d·σ={np.sqrt(DIMENSION) * SIGMA:.2f})"
+            ),
+        )
+    )
+    # Correct estimates concentrate at ~sqrt(d)*sigma from the gradient.
+    assert honest_dists.mean() < 3 * np.sqrt(DIMENSION) * SIGMA
+    # Byzantine proposals are arbitrary (far); Krum's output stays with
+    # the correct cluster and never selects the Byzantine vector.
+    assert byz_dists.mean() > 10 * honest_dists.mean()
+    assert krum_dists.mean() < 3 * np.sqrt(DIMENSION) * SIGMA
+    assert byz_selected == 0

@@ -1,0 +1,109 @@
+"""E2 — Figure 2: colluders defeat the "closest to all" rule, not Krum.
+
+Reproduces the paper's Figure 2 as a selection-rate measurement: over a
+grid of (n, f) and decoy distances, f − 1 colluders park remote decoys
+and one trojan sits at the induced barycenter.  The flawed distance-based
+rule selects the trojan essentially always once f ≥ 2; Krum never does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.collusion import CollusionAttack
+from repro.attacks.base import AttackContext
+from repro.baselines.distance_based import ClosestToAll
+from repro.core.krum import Krum
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import emit, run_once
+
+TRIALS = 200
+DIMENSION = 10
+
+
+def _selection_rates(n, f, decoy_distance, seed=0):
+    """Fraction of trials in which each rule selects a Byzantine vector."""
+    rng = np.random.default_rng(seed)
+    attack = CollusionAttack(decoy_distance=decoy_distance)
+    flawed_rule = ClosestToAll()
+    krum_rule = Krum(f=f)
+    flawed_hits = krum_hits = 0
+    num_honest = n - f
+    for trial in range(TRIALS):
+        honest = 1.0 + 0.2 * rng.standard_normal((num_honest, DIMENSION))
+        context = AttackContext(
+            round_index=trial,
+            params=np.zeros(DIMENSION),
+            honest_gradients=honest,
+            byzantine_indices=np.arange(num_honest, n),
+            honest_indices=np.arange(num_honest),
+            num_workers=n,
+            rng=rng,
+        )
+        stack = np.vstack([honest, attack.craft(context)])
+        if int(ClosestToAll().aggregate_detailed(stack).selected[0]) >= num_honest:
+            flawed_hits += 1
+        if int(krum_rule.aggregate_detailed(stack).selected[0]) >= num_honest:
+            krum_hits += 1
+    del flawed_rule
+    return flawed_hits / TRIALS, krum_hits / TRIALS
+
+
+def bench_fig2_collusion_selection_rates(benchmark):
+    grid = [
+        (9, 2, 100.0),
+        (15, 4, 100.0),
+        (21, 6, 100.0),
+        (15, 4, 10.0),
+        (15, 4, 1e6),
+    ]
+
+    def run():
+        return [
+            (n, f, dist, *_selection_rates(n, f, dist, seed=i))
+            for i, (n, f, dist) in enumerate(grid)
+        ]
+
+    rows = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["n", "f", "decoy dist", "closest-to-all byz-sel%", "krum byz-sel%"],
+            [
+                [n, f, dist, 100 * flawed, 100 * krum]
+                for n, f, dist, flawed, krum in rows
+            ],
+            title="Figure 2 — Byzantine selection rate under collusion (f >= 2)",
+        )
+    )
+    for _n, _f, _dist, flawed_rate, krum_rate in rows:
+        assert flawed_rate > 0.95, "collusion must defeat closest-to-all"
+        assert krum_rate < 0.05, "Krum must reject the colluders"
+
+
+def bench_fig2_single_byzantine_is_tolerated(benchmark):
+    """Control: with f = 1 (no colluders) the distance-based rule is fine —
+    that is exactly why the paper needs f >= 2 in Figure 2."""
+
+    def run():
+        rng = np.random.default_rng(7)
+        hits = 0
+        n, num_honest = 10, 9
+        for trial in range(TRIALS):
+            honest = 1.0 + 0.2 * rng.standard_normal((num_honest, DIMENSION))
+            outlier = 1e5 * np.ones((1, DIMENSION))
+            stack = np.vstack([honest, outlier])
+            if int(ClosestToAll().aggregate_detailed(stack).selected[0]) >= num_honest:
+                hits += 1
+        del n
+        return hits / TRIALS
+
+    rate = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["f", "closest-to-all byz-sel%"],
+            [[1, 100 * rate]],
+            title="Figure 2 control — one lone outlier never wins",
+        )
+    )
+    assert rate == 0.0

@@ -1,0 +1,109 @@
+"""E1 — Lemma 3.1: no linear choice function tolerates one Byzantine worker.
+
+Reproduces the lemma as a measurement: a single Byzantine worker steers
+averaging-SGD to an attacker-chosen parameter vector U*, while Krum under
+the identical attack still converges to the true optimum.
+
+Paper claim: "A single Byzantine worker can make F always select U.  In
+particular, a single Byzantine worker can prevent convergence."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.hijack import LinearHijackAttack
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.experiments.builders import build_quadratic_simulation
+from repro.experiments.reporting import format_series, format_table
+from repro.models.quadratic import QuadraticBowl
+
+from benchmarks.conftest import emit, run_once
+
+DIMENSION = 20
+NUM_WORKERS = 11
+ATTACKER_TARGET = 5.0  # attacker steers x toward the all-5 vector
+ROUNDS = 400
+
+
+class _PullToAttackerOptimum(LinearHijackAttack):
+    """Hijack whose target is recomputed each round: the update that
+    moves x toward the attacker's optimum (gradient of a bowl centred
+    there)."""
+
+    def __init__(self, attacker_optimum: np.ndarray):
+        super().__init__(np.zeros_like(attacker_optimum))
+        self.attacker_optimum = attacker_optimum
+
+    def craft(self, context):
+        self.target = context.params - self.attacker_optimum
+        return super().craft(context)
+
+
+def _run(aggregator):
+    bowl = QuadraticBowl(DIMENSION, optimum=np.zeros(DIMENSION))
+    attacker_optimum = np.full(DIMENSION, ATTACKER_TARGET)
+    sim = build_quadratic_simulation(
+        bowl,
+        aggregator=aggregator,
+        num_workers=NUM_WORKERS,
+        num_byzantine=1,
+        sigma=0.1,
+        attack=_PullToAttackerOptimum(attacker_optimum),
+        learning_rate=0.2,
+        lr_timescale=None,
+        seed=0,
+    )
+    history = sim.run(ROUNDS, eval_every=25)
+    return bowl, attacker_optimum, sim, history
+
+
+def bench_lemma31_average_hijacked(benchmark):
+    bowl, attacker_optimum, sim, history = run_once(benchmark, lambda: _run(Average()))
+
+    rounds, dists = history.series("dist_to_opt")
+    emit(
+        format_series(
+            "Lemma 3.1 — averaging, f=1 hijack: distance to TRUE optimum",
+            rounds,
+            {"‖x_t − x*‖ (average)": dists},
+        )
+    )
+    dist_to_attacker = float(np.linalg.norm(sim.params - attacker_optimum))
+    dist_to_true = bowl.distance_to_optimum(sim.params)
+    emit(
+        format_table(
+            ["rule", "‖x_T − U*‖ (attacker)", "‖x_T − x*‖ (true)", "hijacked"],
+            [["average", dist_to_attacker, dist_to_true, dist_to_attacker < 0.5]],
+            title="Lemma 3.1 outcome (average)",
+        )
+    )
+    # The lemma's claim: the attacker fully controls the linear rule.
+    assert dist_to_attacker < 0.5, "average should converge to attacker target"
+    assert dist_to_true > 4.0, "average should be far from the true optimum"
+
+
+def bench_lemma31_krum_resists(benchmark):
+    bowl, attacker_optimum, sim, history = run_once(
+        benchmark, lambda: _run(Krum(f=1))
+    )
+    rounds, dists = history.series("dist_to_opt")
+    emit(
+        format_series(
+            "Lemma 3.1 control — Krum, identical f=1 hijack",
+            rounds,
+            {"‖x_t − x*‖ (krum)": dists},
+        )
+    )
+    dist_to_true = bowl.distance_to_optimum(sim.params)
+    dist_to_attacker = float(np.linalg.norm(sim.params - attacker_optimum))
+    emit(
+        format_table(
+            ["rule", "‖x_T − U*‖ (attacker)", "‖x_T − x*‖ (true)", "hijacked"],
+            [["krum(f=1)", dist_to_attacker, dist_to_true, dist_to_attacker < 0.5]],
+            title="Lemma 3.1 outcome (Krum)",
+        )
+    )
+    assert dist_to_true < 1.0, "Krum must still converge to the true optimum"
+    assert history.byzantine_selection_rate() < 0.25

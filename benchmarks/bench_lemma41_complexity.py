@@ -1,0 +1,121 @@
+"""E3 — Lemma 4.1: Krum runs in O(n² · d); the subset rule is exponential.
+
+Measures Krum wall-clock over sweeps of n (fixed d) and d (fixed n) and
+fits log-log slopes: ~2 in n, ~1 in d.  Contrast: the majority-based
+minimal-diameter rule's runtime grows with C(n, n−f) subset enumerations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.majority import MinimalDiameterSubset
+from repro.core.krum import Krum, krum_scores
+from repro.experiments.reporting import format_table
+from repro.utils.timing import Timer, fit_power_law
+
+from benchmarks.conftest import emit, run_once
+
+REPEATS = 5
+
+
+def _time_krum(n, d, f, repeats=REPEATS, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, d))
+    krum_scores(vectors, f)  # warm-up (BLAS thread pools etc.)
+    timer = Timer()
+    for _ in range(repeats):
+        with timer:
+            krum_scores(vectors, f)
+    return timer.min_seconds
+
+
+def bench_lemma41_scaling_in_n(benchmark):
+    ns = np.array([20, 40, 80, 160, 320])
+    d = 1000
+
+    def run():
+        return np.array([_time_krum(n, d, f=max(1, n // 4)) for n in ns])
+
+    times = run_once(benchmark, run)
+    slope = fit_power_law(ns.astype(float), times)
+    emit(
+        format_table(
+            ["n", "seconds (min of 5)"],
+            [[int(n), t] for n, t in zip(ns, times)],
+            title=f"Lemma 4.1 — Krum time vs n at d={d} (log-log slope {slope:.2f})",
+        )
+    )
+    # O(n^2): allow slack for BLAS constant factors at small sizes.
+    assert 1.3 <= slope <= 2.8, f"n-scaling slope {slope:.2f} not ~quadratic"
+
+
+def bench_lemma41_scaling_in_d(benchmark):
+    ds = np.array([1_000, 4_000, 16_000, 64_000, 256_000])
+    n = 30
+
+    def run():
+        return np.array([_time_krum(n, int(d), f=7) for d in ds])
+
+    times = run_once(benchmark, run)
+    slope = fit_power_law(ds.astype(float), times)
+    emit(
+        format_table(
+            ["d", "seconds (min of 5)"],
+            [[int(d), t] for d, t in zip(ds, times)],
+            title=f"Lemma 4.1 — Krum time vs d at n={n} (log-log slope {slope:.2f})",
+        )
+    )
+    assert 0.7 <= slope <= 1.3, f"d-scaling slope {slope:.2f} not ~linear"
+
+
+def bench_lemma41_exponential_subset_rule(benchmark):
+    """The contrast the paper draws: the majority-based rule enumerates
+    C(n, n−f) subsets — its cost explodes with f while Krum's stays flat."""
+    from math import comb
+
+    d = 100
+    cases = [(12, 2), (14, 3), (16, 4), (18, 5)]
+
+    def run():
+        rows = []
+        rng = np.random.default_rng(0)
+        for n, f in cases:
+            vectors = rng.standard_normal((n, d))
+            subset_rule = MinimalDiameterSubset(f=f, max_subsets=10**7)
+            timer_subset, timer_krum = Timer(), Timer()
+            with timer_subset:
+                subset_rule.aggregate(vectors)
+            krum_rule = Krum(f=f)
+            with timer_krum:
+                krum_rule.aggregate(vectors)
+            rows.append(
+                (n, f, comb(n, n - f), timer_subset.total_seconds,
+                 timer_krum.total_seconds)
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["n", "f", "C(n, n-f)", "subset rule s", "krum s"],
+            [list(r) for r in rows],
+            title="Lemma 4.1 contrast — exponential subset rule vs Krum",
+        )
+    )
+    # Subset-rule time must blow up much faster than Krum time.
+    subset_growth = rows[-1][3] / max(rows[0][3], 1e-9)
+    krum_growth = rows[-1][4] / max(rows[0][4], 1e-9)
+    assert subset_growth > 10 * krum_growth, (
+        f"subset rule grew {subset_growth:.1f}x vs krum {krum_growth:.1f}x"
+    )
+
+
+def bench_krum_single_call_microbenchmark(benchmark):
+    """Micro-benchmark of one Krum aggregation at figure scale
+    (n=30 workers, d=100k — a realistic deep-model gradient)."""
+    rng = np.random.default_rng(1)
+    vectors = rng.standard_normal((30, 100_000))
+    rule = Krum(f=7)
+    result = benchmark(lambda: rule.aggregate(vectors))
+    assert result.shape == (100_000,)

@@ -1,0 +1,189 @@
+"""E4 — Proposition 4.2: Krum is (α, f)-Byzantine resilient.
+
+Monte-Carlo verification of Definition 3.2 against every attack in the
+suite: condition (i) ⟨E Kr, g⟩ ≥ (1 − sin α)‖g‖², and condition (ii)
+bounded moments, over a grid of (n, f, σ) inside the variance condition —
+plus a demonstration that outside the condition (σ too large) the
+guarantee is void.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.resilience import estimate_resilience
+from repro.attacks.collusion import CollusionAttack
+from repro.attacks.modern import InnerProductAttack, LittleIsEnoughAttack
+from repro.attacks.omniscient import OmniscientAttack
+from repro.attacks.random_noise import GaussianAttack
+from repro.attacks.simple import SignFlipAttack
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.core.theory import eta
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import emit, run_once
+
+TRIALS = 400
+DIMENSION = 4
+SIGMA = 0.02  # small: keeps eta * sqrt(d) * sigma < ||g|| = 1
+
+
+def _attacks():
+    return [
+        GaussianAttack(sigma=200.0),
+        OmniscientAttack(scale=10.0),
+        SignFlipAttack(scale=5.0),
+        CollusionAttack(decoy_distance=100.0),
+        InnerProductAttack(epsilon=0.5),
+        LittleIsEnoughAttack(z=1.0),
+    ]
+
+
+def bench_prop42_krum_resilient_under_all_attacks(benchmark):
+    def run():
+        reports = []
+        for seed, attack in enumerate(_attacks()):
+            reports.append(
+                estimate_resilience(
+                    Krum(f=2),
+                    attack,
+                    n=11,
+                    f=2,
+                    dimension=DIMENSION,
+                    sigma=SIGMA,
+                    trials=TRIALS,
+                    seed=seed,
+                )
+            )
+        return reports
+
+    reports = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["attack", "<EF,g>", "bound (1-sinα)‖g‖²", "E‖F‖²/E‖G‖²", "byz-sel%", "ok"],
+            [
+                [
+                    r.attack,
+                    r.scalar_product,
+                    r.threshold,
+                    r.moment_ratios[2],
+                    100 * r.byzantine_selection_rate,
+                    r.satisfied,
+                ]
+                for r in reports
+            ],
+            title="Prop 4.2 — Krum (n=11, f=2, d=4, σ=0.02) vs all attacks",
+        )
+    )
+    for report in reports:
+        assert report.satisfied, f"Krum failed condition (i) under {report.attack}"
+        assert report.moment_ratios[4] < 25.0, (
+            f"condition (ii) moment blow-up under {report.attack}"
+        )
+
+
+def bench_prop42_nf_grid(benchmark):
+    """Sweep (n, f) pairs inside 2f + 2 < n: condition (i) holds everywhere.
+
+    η(n, f) = O(n) when f = Θ(n), so the estimator noise σ admissible by
+    the variance condition shrinks as f approaches the (n−3)/2 bound;
+    the sweep uses a σ small enough for the *hardest* grid point
+    (η(51, 24) ≈ 177 → σ < 1/(η·√d) ≈ 0.0028).
+    """
+    grid = [(7, 2), (11, 2), (11, 4), (25, 5), (25, 11), (51, 24)]
+    grid_sigma = 0.002
+
+    def run():
+        return [
+            estimate_resilience(
+                Krum(f=f),
+                OmniscientAttack(scale=10.0),
+                n=n,
+                f=f,
+                dimension=DIMENSION,
+                sigma=grid_sigma,
+                trials=TRIALS,
+                seed=n * 100 + f,
+            )
+            for n, f in grid
+        ]
+
+    reports = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["n", "f", "eta(n,f)", "sinα", "<EF,g>", "bound", "ok"],
+            [
+                [
+                    r.n,
+                    r.f,
+                    eta(r.n, r.f),
+                    r.sin_alpha,
+                    r.scalar_product,
+                    r.threshold,
+                    r.satisfied,
+                ]
+                for r in reports
+            ],
+            title=f"Prop 4.2 — (n, f) grid under omniscient attack (σ={grid_sigma})",
+        )
+    )
+    for report in reports:
+        assert report.satisfied
+
+
+def bench_prop42_variance_condition_boundary(benchmark):
+    """Outside η(n,f)·√d·σ < ‖g‖ the guarantee is void — the checker
+    reports the violation rather than a vacuous pass."""
+
+    def run():
+        inside = estimate_resilience(
+            Krum(f=2), GaussianAttack(sigma=100.0),
+            n=11, f=2, dimension=16, sigma=0.01, trials=200, seed=0,
+        )
+        outside = estimate_resilience(
+            Krum(f=2), GaussianAttack(sigma=100.0),
+            n=11, f=2, dimension=16, sigma=5.0, trials=200, seed=0,
+        )
+        return inside, outside
+
+    inside, outside = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["σ", "condition holds", "sinα", "bound"],
+            [
+                [inside.sigma, inside.condition_holds, inside.sin_alpha, inside.threshold],
+                [outside.sigma, outside.condition_holds, "≥1", outside.threshold],
+            ],
+            title="Prop 4.2 — variance condition boundary",
+        )
+    )
+    assert inside.condition_holds and inside.satisfied
+    assert not outside.condition_holds
+
+
+def bench_prop42_average_contrast(benchmark):
+    """The same measurement for averaging: condition (i) fails under the
+    direction-reversing attacks (Lemma 3.1's consequence)."""
+
+    def run():
+        return [
+            estimate_resilience(
+                Average(), attack,
+                n=11, f=2, dimension=DIMENSION, sigma=SIGMA,
+                trials=TRIALS, seed=seed,
+            )
+            for seed, attack in enumerate(
+                [OmniscientAttack(scale=10.0), SignFlipAttack(scale=20.0)]
+            )
+        ]
+
+    reports = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["attack", "<EF,g>", "bound", "ok"],
+            [[r.attack, r.scalar_product, r.threshold, r.satisfied] for r in reports],
+            title="Prop 4.2 contrast — averaging fails condition (i)",
+        )
+    )
+    for report in reports:
+        assert not report.satisfied
+        assert report.scalar_product < 0

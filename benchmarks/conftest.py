@@ -1,0 +1,26 @@
+"""Shared infrastructure for the reproduction benches.
+
+Each ``bench_*`` module regenerates one figure/lemma/proposition of the
+paper (see DESIGN.md §3).  Benches print the reproduced series/tables —
+run ``pytest benchmarks/ --benchmark-only -s`` to see them — and assert
+the qualitative claim (who wins, and roughly by how much).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a bench's reproduced table, bypassing pytest capture noise."""
+    sys.stdout.write("\n" + text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Figure-scale experiments are deterministic and expensive; one round
+    with one iteration gives the wall-clock without re-running the
+    training loops dozens of times.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

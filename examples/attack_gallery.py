@@ -1,0 +1,111 @@
+"""Attack gallery: every adversary vs every aggregation rule.
+
+For each (rule, attack) pair, Monte-Carlo-measures the two conditions of
+(α, f)-Byzantine resilience (Definition 3.2) and prints a matrix of who
+survives what.  This is the fastest way to see *why* Krum's shape —
+distance filtering, then selection — matters.
+
+Run:  python examples/attack_gallery.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Average,
+    ClosestToAll,
+    CollusionAttack,
+    CoordinateWiseMedian,
+    GaussianAttack,
+    GeometricMedian,
+    InnerProductAttack,
+    Krum,
+    LittleIsEnoughAttack,
+    MultiKrum,
+    OmniscientAttack,
+    SignFlipAttack,
+    TrimmedMean,
+)
+from repro.analysis import estimate_resilience
+from repro.experiments import format_table
+
+N, F = 13, 3
+DIMENSION = 4
+SIGMA = 0.02
+TRIALS = 300
+
+
+def main() -> None:
+    rules = {
+        "krum": Krum(f=F),
+        "multi-krum": MultiKrum(f=F, m=6),
+        "average": Average(),
+        "closest-to-all": ClosestToAll(),
+        "coord-median": CoordinateWiseMedian(),
+        "trimmed-mean": TrimmedMean(f=F),
+        "geom-median": GeometricMedian(),
+    }
+    attacks = {
+        "gaussian": GaussianAttack(sigma=200.0),
+        "omniscient": OmniscientAttack(scale=10.0),
+        "sign-flip": SignFlipAttack(scale=5.0),
+        "collusion": CollusionAttack(decoy_distance=100.0, against_gradient=True),
+        "inner-product": InnerProductAttack(epsilon=0.5),
+        "little-is-enough": LittleIsEnoughAttack(z=1.0),
+    }
+
+    condition_rows, selection_rows = [], []
+    for rule_label, rule in rules.items():
+        condition_row, selection_row = [rule_label], [rule_label]
+        for attack in attacks.values():
+            report = estimate_resilience(
+                rule,
+                attack,
+                n=N,
+                f=F,
+                dimension=DIMENSION,
+                sigma=SIGMA,
+                trials=TRIALS,
+                seed=42,
+            )
+            condition_row.append("ok" if report.satisfied else "FAIL")
+            selection_row.append(
+                f"{100 * report.byzantine_selection_rate:.0f}%"
+                if report.byzantine_selection_rate or rule_label
+                in ("krum", "multi-krum", "closest-to-all")
+                else "-"
+            )
+        condition_rows.append(condition_row)
+        selection_rows.append(selection_row)
+
+    print(
+        format_table(
+            ["rule \\ attack", *attacks.keys()],
+            condition_rows,
+            title=(
+                f"(α, f)-resilience condition (i), measured over {TRIALS} "
+                f"trials (n={N}, f={F}, d={DIMENSION}, σ={SIGMA})"
+            ),
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["rule \\ attack", *attacks.keys()],
+            [row for row in selection_rows if row[0] in
+             ("krum", "multi-krum", "closest-to-all")],
+            title="Byzantine-proposal selection rate (selection-based rules)",
+        )
+    )
+    print(
+        "\nReading: 'ok' = the measured ⟨E F, ∇Q⟩ clears the paper's"
+        "\n(1 − sin α)‖∇Q‖² bound under that attack; 'FAIL' = the adversary"
+        "\nbroke the direction of descent.  The linear rule fails the"
+        "\ndirection-reversing attacks (Lemma 3.1); the closest-to-all rule"
+        "\nis fully controlled by the Figure 2 collusion (its selection is"
+        "\nByzantine ~100% of rounds, and with gradient-aimed decoys its"
+        "\ncondition (i) fails too); Krum holds throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

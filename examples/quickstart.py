@@ -1,0 +1,66 @@
+"""Quickstart: distributed SGD with f Byzantine workers, Krum vs averaging.
+
+Runs the paper's headline comparison on an analytic quadratic cost:
+15 workers, 3 of them Byzantine (loud Gaussian noise), aggregated by
+plain averaging and by Krum.  Averaging stalls; Krum converges.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Average, GaussianAttack, Krum
+from repro.experiments import build_quadratic_simulation, format_table
+from repro.models import QuadraticBowl
+
+NUM_WORKERS = 15
+NUM_BYZANTINE = 3
+SIGMA = 0.5  # honest gradient-estimator noise
+ROUNDS = 300
+
+
+def main() -> None:
+    bowl = QuadraticBowl(dimension=20)
+    attack = GaussianAttack(sigma=100.0)
+
+    rows = []
+    for rule in (Average(), Krum(f=NUM_BYZANTINE)):
+        simulation = build_quadratic_simulation(
+            bowl,
+            aggregator=rule,
+            num_workers=NUM_WORKERS,
+            num_byzantine=NUM_BYZANTINE,
+            sigma=SIGMA,
+            attack=attack,
+            learning_rate=0.2,
+            seed=0,
+        )
+        history = simulation.run(ROUNDS, eval_every=50)
+        rows.append(
+            [
+                rule.name,
+                history.final_loss,
+                bowl.distance_to_optimum(simulation.params),
+                f"{100 * history.byzantine_selection_rate():.1f}%",
+            ]
+        )
+
+    print(
+        format_table(
+            ["aggregation rule", "final cost Q(x)", "distance to optimum",
+             "byzantine selected"],
+            rows,
+            title=(
+                f"Krum vs averaging — n={NUM_WORKERS}, f={NUM_BYZANTINE} "
+                f"Gaussian attackers, {ROUNDS} rounds"
+            ),
+        )
+    )
+    print(
+        "\nAveraging is dragged by the attackers (Lemma 3.1); Krum filters"
+        "\nthem out and converges (Propositions 4.2 and 4.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Empirical verification machinery for the paper's theory.
+
+* :mod:`repro.analysis.moments` — Monte-Carlo estimation of E‖·‖^r.
+* :mod:`repro.analysis.resilience` — measures the two conditions of
+  Definition 3.2 ((α, f)-Byzantine resilience) for any aggregator/attack
+  pair.
+* :mod:`repro.analysis.convergence` — convergence diagnostics on
+  training histories.
+"""
+
+from repro.analysis.convergence import (
+    has_converged,
+    plateau_value,
+    rounds_to_threshold,
+)
+from repro.analysis.moments import empirical_norm_moments
+from repro.analysis.resilience import ResilienceReport, estimate_resilience
+
+__all__ = [
+    "empirical_norm_moments",
+    "ResilienceReport",
+    "estimate_resilience",
+    "has_converged",
+    "rounds_to_threshold",
+    "plateau_value",
+]

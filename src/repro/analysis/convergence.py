@@ -1,0 +1,60 @@
+"""Convergence diagnostics over training histories (Proposition 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["has_converged", "rounds_to_threshold", "plateau_value"]
+
+
+def has_converged(
+    values: np.ndarray,
+    *,
+    threshold: float,
+    window: int = 5,
+) -> bool:
+    """True if the last ``window`` values all lie at or below ``threshold``.
+
+    Proposition 4.3 predicts ``‖∇Q(x_t)‖`` enters (and stays in) the
+    basin ``‖∇Q‖ ≤ η(n,f)·√d·σ``; this is the corresponding empirical
+    test on a gradient-norm series.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if values.size < window:
+        return False
+    return bool(np.all(values[-window:] <= threshold))
+
+
+def rounds_to_threshold(
+    rounds: np.ndarray, values: np.ndarray, *, threshold: float
+) -> int | None:
+    """First round index at which the series reaches ``threshold``.
+
+    Returns ``None`` when the series never gets there — the outcome for
+    averaging under attack.
+    """
+    rounds = np.asarray(rounds)
+    values = np.asarray(values, dtype=np.float64)
+    if rounds.shape != values.shape:
+        raise ConfigurationError(
+            f"rounds {rounds.shape} and values {values.shape} must align"
+        )
+    below = np.flatnonzero(values <= threshold)
+    if below.size == 0:
+        return None
+    return int(rounds[below[0]])
+
+
+def plateau_value(values: np.ndarray, *, fraction: float = 0.2) -> float:
+    """Mean of the last ``fraction`` of the series (the settled level)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("empty series")
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+    tail = max(1, int(round(values.size * fraction)))
+    return float(values[-tail:].mean())

@@ -1,0 +1,32 @@
+"""Monte-Carlo moment estimation for condition (ii) of Definition 3.2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+__all__ = ["empirical_norm_moments"]
+
+
+def empirical_norm_moments(
+    samples: np.ndarray, orders: tuple[int, ...] = (2, 3, 4)
+) -> dict[int, float]:
+    """Estimate ``E‖X‖^r`` for each order r from an ``(m, d)`` sample stack.
+
+    Definition 3.2's condition (ii) bounds the choice function's moments
+    of orders 2–4 by homogeneous polynomials in the moments of the
+    correct estimator G; the resilience checker compares the two sides
+    estimated by this function.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise DimensionMismatchError(
+            f"samples must be (m, d), got shape {samples.shape}"
+        )
+    if samples.shape[0] < 1:
+        raise ConfigurationError("need at least one sample")
+    if any(r < 1 for r in orders):
+        raise ConfigurationError(f"moment orders must be >= 1, got {orders}")
+    norms = np.linalg.norm(samples, axis=1)
+    return {int(r): float(np.mean(norms ** r)) for r in orders}

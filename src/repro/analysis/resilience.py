@@ -1,0 +1,189 @@
+"""Empirical (α, f)-Byzantine-resilience measurement (Definition 3.2).
+
+Definition 3.2 requires of the choice function F, against *any* Byzantine
+vectors, that
+
+  (i)  ⟨E F, g⟩ ≥ (1 − sin α) · ‖g‖²  > 0, and
+  (ii) for r = 2, 3, 4, E‖F‖^r is bounded by a combination of moments
+       of the correct estimator G.
+
+This module measures both sides by Monte-Carlo: honest proposals are
+drawn from the Gaussian estimator ``g + σ N(0, I_d)``, the attack crafts
+the f Byzantine rows, the aggregator runs, and the empirical mean/moments
+of its output are compared against the theoretical thresholds computed
+from η(n, f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.core.aggregator import Aggregator
+from repro.core.theory import eta
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["ResilienceReport", "estimate_resilience"]
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Measured quantities of one resilience experiment.
+
+    ``scalar_product`` is ⟨Ê F, g⟩; ``threshold`` is (1 − sin α)·‖g‖²
+    with sin α = η(n,f)·√d·σ/‖g‖ (``None`` when the variance condition
+    fails, i.e. sin α ≥ 1 and the guarantee is void).  ``moment_ratios``
+    maps r → E‖F‖^r / E‖G‖^r, the practical reading of condition (ii):
+    bounded ratios mean the attack cannot inflate the aggregate's
+    moments.  ``byzantine_selection_rate`` is diagnostic for
+    selection-based rules.
+    """
+
+    aggregator: str
+    attack: str
+    n: int
+    f: int
+    dimension: int
+    sigma: float
+    grad_norm: float
+    trials: int
+    scalar_product: float
+    threshold: float | None
+    sin_alpha: float
+    condition_holds: bool
+    satisfied: bool
+    moment_ratios: dict[int, float]
+    byzantine_selection_rate: float
+    mean_aggregate_error: float  # ‖Ê F − g‖
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for table rendering in the benches."""
+        return {
+            "aggregator": self.aggregator,
+            "attack": self.attack,
+            "n": self.n,
+            "f": self.f,
+            "d": self.dimension,
+            "sigma": self.sigma,
+            "<EF,g>": round(self.scalar_product, 4),
+            "bound": None if self.threshold is None else round(self.threshold, 4),
+            "ok": self.satisfied,
+            "byz_sel%": round(100 * self.byzantine_selection_rate, 1),
+        }
+
+
+def estimate_resilience(
+    aggregator: Aggregator,
+    attack: Attack | None,
+    *,
+    n: int,
+    f: int,
+    dimension: int,
+    sigma: float,
+    gradient: np.ndarray | None = None,
+    trials: int = 500,
+    seed: SeedLike = 0,
+) -> ResilienceReport:
+    """Monte-Carlo-verify Definition 3.2 for one (rule, attack) pair.
+
+    ``gradient`` defaults to a fixed unit-norm-times-√d vector so the
+    signal-to-noise ratio is controlled by σ alone.  ``attack=None``
+    measures the f = 0 baseline (all proposals honest).
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if f < 0 or f >= n:
+        raise ConfigurationError(f"need 0 <= f < n, got n={n}, f={f}")
+    if f > 0 and attack is None:
+        raise ConfigurationError("f > 0 requires an attack")
+    rng = as_generator(seed)
+    if gradient is None:
+        gradient = np.ones(dimension) / np.sqrt(dimension)
+    gradient = np.asarray(gradient, dtype=np.float64)
+    if gradient.shape != (dimension,):
+        raise ConfigurationError(
+            f"gradient must have shape ({dimension},), got {gradient.shape}"
+        )
+    grad_norm = float(np.linalg.norm(gradient))
+
+    num_honest = n - f
+    byz_indices = np.arange(num_honest, n)
+    honest_indices = np.arange(num_honest)
+
+    aggregates = np.empty((trials, dimension))
+    honest_samples = np.empty((trials, dimension))
+    byz_hits = 0
+    selecting_trials = 0
+    for trial in range(trials):
+        honest = gradient + sigma * rng.standard_normal((num_honest, dimension))
+        honest_samples[trial] = honest[0]
+        stack = honest
+        if f > 0:
+            assert attack is not None
+            context = AttackContext(
+                round_index=trial,
+                params=np.zeros(dimension),
+                honest_gradients=honest,
+                byzantine_indices=byz_indices,
+                honest_indices=honest_indices,
+                num_workers=n,
+                rng=rng,
+                aggregator=aggregator,
+                true_gradient=gradient,
+            )
+            stack = np.vstack([honest, attack.craft(context)])
+        result = aggregator.aggregate_detailed(stack)
+        aggregates[trial] = result.vector
+        if result.selected.size:
+            selecting_trials += 1
+            if np.any(result.selected >= num_honest):
+                byz_hits += 1
+
+    mean_aggregate = aggregates.mean(axis=0)
+    scalar_product = float(mean_aggregate @ gradient)
+
+    sin_alpha_raw = (
+        eta(n, f) * np.sqrt(dimension) * sigma / grad_norm
+        if 2 * f + 2 < n
+        else np.inf
+    )
+    condition_holds = bool(sin_alpha_raw < 1.0)
+    threshold = (
+        float((1.0 - sin_alpha_raw) * grad_norm**2) if condition_holds else None
+    )
+    satisfied = (
+        scalar_product >= threshold and scalar_product > 0
+        if threshold is not None
+        else False
+    )
+
+    agg_norms = np.linalg.norm(aggregates, axis=1)
+    honest_norms = np.linalg.norm(honest_samples, axis=1)
+    moment_ratios = {}
+    for r in (2, 3, 4):
+        denominator = float(np.mean(honest_norms**r))
+        moment_ratios[r] = float(np.mean(agg_norms**r)) / max(denominator, 1e-300)
+
+    return ResilienceReport(
+        aggregator=aggregator.name,
+        attack=attack.name if attack is not None else "none",
+        n=n,
+        f=f,
+        dimension=dimension,
+        sigma=float(sigma),
+        grad_norm=grad_norm,
+        trials=trials,
+        scalar_product=scalar_product,
+        threshold=threshold,
+        sin_alpha=float(min(sin_alpha_raw, np.inf)),
+        condition_holds=condition_holds,
+        satisfied=bool(satisfied),
+        moment_ratios=moment_ratios,
+        byzantine_selection_rate=(
+            byz_hits / selecting_trials if selecting_trials else 0.0
+        ),
+        mean_aggregate_error=float(np.linalg.norm(mean_aggregate - gradient)),
+    )

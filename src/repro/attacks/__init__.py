@@ -1,0 +1,53 @@
+"""Byzantine attack suite.
+
+The paper's adversary model gives Byzantine workers *full knowledge* of
+the system — the choice function, every other proposal, and the ability
+to collaborate.  :class:`AttackContext` carries exactly that knowledge;
+an :class:`Attack` maps it to the f vectors the Byzantine workers send.
+
+Era-accurate attacks (used by the reproduction benches):
+
+* :class:`LinearHijackAttack` — the constructive proof of Lemma 3.1.
+* :class:`CollusionAttack` — the Figure 2 scenario against the
+  "closest to all" rule.
+* :class:`GaussianAttack`, :class:`OmniscientAttack` — the two attacks
+  of the full paper's evaluation.
+* :class:`SignFlipAttack`, :class:`CrashAttack`, :class:`StragglerAttack`,
+  :class:`LabelFlipAttack` — the failure modes the introduction motivates.
+
+Extensions (post-2017 attacks, for the ablation benches):
+:class:`LittleIsEnoughAttack`, :class:`InnerProductAttack`.
+"""
+
+from repro.attacks.base import Attack, AttackContext, BenignAttack
+from repro.attacks.collusion import CollusionAttack
+from repro.attacks.composite import CompositeAttack
+from repro.attacks.hijack import LinearHijackAttack
+from repro.attacks.modern import InnerProductAttack, LittleIsEnoughAttack
+from repro.attacks.omniscient import OmniscientAttack
+from repro.attacks.poisoning import LabelFlipAttack
+from repro.attacks.random_noise import GaussianAttack
+from repro.attacks.simple import (
+    CrashAttack,
+    NonFiniteAttack,
+    SignFlipAttack,
+    StragglerAttack,
+)
+
+__all__ = [
+    "Attack",
+    "AttackContext",
+    "BenignAttack",
+    "GaussianAttack",
+    "SignFlipAttack",
+    "CrashAttack",
+    "NonFiniteAttack",
+    "StragglerAttack",
+    "LinearHijackAttack",
+    "CollusionAttack",
+    "CompositeAttack",
+    "OmniscientAttack",
+    "LabelFlipAttack",
+    "LittleIsEnoughAttack",
+    "InnerProductAttack",
+]

@@ -1,0 +1,117 @@
+"""Attack interface and the omniscient adversary context."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregator import Aggregator
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+__all__ = ["AttackContext", "Attack", "BenignAttack"]
+
+
+@dataclass(frozen=True)
+class AttackContext:
+    """Everything the paper's adversary is allowed to know.
+
+    "The Byzantine workers have full knowledge of the system, including
+    the choice function F, the vectors proposed by the other workers and
+    can collaborate with each other."  — Section 2.
+    """
+
+    round_index: int
+    params: np.ndarray
+    honest_gradients: np.ndarray  # (n - f, d) proposals of the correct workers
+    byzantine_indices: np.ndarray  # positions the f Byzantine workers occupy
+    honest_indices: np.ndarray  # positions of the correct workers
+    num_workers: int  # n
+    rng: np.random.Generator
+    aggregator: Aggregator | None = None  # the server's F, if known
+    true_gradient: np.ndarray | None = None  # ∇Q(x_t), for omniscient attacks
+
+    @property
+    def num_byzantine(self) -> int:
+        return int(len(self.byzantine_indices))
+
+    @property
+    def dimension(self) -> int:
+        return int(self.honest_gradients.shape[1])
+
+    @property
+    def honest_mean(self) -> np.ndarray:
+        """Barycenter of the correct proposals — the adversary's best
+        estimate of the true gradient when ``true_gradient`` is hidden."""
+        return self.honest_gradients.mean(axis=0)
+
+    def validate(self) -> None:
+        if self.honest_gradients.ndim != 2:
+            raise DimensionMismatchError(
+                f"honest_gradients must be (n-f, d), got "
+                f"{self.honest_gradients.shape}"
+            )
+        if len(self.honest_indices) != len(self.honest_gradients):
+            raise DimensionMismatchError(
+                f"{len(self.honest_indices)} honest indices vs "
+                f"{len(self.honest_gradients)} honest gradients"
+            )
+        total = len(self.honest_indices) + len(self.byzantine_indices)
+        if total != self.num_workers:
+            raise ConfigurationError(
+                f"honest ({len(self.honest_indices)}) + byzantine "
+                f"({len(self.byzantine_indices)}) != n ({self.num_workers})"
+            )
+        overlap = np.intersect1d(self.honest_indices, self.byzantine_indices)
+        if overlap.size:
+            raise ConfigurationError(
+                f"worker indices {overlap.tolist()} are both honest and Byzantine"
+            )
+
+
+class Attack(ABC):
+    """Strategy producing the f Byzantine proposals for one round."""
+
+    name: str = "attack"
+
+    @abstractmethod
+    def craft(self, context: AttackContext) -> np.ndarray:
+        """Return an ``(f, d)`` array of Byzantine proposals.
+
+        Must return exactly ``context.num_byzantine`` rows of dimension
+        ``context.dimension``.
+        """
+
+    def _output(self, context: AttackContext, vectors: np.ndarray) -> np.ndarray:
+        """Validate and shape an attack's output (helper for subclasses)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        expected = (context.num_byzantine, context.dimension)
+        if vectors.shape != expected:
+            raise DimensionMismatchError(
+                f"{self.name} produced shape {vectors.shape}, expected {expected}"
+            )
+        return vectors
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BenignAttack(Attack):
+    """Byzantine workers that behave correctly (control condition).
+
+    Each "Byzantine" worker resends the honest barycenter perturbed with
+    the empirical honest standard deviation, i.e. it is statistically
+    indistinguishable from a correct worker.  Used to verify an attack
+    harness adds no artifacts of its own.
+    """
+
+    name = "benign"
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        mean = context.honest_mean
+        std = context.honest_gradients.std(axis=0)
+        proposals = mean + std * context.rng.standard_normal(
+            (context.num_byzantine, context.dimension)
+        )
+        return self._output(context, proposals)

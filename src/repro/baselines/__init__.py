@@ -1,0 +1,31 @@
+"""Baseline choice functions.
+
+* :class:`Average` / :class:`WeightedAverage` — the linear rules that
+  Lemma 3.1 proves non-robust.
+* :class:`ClosestToAll` — the distance-based rule of Figure 2, defeated
+  by two colluding Byzantine workers.
+* :class:`MinimalDiameterSubset` — the majority-based rule the paper
+  mentions as robust but exponentially expensive.
+* :class:`CoordinateWiseMedian`, :class:`TrimmedMean`,
+  :class:`GeometricMedian` — classical robust statistics used by
+  follow-up work, included for the ablation benches.
+"""
+
+from repro.baselines.average import Average, WeightedAverage
+from repro.baselines.distance_based import ClosestToAll
+from repro.baselines.majority import MinimalDiameterSubset
+from repro.baselines.medians import (
+    CoordinateWiseMedian,
+    GeometricMedian,
+    TrimmedMean,
+)
+
+__all__ = [
+    "Average",
+    "WeightedAverage",
+    "ClosestToAll",
+    "MinimalDiameterSubset",
+    "CoordinateWiseMedian",
+    "TrimmedMean",
+    "GeometricMedian",
+]

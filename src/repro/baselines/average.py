@@ -1,0 +1,62 @@
+"""Linear choice functions — provably non-robust (Lemma 3.1).
+
+Averaging is what production parameter servers used at the time of the
+paper; Lemma 3.1 shows a single Byzantine worker can force *any* linear
+combination with non-zero coefficients to output an arbitrary vector.
+These rules are the baselines every experiment attacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregator import AggregationResult, Aggregator
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+__all__ = ["Average", "WeightedAverage"]
+
+
+class Average(Aggregator):
+    """Unweighted mean of all proposals — the classical rule."""
+
+    name = "average"
+
+    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+        vectors = self._validated(vectors)
+        return AggregationResult(vector=vectors.mean(axis=0))
+
+
+class WeightedAverage(Aggregator):
+    """``F(V_1..V_n) = Σ λ_i V_i`` with fixed non-zero coefficients.
+
+    The general linear rule of Lemma 3.1.  Coefficients need not sum to
+    one (the lemma only requires them non-zero), though the default
+    normalizes them so the rule is a convex combination.
+    """
+
+    def __init__(self, weights: np.ndarray, *, normalize: bool = True):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise DimensionMismatchError(
+                f"weights must be 1-d, got shape {weights.shape}"
+            )
+        if np.any(weights == 0.0):
+            raise ConfigurationError(
+                "all weights must be non-zero (Lemma 3.1's linear rule)"
+            )
+        if normalize:
+            total = weights.sum()
+            if abs(total) < 1e-15:
+                raise ConfigurationError("weights sum to zero; cannot normalize")
+            weights = weights / total
+        self.weights = weights
+        self.name = f"weighted-average(n={len(weights)})"
+
+    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+        vectors = self._validated(vectors)
+        if vectors.shape[0] != len(self.weights):
+            raise DimensionMismatchError(
+                f"rule built for {len(self.weights)} workers, got "
+                f"{vectors.shape[0]} proposals"
+            )
+        return AggregationResult(vector=self.weights @ vectors)

@@ -1,0 +1,30 @@
+"""The flawed distance-based rule of Figure 2.
+
+Selecting the proposal that minimizes the sum of squared distances to
+*all* other proposals looks robust but tolerates only one Byzantine
+worker: f − 1 colluders park far-away decoys that drag the barycenter,
+and a final Byzantine proposal sitting near that barycenter wins the
+selection (Figure 2 of the paper).  Krum fixes this by summing only over
+the n − f − 2 nearest neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregator import SelectionAggregator
+from repro.utils.linalg import pairwise_sq_distances
+
+__all__ = ["ClosestToAll"]
+
+
+class ClosestToAll(SelectionAggregator):
+    """Select ``argmin_i Σ_j ‖V_i − V_j‖²`` over all proposals."""
+
+    name = "closest-to-all"
+
+    def select(self, vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        distances = pairwise_sq_distances(vectors, nonfinite_as_inf=True)
+        scores = distances.sum(axis=1)
+        winner = int(np.argmin(scores))
+        return np.array([winner], dtype=np.int64), scores

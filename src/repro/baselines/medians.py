@@ -1,0 +1,168 @@
+"""Robust statistical aggregators: medians and trimmed means.
+
+These postdate or parallel the paper (coordinate-wise median and trimmed
+mean were analyzed by Yin et al. 2018; the geometric median is the
+classical robust estimator the paper's proof technique is "reminiscent
+of").  They are included as ablation baselines: they behave differently
+from Krum because they synthesize a new vector instead of selecting a
+proposed one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregator import AggregationResult, Aggregator
+from repro.exceptions import ByzantineToleranceError, ConvergenceError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CoordinateWiseMedian", "TrimmedMean", "GeometricMedian"]
+
+
+class CoordinateWiseMedian(Aggregator):
+    """Per-coordinate median of the proposals."""
+
+    name = "coordinate-median"
+
+    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+        vectors = self._validated(vectors)
+        return AggregationResult(vector=np.median(vectors, axis=0))
+
+
+class TrimmedMean(Aggregator):
+    """Per-coordinate mean after dropping the f smallest and f largest.
+
+    Requires ``n > 2f`` so at least one value per coordinate survives the
+    trim.
+    """
+
+    def __init__(self, f: int):
+        self.f = check_positive_int(f, "f", minimum=0)
+        self.name = f"trimmed-mean(f={self.f})"
+
+    def check_tolerance(self, num_workers: int) -> None:
+        if num_workers <= 2 * self.f:
+            raise ByzantineToleranceError(
+                f"trimmed mean needs n > 2f, got n={num_workers}, f={self.f}",
+                n=num_workers,
+                f=self.f,
+            )
+
+    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+        vectors = self._validated(vectors)
+        if self.f == 0:
+            return AggregationResult(vector=vectors.mean(axis=0))
+        ordered = np.sort(vectors, axis=0)
+        trimmed = ordered[self.f : -self.f]
+        return AggregationResult(vector=trimmed.mean(axis=0))
+
+
+class GeometricMedian(Aggregator):
+    """Geometric median via the Weiszfeld fixed-point iteration.
+
+    Minimizes ``Σ_i ‖z − V_i‖`` (unsquared — the squared version is the
+    barycenter and not robust).  When an iterate lands exactly on an
+    input point the standard singularity fix is applied (treat that point
+    as its own cluster and test optimality before continuing).
+    """
+
+    def __init__(self, *, tolerance: float = 1e-9, max_iterations: int = 1000):
+        if tolerance <= 0:
+            raise ConvergenceError(f"tolerance must be positive, got {tolerance}")
+        self.tolerance = float(tolerance)
+        self.max_iterations = check_positive_int(
+            max_iterations, "max_iterations", minimum=1
+        )
+        self.name = "geometric-median"
+
+    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+        vectors = self._validated(vectors)
+        return AggregationResult(vector=self._weiszfeld(vectors))
+
+    @staticmethod
+    def _median_at_data_point(
+        vectors: np.ndarray, distances: np.ndarray
+    ) -> np.ndarray | None:
+        """Vardi–Zhang optimality test for the data point nearest to the
+        current iterate: point p (with multiplicity m) is the geometric
+        median iff ‖Σ unit vectors from p to the other points‖ <= m.
+
+        Weiszfeld converges only sublinearly toward an optimal *data*
+        point, so testing the condition directly (instead of waiting for
+        the iterate to crawl there) is what makes termination fast.
+        """
+        nearest = int(np.argmin(distances))
+        point = vectors[nearest]
+        offsets = vectors - point
+        point_distances = np.linalg.norm(offsets, axis=1)
+        scale = max(1.0, float(point_distances.max()))
+        coincident = point_distances <= 1e-12 * scale
+        multiplicity = float(np.count_nonzero(coincident))
+        others = ~coincident
+        if not np.any(others):
+            return point.copy()
+        directions = offsets[others] / point_distances[others, None]
+        if float(np.linalg.norm(directions.sum(axis=0))) <= multiplicity:
+            return point.copy()
+        return None
+
+    def _weiszfeld(self, vectors: np.ndarray) -> np.ndarray:
+        n = vectors.shape[0]
+        if n == 1:
+            return vectors[0].copy()
+        estimate = vectors.mean(axis=0)
+        objective = float(
+            np.linalg.norm(vectors - estimate, axis=1).sum()
+        )
+        stall_strikes = 0
+        for _iteration in range(self.max_iterations):
+            diffs = vectors - estimate
+            distances = np.linalg.norm(diffs, axis=1)
+            optimal_point = self._median_at_data_point(vectors, distances)
+            if optimal_point is not None:
+                return optimal_point
+            at_point = distances < 1e-14
+            if np.any(at_point):
+                # Vardi–Zhang correction at a data point y = V_k: y is the
+                # median iff ‖R‖ <= multiplicity, where R is the summed
+                # unit vector of the other points.
+                others = ~at_point
+                if not np.any(others):
+                    return estimate
+                directions = diffs[others] / distances[others, None]
+                r_vec = directions.sum(axis=0)
+                multiplicity = float(np.count_nonzero(at_point))
+                r_norm = float(np.linalg.norm(r_vec))
+                if r_norm <= multiplicity:
+                    return estimate
+                step = (r_norm - multiplicity) / r_norm
+                inv = 1.0 / distances[others]
+                tentative = (vectors[others] * inv[:, None]).sum(axis=0) / inv.sum()
+                new_estimate = (1 - step) * estimate + step * tentative
+            else:
+                inv = 1.0 / distances
+                new_estimate = (vectors * inv[:, None]).sum(axis=0) / inv.sum()
+            shift = float(np.linalg.norm(new_estimate - estimate))
+            new_objective = float(
+                np.linalg.norm(vectors - new_estimate, axis=1).sum()
+            )
+            # Near a data point of multiplicity > 1 the iteration becomes
+            # sublinear: the shift plateaus while the objective improves
+            # only at floating-point-noise scale.  Three consecutive
+            # iterations without meaningful objective progress terminate
+            # the loop — the estimate is positionally converged far below
+            # any statistically meaningful precision by then.
+            if new_objective >= objective - 1e-12 * max(1.0, objective):
+                stall_strikes += 1
+            else:
+                stall_strikes = 0
+            estimate = new_estimate
+            objective = min(objective, new_objective)
+            if shift <= self.tolerance * max(1.0, float(np.linalg.norm(estimate))):
+                return estimate
+            if stall_strikes >= 3:
+                return estimate
+        raise ConvergenceError(
+            f"Weiszfeld iteration did not converge in {self.max_iterations} "
+            f"steps (last shift {shift:.3g})"
+        )

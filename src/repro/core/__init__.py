@@ -1,0 +1,42 @@
+"""The paper's contribution: Krum and the Byzantine-resilience machinery.
+
+* :class:`Krum` / :class:`MultiKrum` — the choice functions of Section 4.
+* :mod:`repro.core.theory` — η(n, f), the ``2f + 2 < n`` precondition and
+  the (α, f)-resilience angle of Proposition 4.2.
+* :class:`Aggregator` — the interface every choice function implements
+  (the paper's ``F``), shared with the baselines.
+"""
+
+from repro.core.aggregator import (
+    AggregationResult,
+    Aggregator,
+    SelectionAggregator,
+)
+from repro.core.bulyan import Bulyan
+from repro.core.krum import Krum, MultiKrum, krum_scores, krum_scores_reference
+from repro.core.registry import available_aggregators, make_aggregator
+from repro.core.theory import (
+    check_krum_precondition,
+    eta,
+    krum_variance_bound,
+    max_tolerable_f,
+    resilience_angle,
+)
+
+__all__ = [
+    "Aggregator",
+    "SelectionAggregator",
+    "AggregationResult",
+    "Krum",
+    "MultiKrum",
+    "Bulyan",
+    "krum_scores",
+    "krum_scores_reference",
+    "eta",
+    "check_krum_precondition",
+    "max_tolerable_f",
+    "resilience_angle",
+    "krum_variance_bound",
+    "make_aggregator",
+    "available_aggregators",
+]

@@ -1,0 +1,96 @@
+"""Aggregator interface — the paper's choice function ``F``.
+
+The parameter server computes ``F(V_1, ..., V_n)`` from the workers'
+proposed vectors and applies ``x_{t+1} = x_t − γ_t · F(...)``.  Every
+rule in this library (Krum, averaging, medians, ...) implements this
+interface: a pure function from an ``(n, d)`` stack of proposals to one
+``(d,)`` vector, plus an optional structured result carrying selection
+metadata for the experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ByzantineToleranceError
+from repro.utils.validation import check_vector_stack
+
+__all__ = ["Aggregator", "SelectionAggregator", "AggregationResult"]
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Outcome of one aggregation.
+
+    ``selected`` lists the indices of input vectors the rule chose (for
+    selection-based rules like Krum; empty for statistical rules like
+    averaging), and ``scores`` carries per-input scores when the rule
+    computes them — the experiments use both to count how often a
+    Byzantine proposal is chosen.
+    """
+
+    vector: np.ndarray
+    selected: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.int64))
+    scores: np.ndarray | None = None
+
+
+class Aggregator(ABC):
+    """A deterministic choice function on worker proposals."""
+
+    #: Human-readable rule name used in reports and the registry.
+    name: str = "aggregator"
+
+    @abstractmethod
+    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+        """Aggregate an ``(n, d)`` proposal stack, returning metadata too."""
+
+    def aggregate(self, vectors: np.ndarray) -> np.ndarray:
+        """Aggregate an ``(n, d)`` proposal stack into one ``(d,)`` vector."""
+        return self.aggregate_detailed(vectors).vector
+
+    def __call__(self, vectors: np.ndarray) -> np.ndarray:
+        return self.aggregate(vectors)
+
+    def check_tolerance(self, num_workers: int) -> None:
+        """Raise ``ByzantineToleranceError`` if ``num_workers`` is too small.
+
+        Default: any n >= 1 is accepted.  Rules with (n, f) preconditions
+        (Krum's ``2f + 2 < n``, trimmed mean's ``2f < n``) override this.
+        """
+        if num_workers < 1:
+            raise ByzantineToleranceError(
+                f"need at least one worker, got {num_workers}", n=num_workers
+            )
+
+    def _validated(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = check_vector_stack(vectors, "proposals", require_finite=False)
+        self.check_tolerance(vectors.shape[0])
+        return vectors
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SelectionAggregator(Aggregator):
+    """An aggregator that returns (an average of) selected input vectors.
+
+    Implementations provide :meth:`select`; the aggregate is the mean of
+    the selected rows (a single row for Krum with m = 1).
+    """
+
+    @abstractmethod
+    def select(self, vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Return ``(selected_indices, scores_or_None)`` for the stack."""
+
+    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+        vectors = self._validated(vectors)
+        selected, scores = self.select(vectors)
+        selected = np.asarray(selected, dtype=np.int64)
+        if selected.size == 1:
+            vector = vectors[int(selected[0])].copy()
+        else:
+            vector = vectors[selected].mean(axis=0)
+        return AggregationResult(vector=vector, selected=selected, scores=scores)

@@ -1,0 +1,166 @@
+"""The Krum and Multi-Krum choice functions (Section 4 of the paper).
+
+For each proposal ``V_i`` the *score* is the sum of squared distances to
+its ``n − f − 2`` closest other proposals:
+
+    s(i) = Σ_{i → j} ‖V_i − V_j‖²
+
+where ``i → j`` means ``V_j`` is among the ``n − f − 2`` nearest
+neighbours of ``V_i``.  Krum returns the proposal with the minimal score
+(ties broken by the smallest worker identifier, footnote 3); Multi-Krum
+averages the ``m`` best-scored proposals, interpolating between Krum
+(m = 1) and averaging over the trusted subset.
+
+The implementation computes the full pairwise squared-distance matrix
+with one matrix product and per-row partial sorts, giving the
+``O(n² · d)`` time of Lemma 4.1.  A naive quadruple-checked reference
+implementation is provided for cross-validation in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregator import AggregationResult, SelectionAggregator
+from repro.core.theory import check_krum_precondition
+from repro.exceptions import ByzantineToleranceError, ConfigurationError
+from repro.utils.linalg import pairwise_sq_distances
+from repro.utils.validation import check_positive_int
+
+__all__ = ["krum_scores", "krum_scores_reference", "Krum", "MultiKrum"]
+
+
+def krum_scores(vectors: np.ndarray, f: int) -> np.ndarray:
+    """Krum score s(i) for every proposal in an ``(n, d)`` stack.
+
+    Requires ``n − f − 2 >= 1`` so each proposal has at least one
+    neighbour to be scored against.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    n = vectors.shape[0]
+    num_neighbors = n - f - 2
+    if num_neighbors < 1:
+        raise ByzantineToleranceError(
+            f"Krum needs n - f - 2 >= 1 neighbours, got n={n}, f={f}", n=n, f=f
+        )
+    distances = pairwise_sq_distances(vectors, nonfinite_as_inf=True)
+    # Exclude self-distances from the neighbour pool by making them +inf,
+    # then sum the num_neighbors smallest entries per row.
+    np.fill_diagonal(distances, np.inf)
+    # argpartition puts the num_neighbors smallest entries first, O(n) per row.
+    neighbor_part = np.partition(distances, num_neighbors - 1, axis=1)
+    return neighbor_part[:, :num_neighbors].sum(axis=1)
+
+
+def krum_scores_reference(vectors: np.ndarray, f: int) -> np.ndarray:
+    """Naive O(n² log n) reference implementation of :func:`krum_scores`.
+
+    Used by the test suite to cross-check the vectorized version; do not
+    use in experiments.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    n = vectors.shape[0]
+    num_neighbors = n - f - 2
+    if num_neighbors < 1:
+        raise ByzantineToleranceError(
+            f"Krum needs n - f - 2 >= 1 neighbours, got n={n}, f={f}", n=n, f=f
+        )
+    scores = np.empty(n)
+    for i in range(n):
+        dists = sorted(
+            float(np.sum((vectors[i] - vectors[j]) ** 2))
+            for j in range(n)
+            if j != i
+        )
+        scores[i] = sum(dists[:num_neighbors])
+    return scores
+
+
+class Krum(SelectionAggregator):
+    """Krum: select the proposal closest to its n − f − 2 neighbours.
+
+    Parameters
+    ----------
+    f:
+        Number of Byzantine workers to tolerate.
+    strict:
+        When true (default), :meth:`check_tolerance` enforces the paper's
+        resilience precondition ``2f + 2 < n`` (Proposition 4.2).  When
+        false, only the structural requirement ``n − f − 2 >= 1`` is
+        enforced — useful for deliberately running Krum outside its
+        guarantee in the resilience-violation experiments.
+    """
+
+    def __init__(self, f: int, *, strict: bool = True):
+        self.f = check_positive_int(f, "f", minimum=0)
+        self.strict = bool(strict)
+        self.name = f"krum(f={self.f})"
+
+    def check_tolerance(self, num_workers: int) -> None:
+        if self.strict:
+            check_krum_precondition(num_workers, self.f)
+        elif num_workers - self.f - 2 < 1:
+            raise ByzantineToleranceError(
+                f"Krum needs n - f - 2 >= 1, got n={num_workers}, f={self.f}",
+                n=num_workers,
+                f=self.f,
+            )
+
+    def select(self, vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        scores = krum_scores(vectors, self.f)
+        # np.argmin returns the first minimal index — exactly the paper's
+        # smallest-identifier tie-break (footnote 3).
+        winner = int(np.argmin(scores))
+        return np.array([winner], dtype=np.int64), scores
+
+
+class MultiKrum(SelectionAggregator):
+    """Multi-Krum: average the m proposals with the best Krum scores.
+
+    ``m = 1`` reduces to Krum; larger ``m`` recovers some of averaging's
+    variance reduction (the "cost of resilience" trade-off studied in the
+    full paper).  ``m`` must not exceed ``n − f − 2`` for the selected set
+    to stay within the theoretically trusted pool; pass ``strict=False``
+    to relax that to ``m <= n``.
+    """
+
+    def __init__(self, f: int, m: int, *, strict: bool = True):
+        self.f = check_positive_int(f, "f", minimum=0)
+        self.m = check_positive_int(m, "m", minimum=1)
+        self.strict = bool(strict)
+        self.name = f"multi-krum(f={self.f},m={self.m})"
+
+    def check_tolerance(self, num_workers: int) -> None:
+        if self.strict:
+            check_krum_precondition(num_workers, self.f)
+            limit = num_workers - self.f - 2
+            if self.m > limit:
+                raise ByzantineToleranceError(
+                    f"Multi-Krum needs m <= n - f - 2 = {limit}, got m={self.m}",
+                    n=num_workers,
+                    f=self.f,
+                )
+        else:
+            if num_workers - self.f - 2 < 1:
+                raise ByzantineToleranceError(
+                    f"Krum scoring needs n - f - 2 >= 1, got n={num_workers}, "
+                    f"f={self.f}",
+                    n=num_workers,
+                    f=self.f,
+                )
+            if self.m > num_workers:
+                raise ConfigurationError(
+                    f"m={self.m} exceeds the number of workers {num_workers}"
+                )
+
+    def select(self, vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        scores = krum_scores(vectors, self.f)
+        # Stable sort keeps the smallest-identifier tie-break among equal
+        # scores, matching Krum's deterministic selection.
+        order = np.argsort(scores, kind="stable")
+        return order[: self.m].astype(np.int64), scores
+
+    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+        # Same as the base class; overridden only to document that the
+        # Multi-Krum output is the *mean* of the m selected proposals.
+        return super().aggregate_detailed(vectors)

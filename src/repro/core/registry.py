@@ -1,0 +1,66 @@
+"""Name-based aggregator factory used by experiment configs and the CLI.
+
+Keeps experiment configuration declarative: a config names a rule
+("krum", "average", ...) plus keyword arguments, and the registry builds
+the :class:`~repro.core.aggregator.Aggregator`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.aggregator import Aggregator
+from repro.exceptions import ConfigurationError
+
+__all__ = ["make_aggregator", "available_aggregators", "register_aggregator"]
+
+_REGISTRY: dict[str, Callable[..., Aggregator]] = {}
+
+
+def register_aggregator(name: str, factory: Callable[..., Aggregator]) -> None:
+    """Register a rule under ``name``; later registrations override."""
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"aggregator name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_aggregators() -> list[str]:
+    """Sorted list of registered rule names."""
+    return sorted(_REGISTRY)
+
+
+def make_aggregator(name: str, **kwargs: object) -> Aggregator:
+    """Build a rule by registry name, e.g. ``make_aggregator("krum", f=2)``."""
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown aggregator {name!r}; available: {available_aggregators()}"
+        )
+    return _REGISTRY[name](**kwargs)
+
+
+def _register_builtins() -> None:
+    # Imported lazily to avoid a circular import at package load.
+    from repro.baselines.average import Average, WeightedAverage
+    from repro.baselines.distance_based import ClosestToAll
+    from repro.baselines.majority import MinimalDiameterSubset
+    from repro.baselines.medians import (
+        CoordinateWiseMedian,
+        GeometricMedian,
+        TrimmedMean,
+    )
+    from repro.core.bulyan import Bulyan
+    from repro.core.krum import Krum, MultiKrum
+
+    register_aggregator("krum", Krum)
+    register_aggregator("multi-krum", MultiKrum)
+    register_aggregator("bulyan", Bulyan)
+    register_aggregator("average", Average)
+    register_aggregator("weighted-average", WeightedAverage)
+    register_aggregator("closest-to-all", ClosestToAll)
+    register_aggregator("minimal-diameter", MinimalDiameterSubset)
+    register_aggregator("coordinate-median", CoordinateWiseMedian)
+    register_aggregator("trimmed-mean", TrimmedMean)
+    register_aggregator("geometric-median", GeometricMedian)
+
+
+_register_builtins()

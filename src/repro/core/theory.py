@@ -1,0 +1,103 @@
+"""Closed-form resilience theory of Proposition 4.2.
+
+The brief announcement states Krum is (α, f)-Byzantine resilient when
+
+    2f + 2 < n   and   η(n, f) · √d · σ < ‖g‖,
+
+with ``sin α = η(n, f) · √d · σ / ‖g‖`` and η(n, f) of order O(√n) for
+constant f and O(n) for f proportional to n.  The constant below is the
+explicit form derived in the full paper (arXiv:1703.02757, Proposition 1):
+
+    η(n, f)² = 2 ( n − f + ( f·(n − f − 2) + f²·(n − f − 1) ) / (n − 2f − 2) )
+
+which satisfies both asymptotic regimes (the tests verify this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ByzantineToleranceError, ConfigurationError
+
+__all__ = [
+    "check_krum_precondition",
+    "eta",
+    "max_tolerable_f",
+    "resilience_angle",
+    "krum_variance_bound",
+]
+
+
+def check_krum_precondition(n: int, f: int) -> None:
+    """Raise unless ``2f + 2 < n`` (the tolerance bound of Prop. 4.2)."""
+    if f < 0:
+        raise ConfigurationError(f"f must be non-negative, got {f}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if 2 * f + 2 >= n:
+        raise ByzantineToleranceError(
+            f"Krum requires 2f + 2 < n; got n={n}, f={f} "
+            f"(max tolerable f is {max(0, (n - 3) // 2)})",
+            n=n,
+            f=f,
+        )
+
+
+def max_tolerable_f(n: int) -> int:
+    """Largest f with ``2f + 2 < n`` — "asymptotically up to half" of n."""
+    if n < 3:
+        raise ConfigurationError(f"no f satisfies 2f + 2 < n for n={n}")
+    return (n - 3) // 2
+
+
+def eta(n: int, f: int) -> float:
+    """The multiplicative deviation constant η(n, f) of Proposition 4.2.
+
+    Explicit form from the full paper; O(√n) when f = O(1) and O(n)
+    when f = Θ(n).
+    """
+    check_krum_precondition(n, f)
+    numerator = f * (n - f - 2) + f * f * (n - f - 1)
+    value = 2.0 * (n - f + numerator / (n - 2 * f - 2))
+    return float(np.sqrt(value))
+
+
+def resilience_angle(
+    n: int, f: int, dimension: int, sigma: float, grad_norm: float
+) -> float:
+    """The angle α of Prop. 4.2: ``sin α = η(n,f)·√d·σ / ‖g‖``.
+
+    Returns α in radians (0 ≤ α < π/2).  Raises
+    ``ByzantineToleranceError`` when the variance condition
+    ``η·√d·σ < ‖g‖`` fails, i.e. when no valid α exists.
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+    if grad_norm <= 0:
+        raise ConfigurationError(f"grad_norm must be positive, got {grad_norm}")
+    sin_alpha = eta(n, f) * np.sqrt(dimension) * sigma / grad_norm
+    if sin_alpha >= 1.0:
+        raise ByzantineToleranceError(
+            f"variance condition violated: η(n,f)·√d·σ = "
+            f"{sin_alpha * grad_norm:.4g} >= ‖g‖ = {grad_norm:.4g} "
+            f"(n={n}, f={f}, d={dimension}, σ={sigma:.4g})",
+            n=n,
+            f=f,
+        )
+    return float(np.arcsin(sin_alpha))
+
+
+def krum_variance_bound(n: int, f: int, dimension: int, sigma: float) -> float:
+    """Upper bound on ``E‖Kr − g‖``: the radius ``η(n,f)·√d·σ``.
+
+    Proposition 4.3's interpretation: SGD with Krum reaches the basin
+    where ``‖∇Q‖ <= η(n,f)·√d·σ``; this helper computes that basin
+    radius for an experiment's parameters.
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+    return float(eta(n, f) * np.sqrt(dimension) * sigma)

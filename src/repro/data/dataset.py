@@ -1,0 +1,99 @@
+"""Dataset container shared by all generators and the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Dataset", "train_test_split"]
+
+_TASKS = ("regression", "binary", "multiclass")
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory supervised dataset.
+
+    ``inputs`` has shape ``(n, num_features)``; ``targets`` is ``(n,)`` —
+    float for regression, integer labels otherwise.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    task: str
+    num_classes: int = 0
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        inputs = np.asarray(self.inputs, dtype=np.float64)
+        object.__setattr__(self, "inputs", inputs)
+        targets = np.asarray(self.targets)
+        if self.task not in _TASKS:
+            raise ConfigurationError(f"task must be one of {_TASKS}, got {self.task!r}")
+        if self.task == "regression":
+            targets = targets.astype(np.float64)
+        else:
+            targets = targets.astype(np.int64)
+            if self.num_classes < 2:
+                raise ConfigurationError(
+                    f"classification dataset needs num_classes >= 2, got "
+                    f"{self.num_classes}"
+                )
+            if len(targets) and (targets.min() < 0 or targets.max() >= self.num_classes):
+                raise ConfigurationError(
+                    f"labels out of range [0, {self.num_classes}): "
+                    f"[{targets.min()}, {targets.max()}]"
+                )
+        object.__setattr__(self, "targets", targets)
+        if inputs.ndim != 2:
+            raise DimensionMismatchError(f"inputs must be (n, d), got {inputs.shape}")
+        if len(inputs) != len(targets):
+            raise DimensionMismatchError(
+                f"{len(inputs)} inputs vs {len(targets)} targets"
+            )
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_features(self) -> int:
+        return int(self.inputs.shape[1])
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """A new dataset restricted to the given sample indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            inputs=self.inputs[indices],
+            targets=self.targets[indices],
+            task=self.task,
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+    def shuffled(self, seed: SeedLike = None) -> "Dataset":
+        """A new dataset with rows in random order."""
+        rng = as_generator(seed)
+        return self.subset(rng.permutation(len(self)))
+
+
+def train_test_split(
+    dataset: Dataset, *, test_fraction: float = 0.2, seed: SeedLike = None
+) -> tuple[Dataset, Dataset]:
+    """Random split into (train, test) with the given test fraction."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = as_generator(seed)
+    order = rng.permutation(len(dataset))
+    num_test = max(1, int(round(len(dataset) * test_fraction)))
+    if num_test >= len(dataset):
+        raise ConfigurationError(
+            f"test_fraction {test_fraction} leaves no training data "
+            f"(n={len(dataset)})"
+        )
+    return dataset.subset(order[num_test:]), dataset.subset(order[:num_test])

@@ -1,0 +1,102 @@
+"""Procedural MNIST substitute: rendered digit glyphs with noise.
+
+The full paper trains an MLP on MNIST.  This module synthesizes a
+10-class 28×28 grayscale digit dataset offline: each digit has a 7×5
+stroke template which is upscaled, randomly translated, brightness-
+jittered and corrupted with pixel noise.  The resulting task is
+learnable-but-noisy, which is the only property the Byzantine-SGD
+experiments consume (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["make_mnist_like", "render_digit", "IMAGE_SIDE"]
+
+IMAGE_SIDE = 28
+
+# 7x5 stroke bitmaps for digits 0-9 (classic dot-matrix glyphs).
+_TEMPLATE_ROWS: dict[int, tuple[str, ...]] = {
+    0: ("01110", "10001", "10011", "10101", "11001", "10001", "01110"),
+    1: ("00100", "01100", "00100", "00100", "00100", "00100", "01110"),
+    2: ("01110", "10001", "00001", "00010", "00100", "01000", "11111"),
+    3: ("01110", "10001", "00001", "00110", "00001", "10001", "01110"),
+    4: ("00010", "00110", "01010", "10010", "11111", "00010", "00010"),
+    5: ("11111", "10000", "11110", "00001", "00001", "10001", "01110"),
+    6: ("00110", "01000", "10000", "11110", "10001", "10001", "01110"),
+    7: ("11111", "00001", "00010", "00100", "01000", "01000", "01000"),
+    8: ("01110", "10001", "10001", "01110", "10001", "10001", "01110"),
+    9: ("01110", "10001", "10001", "01111", "00001", "00010", "01100"),
+}
+
+
+def _templates() -> np.ndarray:
+    """Stack the 10 glyph bitmaps into a ``(10, 7, 5)`` float array."""
+    glyphs = np.zeros((10, 7, 5), dtype=np.float64)
+    for digit, rows in _TEMPLATE_ROWS.items():
+        for r, row in enumerate(rows):
+            for c, char in enumerate(row):
+                glyphs[digit, r, c] = 1.0 if char == "1" else 0.0
+    return glyphs
+
+
+_GLYPHS = _templates()
+
+
+def render_digit(
+    digit: int,
+    rng: np.random.Generator,
+    *,
+    noise: float = 0.15,
+    max_shift: int = 3,
+) -> np.ndarray:
+    """Render one 28×28 image of ``digit`` with random jitter and noise.
+
+    The 7×5 template is upscaled ×4 (to 28×20), padded to 28×28, shifted
+    by up to ``max_shift`` pixels in each direction, scaled by a random
+    stroke intensity, then corrupted with clipped Gaussian pixel noise.
+    """
+    if not 0 <= digit <= 9:
+        raise ConfigurationError(f"digit must be in [0, 9], got {digit}")
+    glyph = np.kron(_GLYPHS[digit], np.ones((4, 4)))  # (28, 20)
+    canvas = np.zeros((IMAGE_SIDE, IMAGE_SIDE), dtype=np.float64)
+    col0 = (IMAGE_SIDE - glyph.shape[1]) // 2
+    canvas[:, col0 : col0 + glyph.shape[1]] = glyph
+    if max_shift > 0:
+        shift_r = int(rng.integers(-max_shift, max_shift + 1))
+        shift_c = int(rng.integers(-max_shift, max_shift + 1))
+        canvas = np.roll(np.roll(canvas, shift_r, axis=0), shift_c, axis=1)
+    intensity = rng.uniform(0.7, 1.0)
+    image = canvas * intensity
+    if noise > 0:
+        image = image + rng.normal(0.0, noise, size=image.shape)
+    return np.clip(image, 0.0, 1.0)
+
+
+def make_mnist_like(
+    num_samples: int,
+    *,
+    noise: float = 0.15,
+    max_shift: int = 3,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Generate a balanced 10-class digit dataset of flattened images.
+
+    Returns a :class:`Dataset` with ``inputs`` in ``[0, 1]^{784}`` and
+    integer labels 0–9, classes drawn uniformly.
+    """
+    if num_samples < 1:
+        raise ConfigurationError(f"num_samples must be >= 1, got {num_samples}")
+    rng = as_generator(seed)
+    labels = rng.integers(0, 10, size=num_samples)
+    images = np.empty((num_samples, IMAGE_SIDE * IMAGE_SIDE), dtype=np.float64)
+    for i, digit in enumerate(labels):
+        images[i] = render_digit(
+            int(digit), rng, noise=noise, max_shift=max_shift
+        ).ravel()
+    return Dataset(images, labels, task="multiclass", num_classes=10, name="mnist-like")

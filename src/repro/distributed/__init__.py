@@ -1,0 +1,35 @@
+"""Synchronous parameter-server simulation (Section 2's model).
+
+Each round: the server broadcasts ``x_t``; every correct worker returns
+``G(x_t, ξ)``; the Byzantine workers — given full knowledge of the honest
+proposals — return whatever their :class:`~repro.attacks.Attack` crafts;
+the server applies ``x_{t+1} = x_t − γ_t · F(V_1, ..., V_n)``.
+"""
+
+from repro.distributed.messages import GradientMessage, ParameterBroadcast
+from repro.distributed.metrics import RoundRecord, TrainingHistory
+from repro.distributed.schedules import (
+    ConstantSchedule,
+    InverseTimeSchedule,
+    LearningRateSchedule,
+    StepDecaySchedule,
+)
+from repro.distributed.server import ParameterServer
+from repro.distributed.simulator import TrainingSimulation
+from repro.distributed.worker import ByzantineWorker, HonestWorker, Worker
+
+__all__ = [
+    "ParameterBroadcast",
+    "GradientMessage",
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "InverseTimeSchedule",
+    "StepDecaySchedule",
+    "ParameterServer",
+    "Worker",
+    "HonestWorker",
+    "ByzantineWorker",
+    "TrainingSimulation",
+    "RoundRecord",
+    "TrainingHistory",
+]

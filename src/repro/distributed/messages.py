@@ -1,0 +1,49 @@
+"""Message types exchanged in the synchronous rounds.
+
+The simulation is single-process, but modeling the wire format keeps the
+server/worker boundary honest: the server sees nothing but
+``GradientMessage``s, exactly like the paper's parameter server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+
+__all__ = ["ParameterBroadcast", "GradientMessage"]
+
+
+@dataclass(frozen=True)
+class ParameterBroadcast:
+    """Server → workers: the round number and current parameter vector."""
+
+    round_index: int
+    params: np.ndarray
+
+    def __post_init__(self) -> None:
+        params = np.asarray(self.params, dtype=np.float64)
+        if params.ndim != 1:
+            raise DimensionMismatchError(
+                f"broadcast params must be 1-d, got shape {params.shape}"
+            )
+        object.__setattr__(self, "params", params)
+
+
+@dataclass(frozen=True)
+class GradientMessage:
+    """Worker → server: the proposed update vector for this round."""
+
+    round_index: int
+    worker_id: int
+    vector: np.ndarray
+
+    def __post_init__(self) -> None:
+        vector = np.asarray(self.vector, dtype=np.float64)
+        if vector.ndim != 1:
+            raise DimensionMismatchError(
+                f"gradient message must be 1-d, got shape {vector.shape}"
+            )
+        object.__setattr__(self, "vector", vector)

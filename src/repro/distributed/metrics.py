@@ -1,0 +1,181 @@
+"""Per-round records and the training history container."""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything measured about one synchronous round.
+
+    ``loss``/``accuracy``/``grad_norm`` are ``None`` on rounds where no
+    evaluation was scheduled.  ``selected`` lists the worker ids whose
+    proposals the choice function selected (empty for statistical rules),
+    and ``byzantine_selected`` counts how many of those were adversarial
+    — the key observable in the selection experiments.
+    """
+
+    round_index: int
+    learning_rate: float
+    aggregate_norm: float
+    params_norm: float
+    selected: tuple[int, ...] = ()
+    byzantine_selected: int = 0
+    loss: float | None = None
+    accuracy: float | None = None
+    grad_norm: float | None = None
+    extras: dict[str, float] = field(default_factory=dict)
+
+
+class TrainingHistory:
+    """Ordered collection of :class:`RoundRecord` with series accessors."""
+
+    def __init__(self) -> None:
+        self.records: list[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round_index <= self.records[-1].round_index:
+            raise ConfigurationError(
+                f"round {record.round_index} appended after round "
+                f"{self.records[-1].round_index}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RoundRecord:
+        return self.records[index]
+
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(rounds, values) for a numeric field, skipping unevaluated rounds.
+
+        ``name`` may be any :class:`RoundRecord` field or a key of its
+        ``extras`` dict.
+        """
+        rounds: list[int] = []
+        values: list[float] = []
+        for record in self.records:
+            if hasattr(record, name):
+                value = getattr(record, name)
+            else:
+                value = record.extras.get(name)
+            if value is None:
+                continue
+            rounds.append(record.round_index)
+            values.append(float(value))
+        return np.asarray(rounds, dtype=np.int64), np.asarray(values)
+
+    @property
+    def evaluated(self) -> list[RoundRecord]:
+        """Records on which an evaluation ran (``loss`` is not None)."""
+        return [r for r in self.records if r.loss is not None]
+
+    @property
+    def final_loss(self) -> float:
+        evaluated = self.evaluated
+        if not evaluated:
+            raise ConfigurationError("no evaluated rounds in history")
+        return float(evaluated[-1].loss)  # type: ignore[arg-type]
+
+    @property
+    def final_accuracy(self) -> float:
+        evaluated = [r for r in self.records if r.accuracy is not None]
+        if not evaluated:
+            raise ConfigurationError("no accuracy-evaluated rounds in history")
+        return float(evaluated[-1].accuracy)  # type: ignore[arg-type]
+
+    def byzantine_selection_rate(self) -> float:
+        """Fraction of selecting rounds in which >= 1 Byzantine proposal won."""
+        selecting = [r for r in self.records if r.selected]
+        if not selecting:
+            return 0.0
+        hit = sum(1 for r in selecting if r.byzantine_selected > 0)
+        return hit / len(selecting)
+
+    def min_series_value(self, name: str) -> float:
+        """Minimum of a series (e.g. best loss seen during training)."""
+        _rounds, values = self.series(name)
+        if values.size == 0:
+            raise ConfigurationError(f"series {name!r} has no values")
+        return float(values.min())
+
+    # ------------------------------------------------------------------
+    # Serialization (for offline figure regeneration / archiving runs)
+    # ------------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """All records as plain dicts (JSON-serializable)."""
+        out = []
+        for record in self.records:
+            data = asdict(record)
+            data["selected"] = list(record.selected)
+            out.append(data)
+        return out
+
+    def save_json(self, path: str | Path) -> None:
+        """Write the full history as a JSON array of round records."""
+        Path(path).write_text(json.dumps(self.to_dicts(), indent=1))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "TrainingHistory":
+        """Inverse of :meth:`save_json`."""
+        history = cls()
+        for data in json.loads(Path(path).read_text()):
+            extras = data.pop("extras", {})
+            selected = tuple(int(i) for i in data.pop("selected", ()))
+            history.append(
+                RoundRecord(selected=selected, extras=extras, **data)
+            )
+        return history
+
+    def save_csv(self, path: str | Path) -> None:
+        """Write the scalar fields as CSV (one row per round).
+
+        ``selected`` is serialized as a semicolon-joined id list; extras
+        are expanded into their own columns.
+        """
+        extra_keys = sorted({k for r in self.records for k in r.extras})
+        fields = [
+            "round_index",
+            "learning_rate",
+            "aggregate_norm",
+            "params_norm",
+            "byzantine_selected",
+            "loss",
+            "accuracy",
+            "grad_norm",
+            "selected",
+            *extra_keys,
+        ]
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(fields)
+            for record in self.records:
+                row = [
+                    record.round_index,
+                    record.learning_rate,
+                    record.aggregate_norm,
+                    record.params_norm,
+                    record.byzantine_selected,
+                    record.loss,
+                    record.accuracy,
+                    record.grad_norm,
+                    ";".join(str(i) for i in record.selected),
+                    *[record.extras.get(k) for k in extra_keys],
+                ]
+                writer.writerow(row)

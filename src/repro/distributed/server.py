@@ -1,0 +1,96 @@
+"""The parameter server.
+
+Holds the parameter vector, applies the choice function F, and performs
+the SGD update ``x_{t+1} = x_t − γ_t · F(V_1, ..., V_n)``.  The server is
+assumed reliable (footnote 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregator import AggregationResult, Aggregator
+from repro.distributed.messages import GradientMessage, ParameterBroadcast
+from repro.distributed.schedules import LearningRateSchedule
+from repro.exceptions import DimensionMismatchError, SimulationError
+from repro.utils.linalg import stack_vectors
+
+__all__ = ["ParameterServer"]
+
+
+class ParameterServer:
+    """Synchronous-round parameter server with a pluggable choice function."""
+
+    def __init__(
+        self,
+        initial_params: np.ndarray,
+        aggregator: Aggregator,
+        schedule: LearningRateSchedule,
+        *,
+        halt_on_nonfinite: bool = False,
+    ):
+        params = np.asarray(initial_params, dtype=np.float64)
+        if params.ndim != 1:
+            raise DimensionMismatchError(
+                f"initial_params must be 1-d, got shape {params.shape}"
+            )
+        self._params = params.copy()
+        self.aggregator = aggregator
+        self.schedule = schedule
+        self.round_index = 0
+        #: When true, a non-finite parameter vector after an update raises
+        #: ``SimulationError`` instead of silently training on NaN — the
+        #: operational guard a production server would run with.  Off by
+        #: default so divergence experiments can observe the blow-up.
+        self.halt_on_nonfinite = bool(halt_on_nonfinite)
+
+    @property
+    def params(self) -> np.ndarray:
+        """The current parameter vector x_t (a defensive copy)."""
+        return self._params.copy()
+
+    @property
+    def dimension(self) -> int:
+        return int(self._params.shape[0])
+
+    def broadcast(self) -> ParameterBroadcast:
+        """Start a round: publish x_t to all workers."""
+        return ParameterBroadcast(round_index=self.round_index, params=self.params)
+
+    def step(self, messages: list[GradientMessage]) -> AggregationResult:
+        """Finish a round: aggregate the n proposals and update x.
+
+        Messages must all belong to the current round and are ordered by
+        worker id before aggregation so that worker identifiers align
+        with row indices (the tie-break of Krum's footnote 3 depends on
+        this ordering).
+        """
+        if not messages:
+            raise SimulationError("server received no gradient messages")
+        stale = [m for m in messages if m.round_index != self.round_index]
+        if stale:
+            raise SimulationError(
+                f"round {self.round_index} received messages for rounds "
+                f"{sorted({m.round_index for m in stale})}"
+            )
+        ids = [m.worker_id for m in messages]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"duplicate worker ids in round: {sorted(ids)}")
+        ordered = sorted(messages, key=lambda m: m.worker_id)
+        stack = stack_vectors([m.vector for m in ordered])
+        if stack.shape[1] != self.dimension:
+            raise DimensionMismatchError(
+                f"proposals have dimension {stack.shape[1]}, server expects "
+                f"{self.dimension}"
+            )
+        result = self.aggregator.aggregate_detailed(stack)
+        rate = self.schedule(self.round_index)
+        self._params = self._params - rate * result.vector
+        if self.halt_on_nonfinite and not np.all(np.isfinite(self._params)):
+            raise SimulationError(
+                f"parameters became non-finite at round {self.round_index} "
+                f"(aggregator {self.aggregator.name}); a Byzantine proposal "
+                f"reached the update"
+            )
+        self.round_index += 1
+        return result

@@ -1,0 +1,241 @@
+"""The synchronous-round training simulation.
+
+``TrainingSimulation`` wires together the paper's cast: one reliable
+parameter server, ``n − f`` correct workers with private i.i.d. gradient
+estimators, ``f`` Byzantine slots whose proposals an omniscient
+:class:`~repro.attacks.Attack` crafts after seeing everything, and a
+choice function ``F``.  ``run`` executes rounds and records metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.core.aggregator import Aggregator
+from repro.distributed.messages import GradientMessage
+from repro.distributed.metrics import RoundRecord, TrainingHistory
+from repro.distributed.schedules import LearningRateSchedule
+from repro.distributed.server import ParameterServer
+from repro.distributed.worker import ByzantineWorker, HonestWorker
+from repro.exceptions import ConfigurationError
+from repro.gradients.base import GradientEstimator
+from repro.utils.linalg import stack_vectors
+from repro.utils.rng import SeedLike, spawn_generators
+
+__all__ = ["TrainingSimulation"]
+
+Evaluator = Callable[[np.ndarray], dict[str, float]]
+
+
+class TrainingSimulation:
+    """Distributed SGD under Byzantine attack, as one reproducible object.
+
+    Parameters
+    ----------
+    aggregator:
+        The server's choice function F.
+    schedule:
+        Learning-rate schedule γ_t.
+    honest_estimators:
+        One gradient estimator per correct worker (n − f of them).
+    initial_params:
+        The ``x_0`` vector.
+    num_byzantine:
+        f; requires ``attack`` when positive.
+    attack:
+        Crafts the f Byzantine proposals each round.
+    byzantine_slots:
+        Which worker ids the adversary controls: "last" (default),
+        "first", or an explicit sequence of f distinct ids in [0, n).
+        Krum's tie-break depends on identifiers, so the placement is an
+        ablation knob.
+    true_gradient_fn:
+        Optional exact-gradient oracle ∇Q(x) exposed to omniscient
+        attacks and recorded as ``grad_norm`` each evaluation.
+    evaluate:
+        Optional callable mapping params to metric dict; recognized keys
+        ``loss``/``accuracy`` land in the record fields, everything else
+        goes into ``extras``.
+    seed:
+        Root seed; worker streams and the attack stream are spawned from
+        it independently.
+    """
+
+    def __init__(
+        self,
+        *,
+        aggregator: Aggregator,
+        schedule: LearningRateSchedule,
+        honest_estimators: Sequence[GradientEstimator],
+        initial_params: np.ndarray,
+        num_byzantine: int = 0,
+        attack: Attack | None = None,
+        byzantine_slots: str | Sequence[int] = "last",
+        true_gradient_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+        evaluate: Evaluator | None = None,
+        seed: SeedLike = 0,
+    ):
+        if num_byzantine < 0:
+            raise ConfigurationError(f"num_byzantine must be >= 0, got {num_byzantine}")
+        if num_byzantine > 0 and attack is None:
+            raise ConfigurationError(
+                f"num_byzantine={num_byzantine} requires an attack"
+            )
+        if num_byzantine == 0 and attack is not None:
+            raise ConfigurationError("an attack was supplied but num_byzantine=0")
+        if not honest_estimators:
+            raise ConfigurationError("need at least one honest estimator")
+
+        self.num_honest = len(honest_estimators)
+        self.num_byzantine = int(num_byzantine)
+        self.num_workers = self.num_honest + self.num_byzantine
+        aggregator.check_tolerance(self.num_workers)
+
+        self.byzantine_ids = self._resolve_slots(byzantine_slots)
+        honest_ids = [
+            i for i in range(self.num_workers) if i not in set(self.byzantine_ids)
+        ]
+
+        streams = spawn_generators(seed, self.num_honest + 1)
+        self.attack_rng = streams[-1]
+        self.honest_workers = [
+            HonestWorker(worker_id, estimator, rng)
+            for worker_id, estimator, rng in zip(
+                honest_ids, honest_estimators, streams[: self.num_honest]
+            )
+        ]
+        self.byzantine_workers = [ByzantineWorker(i) for i in self.byzantine_ids]
+
+        self.server = ParameterServer(initial_params, aggregator, schedule)
+        dims = {est.dimension for est in honest_estimators}
+        if dims != {self.server.dimension}:
+            raise ConfigurationError(
+                f"estimator dimensions {sorted(dims)} do not match parameter "
+                f"dimension {self.server.dimension}"
+            )
+        self.attack = attack
+        self.true_gradient_fn = true_gradient_fn
+        self.evaluate = evaluate
+
+    def _resolve_slots(self, spec: str | Sequence[int]) -> list[int]:
+        n, f = self.num_workers, self.num_byzantine
+        if isinstance(spec, str):
+            if spec == "last":
+                return list(range(n - f, n))
+            if spec == "first":
+                return list(range(f))
+            raise ConfigurationError(
+                f"byzantine_slots must be 'first', 'last' or explicit ids, "
+                f"got {spec!r}"
+            )
+        slots = sorted(int(s) for s in spec)
+        if len(slots) != f:
+            raise ConfigurationError(
+                f"expected {f} byzantine slots, got {len(slots)}"
+            )
+        if len(set(slots)) != len(slots) or any(s < 0 or s >= n for s in slots):
+            raise ConfigurationError(
+                f"byzantine slots must be distinct ids in [0, {n}), got {slots}"
+            )
+        return slots
+
+    @property
+    def params(self) -> np.ndarray:
+        return self.server.params
+
+    def run_round(self) -> RoundRecord:
+        """Execute one synchronous round and return its record."""
+        broadcast = self.server.broadcast()
+        rate = self.server.schedule(broadcast.round_index)
+
+        honest_messages = [w.compute(broadcast) for w in self.honest_workers]
+        messages = list(honest_messages)
+
+        if self.num_byzantine > 0:
+            assert self.attack is not None
+            context = AttackContext(
+                round_index=broadcast.round_index,
+                params=broadcast.params,
+                honest_gradients=stack_vectors(
+                    [m.vector for m in honest_messages]
+                ),
+                byzantine_indices=np.asarray(self.byzantine_ids, dtype=np.int64),
+                honest_indices=np.asarray(
+                    [w.worker_id for w in self.honest_workers], dtype=np.int64
+                ),
+                num_workers=self.num_workers,
+                rng=self.attack_rng,
+                aggregator=self.server.aggregator,
+                true_gradient=(
+                    self.true_gradient_fn(broadcast.params)
+                    if self.true_gradient_fn is not None
+                    else None
+                ),
+            )
+            crafted = self.attack.craft(context)
+            for worker, vector in zip(self.byzantine_workers, crafted):
+                messages.append(
+                    GradientMessage(
+                        round_index=broadcast.round_index,
+                        worker_id=worker.worker_id,
+                        vector=vector,
+                    )
+                )
+
+        result = self.server.step(messages)
+        byzantine_set = set(self.byzantine_ids)
+        selected = tuple(int(i) for i in result.selected)
+        return RoundRecord(
+            round_index=broadcast.round_index,
+            learning_rate=rate,
+            aggregate_norm=float(np.linalg.norm(result.vector)),
+            params_norm=float(np.linalg.norm(self.server.params)),
+            selected=selected,
+            byzantine_selected=sum(1 for i in selected if i in byzantine_set),
+        )
+
+    def run(self, num_rounds: int, *, eval_every: int = 10) -> TrainingHistory:
+        """Run ``num_rounds`` rounds, evaluating every ``eval_every``-th.
+
+        The final round is always evaluated so ``history.final_loss`` is
+        well defined when an evaluator is configured.
+        """
+        if num_rounds < 1:
+            raise ConfigurationError(f"num_rounds must be >= 1, got {num_rounds}")
+        if eval_every < 1:
+            raise ConfigurationError(f"eval_every must be >= 1, got {eval_every}")
+        history = TrainingHistory()
+        for t in range(num_rounds):
+            record = self.run_round()
+            if t % eval_every == 0 or t == num_rounds - 1:
+                record = self._with_evaluation(record)
+            history.append(record)
+        return history
+
+    def _with_evaluation(self, record: RoundRecord) -> RoundRecord:
+        params = self.server.params
+        loss = accuracy = grad_norm = None
+        extras: dict[str, float] = {}
+        if self.evaluate is not None:
+            metrics = dict(self.evaluate(params))
+            loss = metrics.pop("loss", None)
+            accuracy = metrics.pop("accuracy", None)
+            grad_norm = metrics.pop("grad_norm", None)
+            extras = {k: float(v) for k, v in metrics.items()}
+        if grad_norm is None and self.true_gradient_fn is not None:
+            grad_norm = float(np.linalg.norm(self.true_gradient_fn(params)))
+        return RoundRecord(
+            round_index=record.round_index,
+            learning_rate=record.learning_rate,
+            aggregate_norm=record.aggregate_norm,
+            params_norm=record.params_norm,
+            selected=record.selected,
+            byzantine_selected=record.byzantine_selected,
+            loss=None if loss is None else float(loss),
+            accuracy=None if accuracy is None else float(accuracy),
+            grad_norm=None if grad_norm is None else float(grad_norm),
+            extras=extras,
+        )

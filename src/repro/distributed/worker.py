@@ -1,0 +1,78 @@
+"""Worker processes: correct and Byzantine.
+
+A correct worker computes ``V = G(x_t, ξ)`` from its private estimator
+and RNG stream.  A Byzantine worker is a *placeholder* whose proposals
+are crafted collectively by the round's :class:`~repro.attacks.Attack` —
+matching the paper's model where Byzantine workers collaborate and see
+everything.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.distributed.messages import GradientMessage, ParameterBroadcast
+from repro.exceptions import ConfigurationError
+from repro.gradients.base import GradientEstimator
+
+__all__ = ["Worker", "HonestWorker", "ByzantineWorker"]
+
+
+class Worker(ABC):
+    """A worker slot in the cluster, identified by its integer id."""
+
+    def __init__(self, worker_id: int):
+        if worker_id < 0:
+            raise ConfigurationError(f"worker_id must be >= 0, got {worker_id}")
+        self.worker_id = int(worker_id)
+
+    @property
+    @abstractmethod
+    def is_byzantine(self) -> bool:
+        """Whether this slot is controlled by the adversary."""
+
+    def __repr__(self) -> str:
+        kind = "byzantine" if self.is_byzantine else "honest"
+        return f"{type(self).__name__}(id={self.worker_id}, {kind})"
+
+
+class HonestWorker(Worker):
+    """A correct worker: unbiased gradient estimates from a private stream."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        estimator: GradientEstimator,
+        rng: np.random.Generator,
+    ):
+        super().__init__(worker_id)
+        self.estimator = estimator
+        self.rng = rng
+
+    @property
+    def is_byzantine(self) -> bool:
+        return False
+
+    def compute(self, broadcast: ParameterBroadcast) -> GradientMessage:
+        """React to a parameter broadcast with a gradient estimate."""
+        vector = self.estimator.estimate(broadcast.params, self.rng)
+        return GradientMessage(
+            round_index=broadcast.round_index,
+            worker_id=self.worker_id,
+            vector=vector,
+        )
+
+
+class ByzantineWorker(Worker):
+    """An adversary-controlled slot.
+
+    It holds no estimator: the simulator invokes the attack once per
+    round with full knowledge of the honest proposals and distributes the
+    crafted vectors to these slots.
+    """
+
+    @property
+    def is_byzantine(self) -> bool:
+        return True

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from numerical problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ByzantineToleranceError",
+    "DimensionMismatchError",
+    "InvalidVectorError",
+    "ConvergenceError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class ByzantineToleranceError(ConfigurationError):
+    """The (n, f) pair violates a tolerance precondition.
+
+    Krum requires ``2f + 2 < n`` (Proposition 4.2 of the paper); the
+    brute-force minimal-diameter rule requires ``f < n``; Multi-Krum
+    additionally requires ``m <= n - f - 2``.  This error reports which
+    precondition failed and with which values.
+    """
+
+    def __init__(self, message: str, *, n: int | None = None, f: int | None = None):
+        super().__init__(message)
+        self.n = n
+        self.f = f
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Input arrays do not have the shapes the operation requires."""
+
+
+class InvalidVectorError(ReproError, ValueError):
+    """A vector contains NaN/Inf where finite values are required."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical routine failed to converge.
+
+    Raised e.g. by the Weiszfeld geometric-median solver when it exceeds
+    its iteration budget without meeting its tolerance.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The distributed-training simulation reached an invalid state."""

@@ -1,0 +1,28 @@
+"""Experiment harness: declarative configs, builders and ASCII reporting.
+
+The benches in ``benchmarks/`` and the scripts in ``examples/`` assemble
+their workloads through this package so every figure of the paper is
+regenerated from the same code path.
+"""
+
+from repro.experiments.builders import (
+    build_dataset_simulation,
+    build_quadratic_simulation,
+    model_evaluator,
+    quadratic_evaluator,
+)
+from repro.experiments.config import SGDExperimentConfig
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import compare_aggregators, run_experiment
+
+__all__ = [
+    "SGDExperimentConfig",
+    "build_quadratic_simulation",
+    "build_dataset_simulation",
+    "quadratic_evaluator",
+    "model_evaluator",
+    "run_experiment",
+    "compare_aggregators",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface for running Byzantine-SGD experiments.
+
+Usage examples::
+
+    python -m repro.experiments.cli --dataset mnist-like --aggregator krum \
+        --workers 20 --byzantine 6 --attack omniscient --rounds 200
+
+    python -m repro.experiments.cli --dataset spambase-like \
+        --aggregator average --workers 16 --byzantine 5 --attack gaussian
+
+Prints the error/loss series and a summary table; exits non-zero on
+configuration errors with a readable message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.registry import available_aggregators, make_aggregator
+from repro.data.mnist_like import make_mnist_like
+from repro.data.spambase_like import make_spambase_like
+from repro.data.synthetic import make_blobs
+from repro.exceptions import ReproError
+from repro.experiments.builders import build_dataset_simulation
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import _make_attack
+from repro.models.logistic import LogisticRegressionModel
+from repro.models.mlp import MLPClassifier
+from repro.models.softmax import SoftmaxRegressionModel
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = ("mnist-like", "spambase-like", "blobs")
+_ATTACKS = (
+    "gaussian",
+    "omniscient",
+    "sign-flip",
+    "crash",
+    "straggler",
+    "collusion",
+    "inner-product",
+    "little-is-enough",
+    "benign",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Distributed SGD under Byzantine attack (Krum reproduction)",
+    )
+    parser.add_argument("--dataset", choices=_DATASETS, default="mnist-like")
+    parser.add_argument("--train-size", type=int, default=1500)
+    parser.add_argument("--test-size", type=int, default=400)
+    parser.add_argument(
+        "--aggregator",
+        default="krum",
+        help=f"one of: {', '.join(available_aggregators())}",
+    )
+    parser.add_argument(
+        "--m", type=int, default=None, help="multi-krum committee size"
+    )
+    parser.add_argument("--workers", type=int, default=20)
+    parser.add_argument("--byzantine", type=int, default=0)
+    parser.add_argument("--attack", choices=_ATTACKS, default=None)
+    parser.add_argument("--rounds", type=int, default=200)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--learning-rate", type=float, default=0.3)
+    parser.add_argument("--eval-every", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _build_dataset(args: argparse.Namespace):
+    if args.dataset == "mnist-like":
+        train = make_mnist_like(args.train_size, seed=args.seed)
+        test = make_mnist_like(args.test_size, seed=args.seed + 1)
+        model = MLPClassifier(784, 10, hidden_sizes=(32,), init_seed=args.seed)
+    elif args.dataset == "spambase-like":
+        train = make_spambase_like(args.train_size, seed=args.seed)
+        test = make_spambase_like(args.test_size, seed=args.seed + 1)
+        model = LogisticRegressionModel(57)
+    else:
+        train = make_blobs(
+            args.train_size, num_classes=3, num_features=8, seed=args.seed
+        )
+        test = make_blobs(
+            args.test_size, num_classes=3, num_features=8, seed=args.seed + 1
+        )
+        model = SoftmaxRegressionModel(8, 3)
+    return model, train, test
+
+
+def _build_aggregator(args: argparse.Namespace):
+    kwargs: dict[str, object] = {}
+    if args.aggregator in ("krum", "multi-krum", "trimmed-mean",
+                           "minimal-diameter", "bulyan"):
+        kwargs["f"] = args.byzantine
+    if args.aggregator == "multi-krum":
+        kwargs["m"] = args.m if args.m is not None else max(
+            1, args.workers - args.byzantine - 2
+        )
+    return make_aggregator(args.aggregator, **kwargs)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        model, train, test = _build_dataset(args)
+        aggregator = _build_aggregator(args)
+        attack = _make_attack(args.attack, {})
+        if args.byzantine > 0 and attack is None:
+            print(
+                "error: --byzantine > 0 requires --attack", file=sys.stderr
+            )
+            return 2
+        simulation = build_dataset_simulation(
+            model,
+            train,
+            aggregator=aggregator,
+            num_workers=args.workers,
+            num_byzantine=args.byzantine,
+            attack=attack,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            eval_dataset=test,
+            seed=args.seed,
+        )
+        history = simulation.run(args.rounds, eval_every=args.eval_every)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    rounds, losses = history.series("loss")
+    series = {"loss": losses}
+    acc_rounds, accuracies = history.series("accuracy")
+    if accuracies.size == rounds.size:
+        series["error"] = 1.0 - accuracies
+    print(
+        format_series(
+            f"{args.dataset} · {aggregator.name} · f={args.byzantine}"
+            + (f" · {attack.name}" if attack else ""),
+            rounds,
+            series,
+        )
+    )
+    summary_rows = [
+        ["final loss", history.final_loss],
+        ["rounds", len(history)],
+        ["byzantine selection rate",
+         f"{100 * history.byzantine_selection_rate():.1f}%"],
+    ]
+    if accuracies.size:
+        summary_rows.insert(1, ["final error", 1.0 - history.final_accuracy])
+    print()
+    print(format_table(["metric", "value"], summary_rows, title="summary"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

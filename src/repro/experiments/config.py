@@ -1,0 +1,63 @@
+"""Declarative experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SGDExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class SGDExperimentConfig:
+    """Parameters of one distributed-SGD experiment.
+
+    ``aggregator``/``attack`` are registry names plus keyword-argument
+    dicts so configs stay serializable; the builders turn them into
+    objects.  ``num_byzantine`` must satisfy the chosen rule's
+    precondition (checked at build time, not here).
+    """
+
+    num_workers: int
+    num_byzantine: int
+    num_rounds: int
+    aggregator: str
+    aggregator_kwargs: dict = field(default_factory=dict)
+    attack: str | None = None
+    attack_kwargs: dict = field(default_factory=dict)
+    learning_rate: float = 0.1
+    lr_timescale: float | None = None  # None -> constant schedule
+    batch_size: int = 32
+    eval_every: int = 10
+    seed: int = 0
+    byzantine_slots: str = "last"
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if not 0 <= self.num_byzantine < self.num_workers:
+            raise ConfigurationError(
+                f"need 0 <= f < n, got n={self.num_workers}, "
+                f"f={self.num_byzantine}"
+            )
+        if self.num_rounds < 1:
+            raise ConfigurationError(
+                f"num_rounds must be >= 1, got {self.num_rounds}"
+            )
+        if self.num_byzantine > 0 and self.attack is None:
+            raise ConfigurationError("num_byzantine > 0 requires an attack name")
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+
+    @property
+    def num_honest(self) -> int:
+        return self.num_workers - self.num_byzantine

@@ -1,0 +1,95 @@
+"""ASCII rendering of the tables/series the benches print.
+
+The paper's figures are line plots; the harness reproduces each as a
+printed series (round → value per condition) plus a summary table, so
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced shape
+directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    cells = [[_fmt(value) for value in row] for row in rows]
+    for i, row in enumerate(cells):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    rounds: np.ndarray,
+    values_by_label: dict[str, np.ndarray],
+    *,
+    max_points: int = 12,
+) -> str:
+    """Render one figure's line series as a compact table of sampled rounds.
+
+    ``values_by_label`` maps condition labels (e.g. "krum f=6") to series
+    aligned with ``rounds``; long series are subsampled to ``max_points``
+    rows so bench output stays readable.
+    """
+    rounds = np.asarray(rounds)
+    if rounds.size == 0:
+        raise ConfigurationError("empty series")
+    for label, values in values_by_label.items():
+        if np.asarray(values).shape != rounds.shape:
+            raise ConfigurationError(
+                f"series {label!r} length {np.asarray(values).size} does not "
+                f"match {rounds.size} rounds"
+            )
+    if rounds.size > max_points:
+        idx = np.unique(
+            np.linspace(0, rounds.size - 1, max_points).astype(int)
+        )
+    else:
+        idx = np.arange(rounds.size)
+    headers = ["round", *values_by_label.keys()]
+    table_rows = [
+        [int(rounds[i]), *(np.asarray(v)[i] for v in values_by_label.values())]
+        for i in idx
+    ]
+    return format_table(headers, table_rows, title=name)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value == 0:
+            return "0"
+        magnitude = abs(float(value))
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

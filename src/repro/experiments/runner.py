@@ -1,0 +1,117 @@
+"""Running experiments from declarative configs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.core.registry import make_aggregator
+from repro.data.dataset import Dataset
+from repro.distributed.metrics import TrainingHistory
+from repro.experiments.builders import build_dataset_simulation
+from repro.experiments.config import SGDExperimentConfig
+from repro.models.base import Model
+
+__all__ = ["run_experiment", "compare_aggregators"]
+
+# Attack registry kept local to the runner: attacks whose constructors
+# need runtime objects (models, shards) are built in the benches instead.
+def _make_attack(name: str | None, kwargs: dict) -> Attack | None:
+    if name is None:
+        return None
+    from repro.attacks import (
+        BenignAttack,
+        CollusionAttack,
+        CrashAttack,
+        GaussianAttack,
+        InnerProductAttack,
+        LittleIsEnoughAttack,
+        OmniscientAttack,
+        SignFlipAttack,
+        StragglerAttack,
+    )
+
+    factories = {
+        "benign": BenignAttack,
+        "gaussian": GaussianAttack,
+        "sign-flip": SignFlipAttack,
+        "crash": CrashAttack,
+        "straggler": StragglerAttack,
+        "collusion": CollusionAttack,
+        "omniscient": OmniscientAttack,
+        "little-is-enough": LittleIsEnoughAttack,
+        "inner-product": InnerProductAttack,
+    }
+    if name not in factories:
+        from repro.exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown attack {name!r}; available: {sorted(factories)}"
+        )
+    return factories[name](**kwargs)
+
+
+def run_experiment(
+    config: SGDExperimentConfig,
+    model: Model,
+    train: Dataset,
+    *,
+    eval_dataset: Dataset | None = None,
+) -> TrainingHistory:
+    """Run one dataset experiment described by ``config``."""
+    aggregator = make_aggregator(config.aggregator, **config.aggregator_kwargs)
+    attack = _make_attack(config.attack, config.attack_kwargs)
+    simulation = build_dataset_simulation(
+        model,
+        train,
+        aggregator=aggregator,
+        num_workers=config.num_workers,
+        num_byzantine=config.num_byzantine,
+        attack=attack,
+        batch_size=config.batch_size,
+        learning_rate=config.learning_rate,
+        lr_timescale=config.lr_timescale,
+        eval_dataset=eval_dataset,
+        byzantine_slots=config.byzantine_slots,
+        seed=config.seed,
+    )
+    return simulation.run(config.num_rounds, eval_every=config.eval_every)
+
+
+def compare_aggregators(
+    base_config: SGDExperimentConfig,
+    aggregator_specs: dict[str, tuple[str, dict]],
+    model_factory,
+    train: Dataset,
+    *,
+    eval_dataset: Dataset | None = None,
+) -> dict[str, TrainingHistory]:
+    """Run the same workload under several choice functions.
+
+    ``aggregator_specs`` maps display labels to (registry name, kwargs).
+    ``model_factory`` is a zero-argument callable returning a fresh model
+    per run (model instances hold scratch network state).  All runs share
+    the config's seed, so honest gradients are identical across rules —
+    differences in the histories are attributable to the rules alone.
+    """
+    results: dict[str, TrainingHistory] = {}
+    for label, (name, kwargs) in aggregator_specs.items():
+        config = SGDExperimentConfig(
+            num_workers=base_config.num_workers,
+            num_byzantine=base_config.num_byzantine,
+            num_rounds=base_config.num_rounds,
+            aggregator=name,
+            aggregator_kwargs=kwargs,
+            attack=base_config.attack,
+            attack_kwargs=base_config.attack_kwargs,
+            learning_rate=base_config.learning_rate,
+            lr_timescale=base_config.lr_timescale,
+            batch_size=base_config.batch_size,
+            eval_every=base_config.eval_every,
+            seed=base_config.seed,
+            byzantine_slots=base_config.byzantine_slots,
+        )
+        results[label] = run_experiment(
+            config, model_factory(), train, eval_dataset=eval_dataset
+        )
+    return results

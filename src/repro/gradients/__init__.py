@@ -1,0 +1,24 @@
+"""Gradient estimators — the ``G(x, ξ)`` of the paper's model section.
+
+A correct worker computes ``V = G(x, ξ)`` with ``E G(x, ξ) = ∇Q(x)``.
+Two realizations are provided:
+
+* :class:`GaussianOracleEstimator` — the analytical setting used in the
+  resilience experiments: ``G(x, ξ) = ∇Q(x) + ξ`` with ``ξ ~ N(0, σ²I)``,
+  so ``E‖G − g‖² = d·σ²`` exactly as in Proposition 4.2.
+* :class:`MinibatchEstimator` — the machine-learning setting: the gradient
+  of a model's loss on a mini-batch drawn uniformly from the worker's
+  data shard.
+"""
+
+from repro.gradients.base import GradientEstimator
+from repro.gradients.minibatch import MinibatchEstimator
+from repro.gradients.momentum import MomentumEstimator
+from repro.gradients.oracle import GaussianOracleEstimator
+
+__all__ = [
+    "GradientEstimator",
+    "GaussianOracleEstimator",
+    "MinibatchEstimator",
+    "MomentumEstimator",
+]

@@ -1,0 +1,52 @@
+"""Abstract gradient estimator."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["GradientEstimator"]
+
+
+class GradientEstimator(ABC):
+    """A stochastic estimator of the cost gradient at given parameters.
+
+    Implementations must be *unbiased* for the model assumptions of the
+    paper to hold: ``E[estimate(x)] == expected(x)`` where ``expected``
+    is the true (or full-shard) gradient.  The ``rng`` passed to
+    ``estimate`` is the worker's private stream, which is what makes the
+    per-worker estimates i.i.d.
+    """
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Dimensionality d of the parameter/gradient vectors."""
+
+    @abstractmethod
+    def estimate(self, params: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw one stochastic gradient estimate at ``params``."""
+
+    @abstractmethod
+    def expected(self, params: np.ndarray) -> np.ndarray:
+        """The mean of the estimator at ``params`` (the true gradient)."""
+
+    def empirical_sigma(
+        self,
+        params: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        num_samples: int = 64,
+    ) -> float:
+        """Monte-Carlo estimate of the paper's local deviation σ(x).
+
+        Defined by ``d σ²(x) = E‖G(x, ξ) − ∇Q(x)‖²`` (Section 4 of the
+        paper); used to check the variance condition of Prop. 4.2/4.3.
+        """
+        mean = self.expected(params)
+        deviations = [
+            float(np.sum((self.estimate(params, rng) - mean) ** 2))
+            for _ in range(num_samples)
+        ]
+        return float(np.sqrt(np.mean(deviations) / self.dimension))

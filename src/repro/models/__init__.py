@@ -1,0 +1,27 @@
+"""Learning problems used as the cost functions ``Q`` of the paper.
+
+* :class:`QuadraticBowl` — an analytic strongly-convex cost with a known
+  optimum, used for the convergence experiments of Proposition 4.3 where
+  the gradient norm must be measurable exactly.
+* :class:`LinearRegressionModel`, :class:`LogisticRegressionModel`,
+  :class:`SoftmaxRegressionModel` — convex data-driven models.
+* :class:`MLPClassifier` — the multi-layer perceptron matching the full
+  paper's MNIST/spambase experiments (non-convex, d in the 10³–10⁵ range).
+"""
+
+from repro.models.base import ClassifierMixin, Model
+from repro.models.linear import LinearRegressionModel
+from repro.models.logistic import LogisticRegressionModel
+from repro.models.mlp import MLPClassifier
+from repro.models.quadratic import QuadraticBowl
+from repro.models.softmax import SoftmaxRegressionModel
+
+__all__ = [
+    "Model",
+    "ClassifierMixin",
+    "QuadraticBowl",
+    "LinearRegressionModel",
+    "LogisticRegressionModel",
+    "SoftmaxRegressionModel",
+    "MLPClassifier",
+]

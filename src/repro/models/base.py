@@ -1,0 +1,70 @@
+"""Model interface: a parameterized cost over (inputs, targets) batches.
+
+A ``Model`` is stateless with respect to parameters — every method takes
+the flat ``(d,)`` parameter vector explicitly.  This matches the paper's
+formulation where the parameter vector ``x_t`` lives at the server and is
+broadcast each round, and makes the models trivially shareable across
+simulated workers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Model", "ClassifierMixin"]
+
+
+class Model(ABC):
+    """A differentiable cost ``Q(params; batch)`` with exact gradients."""
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Number of parameters d."""
+
+    @abstractmethod
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw an initial flat parameter vector."""
+
+    @abstractmethod
+    def loss(self, params: np.ndarray, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Average loss of ``params`` on the batch."""
+
+    @abstractmethod
+    def gradient(
+        self, params: np.ndarray, inputs: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Flat ``(d,)`` gradient of :meth:`loss` with respect to ``params``."""
+
+    def loss_and_gradient(
+        self, params: np.ndarray, inputs: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Both loss and gradient; override when one pass computes both."""
+        return (
+            self.loss(params, inputs, targets),
+            self.gradient(params, inputs, targets),
+        )
+
+
+class ClassifierMixin:
+    """Adds label prediction and accuracy to classification models."""
+
+    def predict(self, params: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Predicted integer labels for ``inputs``."""
+        raise NotImplementedError
+
+    def accuracy(
+        self, params: np.ndarray, inputs: np.ndarray, targets: np.ndarray
+    ) -> float:
+        """Fraction of correctly classified samples."""
+        predictions = self.predict(params, inputs)
+        targets = np.asarray(targets).astype(np.int64)
+        return float(np.mean(predictions == targets))
+
+    def error_rate(
+        self, params: np.ndarray, inputs: np.ndarray, targets: np.ndarray
+    ) -> float:
+        """Misclassification rate — the y-axis of the full paper's figures."""
+        return 1.0 - self.accuracy(params, inputs, targets)

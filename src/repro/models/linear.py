@@ -1,0 +1,85 @@
+"""Linear least-squares regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.models.base import Model
+
+__all__ = ["LinearRegressionModel"]
+
+
+class LinearRegressionModel(Model):
+    """``Q(w, b) = (1/2B) Σ (xᵀw + b − y)² + (λ/2)‖w‖²``.
+
+    Convex with a closed-form optimum, which the tests use to validate
+    both the gradient and end-to-end SGD convergence.
+    """
+
+    def __init__(self, num_features: int, *, l2: float = 0.0, fit_bias: bool = True):
+        if num_features < 1:
+            raise ConfigurationError(f"num_features must be >= 1, got {num_features}")
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be non-negative, got {l2}")
+        self.num_features = int(num_features)
+        self.l2 = float(l2)
+        self.fit_bias = bool(fit_bias)
+
+    @property
+    def dimension(self) -> int:
+        return self.num_features + (1 if self.fit_bias else 0)
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, 0.1, size=self.dimension)
+
+    def _split(self, params: np.ndarray) -> tuple[np.ndarray, float]:
+        params = np.asarray(params, dtype=np.float64)
+        if params.shape != (self.dimension,):
+            raise DimensionMismatchError(
+                f"params must have shape ({self.dimension},), got {params.shape}"
+            )
+        if self.fit_bias:
+            return params[:-1], float(params[-1])
+        return params, 0.0
+
+    def predict_values(self, params: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Real-valued predictions ``X w + b``."""
+        weights, bias = self._split(params)
+        return np.asarray(inputs, dtype=np.float64) @ weights + bias
+
+    def loss(self, params: np.ndarray, inputs: np.ndarray, targets: np.ndarray) -> float:
+        weights, _bias = self._split(params)
+        residuals = self.predict_values(params, inputs) - np.asarray(
+            targets, dtype=np.float64
+        )
+        data_term = 0.5 * np.mean(residuals**2)
+        return float(data_term + 0.5 * self.l2 * weights @ weights)
+
+    def gradient(
+        self, params: np.ndarray, inputs: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        weights, _bias = self._split(params)
+        inputs = np.asarray(inputs, dtype=np.float64)
+        residuals = self.predict_values(params, inputs) - np.asarray(
+            targets, dtype=np.float64
+        )
+        batch = len(inputs)
+        grad_w = inputs.T @ residuals / batch + self.l2 * weights
+        if not self.fit_bias:
+            return grad_w
+        grad_b = residuals.mean()
+        return np.concatenate([grad_w, [grad_b]])
+
+    def closed_form_optimum(self, inputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Ridge/OLS solution on the full dataset (for test oracles)."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        design = (
+            np.hstack([inputs, np.ones((len(inputs), 1))]) if self.fit_bias else inputs
+        )
+        gram = design.T @ design / len(design)
+        reg = self.l2 * np.eye(design.shape[1])
+        if self.fit_bias:
+            reg[-1, -1] = 0.0  # bias is conventionally unregularized
+        return np.linalg.solve(gram + reg, design.T @ targets / len(design))

@@ -1,0 +1,51 @@
+"""Minimal pure-numpy neural-network substrate.
+
+The full paper evaluates Krum on multi-layer perceptrons trained with
+mini-batch SGD.  This subpackage provides the pieces needed to reproduce
+that setting without any ML framework: parameterized layers with exact
+backpropagation, numerically stable losses, standard initializers and a
+``Sequential`` container whose parameters/gradients flatten to the single
+``R^d`` vectors the parameter server aggregates.
+
+Every layer and loss is verified against central finite differences in
+the test suite.
+"""
+
+from repro.nn.initializers import he_normal, normal, xavier_uniform, zeros
+from repro.nn.layers import (
+    Dense,
+    Dropout,
+    Layer,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import (
+    BinaryCrossEntropyWithLogits,
+    Loss,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.network import Sequential
+from repro.nn.parameter import Parameter
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Loss",
+    "MeanSquaredError",
+    "SoftmaxCrossEntropy",
+    "BinaryCrossEntropyWithLogits",
+    "Sequential",
+    "zeros",
+    "normal",
+    "xavier_uniform",
+    "he_normal",
+]

@@ -1,0 +1,48 @@
+"""Weight initializers.
+
+Each initializer is a plain function ``(shape, rng) -> ndarray`` so layers
+can accept them as first-class values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zeros", "normal", "xavier_uniform", "he_normal"]
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initializer (conventional for biases)."""
+    del rng  # deterministic
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, *, std: float = 0.01) -> np.ndarray:
+    """Gaussian initializer with mean 0 and the given standard deviation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initializer, suited to tanh/sigmoid layers.
+
+    For a ``(fan_in, fan_out)`` weight matrix, samples uniformly from
+    ``[-a, a]`` with ``a = sqrt(6 / (fan_in + fan_out))``.
+    """
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He initializer, suited to ReLU layers: N(0, sqrt(2 / fan_in))."""
+    fan_in, _fan_out = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive

@@ -1,0 +1,143 @@
+"""Loss functions with exact gradients.
+
+Each loss implements ``forward(predictions, targets) -> float`` and
+``backward() -> dL/d(predictions)``; classification losses fuse the final
+softmax/sigmoid with the cross-entropy for numerical stability.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "SoftmaxCrossEntropy",
+    "BinaryCrossEntropyWithLogits",
+]
+
+
+class Loss(ABC):
+    """Base class for losses; the contract is one backward per forward."""
+
+    @abstractmethod
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Return the scalar loss averaged over the batch."""
+
+    @abstractmethod
+    def backward(self) -> np.ndarray:
+        """Return ``dL/d(predictions)`` for the last ``forward`` call."""
+
+
+class MeanSquaredError(Loss):
+    """``L = (1/2B) Σ_b ||pred_b - target_b||²`` over a batch of size B."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+        self._batch: int = 0
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise DimensionMismatchError(
+                f"predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        self._batch = predictions.shape[0] if predictions.ndim > 0 else 1
+        self._diff = predictions - targets
+        return float(0.5 * np.sum(self._diff**2) / self._batch)
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return self._diff / self._batch
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy on integer class labels, fused and stable.
+
+    ``forward`` takes raw logits of shape ``(B, C)`` and integer targets of
+    shape ``(B,)``; the gradient is ``(softmax(logits) - onehot) / B``.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise DimensionMismatchError(f"logits must be (B, C), got {logits.shape}")
+        if targets.shape != (logits.shape[0],):
+            raise DimensionMismatchError(
+                f"targets must be (B,) integer labels, got shape {targets.shape}"
+            )
+        targets = targets.astype(np.int64)
+        if targets.min(initial=0) < 0 or targets.max(initial=0) >= logits.shape[1]:
+            raise DimensionMismatchError(
+                f"labels must lie in [0, {logits.shape[1]}), got range "
+                f"[{targets.min()}, {targets.max()}]"
+            )
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        self._probs = exp / exp.sum(axis=1, keepdims=True)
+        self._targets = targets
+        batch = logits.shape[0]
+        log_likelihood = shifted[np.arange(batch), targets] - np.log(
+            exp.sum(axis=1)
+        )
+        return float(-log_likelihood.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._targets] -= 1.0
+        return grad / batch
+
+    @property
+    def last_probabilities(self) -> np.ndarray:
+        """Class probabilities from the most recent forward pass."""
+        if self._probs is None:
+            raise RuntimeError("no forward pass has been run")
+        return self._probs
+
+
+class BinaryCrossEntropyWithLogits(Loss):
+    """Sigmoid + binary cross-entropy on {0,1} targets, fused and stable.
+
+    Uses ``log(1 + e^z) = max(z, 0) + log(1 + e^{-|z|})`` to avoid
+    overflow; gradient is ``(sigmoid(z) - t) / B``.
+    """
+
+    def __init__(self) -> None:
+        self._grad: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if logits.shape != targets.shape:
+            raise DimensionMismatchError(
+                f"logits {logits.shape} vs targets {targets.shape}"
+            )
+        batch = logits.shape[0] if logits.ndim > 0 else 1
+        softplus = np.maximum(logits, 0.0) + np.log1p(np.exp(-np.abs(logits)))
+        loss = softplus - targets * logits
+        sigmoid = np.where(
+            logits >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(logits, -500, None))),
+            np.exp(np.clip(logits, None, 500)) / (1.0 + np.exp(np.clip(logits, None, 500))),
+        )
+        self._grad = (sigmoid - targets) / batch
+        return float(loss.sum() / batch)
+
+    def backward(self) -> np.ndarray:
+        if self._grad is None:
+            raise RuntimeError("backward called before forward")
+        return self._grad

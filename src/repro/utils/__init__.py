@@ -1,0 +1,31 @@
+"""Shared low-level utilities: RNG streams, validation, linear algebra, timing."""
+
+from repro.utils.linalg import (
+    flatten_arrays,
+    pairwise_sq_distances,
+    stack_vectors,
+    unflatten_array,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer, fit_power_law
+from repro.utils.validation import (
+    check_finite,
+    check_positive_int,
+    check_probability,
+    check_vector_stack,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_finite",
+    "check_positive_int",
+    "check_probability",
+    "check_vector_stack",
+    "flatten_arrays",
+    "unflatten_array",
+    "pairwise_sq_distances",
+    "stack_vectors",
+    "Timer",
+    "fit_power_law",
+]

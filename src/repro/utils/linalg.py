@@ -1,0 +1,100 @@
+"""Dense linear-algebra helpers used by the aggregation rules.
+
+The performance-critical piece is :func:`pairwise_sq_distances`: Krum's
+O(n² · d) cost (Lemma 4.1 of the paper) is exactly the cost of this one
+matrix computation, so it is implemented with a single GEMM rather than a
+Python double loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+
+__all__ = [
+    "pairwise_sq_distances",
+    "stack_vectors",
+    "flatten_arrays",
+    "unflatten_array",
+]
+
+
+def pairwise_sq_distances(
+    vectors: np.ndarray, *, nonfinite_as_inf: bool = False
+) -> np.ndarray:
+    """Return the ``(n, n)`` matrix of squared euclidean distances.
+
+    Uses the expansion ``||a - b||² = ||a||² + ||b||² - 2⟨a, b⟩`` so the
+    dominant cost is one ``n×d`` by ``d×n`` matrix product — O(n²·d), the
+    complexity Lemma 4.1 claims for Krum.  Floating-point cancellation can
+    produce tiny negative values; these are clamped to zero and the
+    diagonal is forced to exactly zero.
+
+    ``nonfinite_as_inf=True`` maps every NaN/Inf entry of the result to
+    ``+inf``: a Byzantine worker sending non-finite coordinates is treated
+    as infinitely far from everyone (so distance-filtering rules discard
+    it instead of propagating NaN through their scores).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise DimensionMismatchError(
+            f"vectors must have shape (n, d), got {vectors.shape}"
+        )
+    with np.errstate(invalid="ignore", over="ignore"):
+        sq_norms = np.einsum("ij,ij->i", vectors, vectors)
+        distances = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (vectors @ vectors.T)
+        np.maximum(distances, 0.0, out=distances)
+    if nonfinite_as_inf:
+        distances[~np.isfinite(distances)] = np.inf
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def stack_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack a sequence of equal-length 1-d vectors into an ``(n, d)`` matrix."""
+    if len(vectors) == 0:
+        raise DimensionMismatchError("cannot stack an empty sequence of vectors")
+    arrays = [np.asarray(v, dtype=np.float64) for v in vectors]
+    first_shape = arrays[0].shape
+    if any(a.ndim != 1 for a in arrays):
+        raise DimensionMismatchError("stack_vectors expects 1-d vectors")
+    if any(a.shape != first_shape for a in arrays):
+        shapes = sorted({a.shape for a in arrays})
+        raise DimensionMismatchError(f"vectors have inconsistent shapes: {shapes}")
+    return np.stack(arrays, axis=0)
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+    """Flatten a list of arrays into one 1-d vector plus the shapes to undo it.
+
+    This is how model parameters/gradients become the ``R^d`` vectors the
+    parameter server aggregates.  Returns ``(flat, shapes)`` where
+    ``unflatten_array(flat, shapes)`` restores the original list.
+    """
+    if len(arrays) == 0:
+        raise DimensionMismatchError("cannot flatten an empty sequence of arrays")
+    shapes = [tuple(np.asarray(a).shape) for a in arrays]
+    flat = np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in arrays])
+    return flat, shapes
+
+
+def unflatten_array(flat: np.ndarray, shapes: Sequence[tuple[int, ...]]) -> list[np.ndarray]:
+    """Invert :func:`flatten_arrays`: split ``flat`` back into shaped arrays."""
+    flat = np.asarray(flat, dtype=np.float64)
+    if flat.ndim != 1:
+        raise DimensionMismatchError(f"flat must be 1-d, got shape {flat.shape}")
+    sizes = [int(np.prod(shape, dtype=np.int64)) if shape else 1 for shape in shapes]
+    total = int(sum(sizes))
+    if flat.size != total:
+        raise DimensionMismatchError(
+            f"flat vector has {flat.size} entries but shapes require {total}"
+        )
+    out: list[np.ndarray] = []
+    offset = 0
+    for shape, size in zip(shapes, sizes):
+        out.append(flat[offset : offset + size].reshape(shape))
+        offset += size
+    return out

@@ -1,0 +1,45 @@
+"""Reproducible random-number-generator management.
+
+The paper's model assumes correct workers draw i.i.d. samples; in the
+simulator this is realized by giving every worker an *independent* RNG
+stream spawned from a single root seed.  ``numpy``'s ``SeedSequence``
+spawning guarantees streams are statistically independent while the whole
+experiment stays reproducible from one integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+SeedLike = int | np.random.SeedSequence | np.random.Generator | None
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    Accepts an integer seed, a ``SeedSequence``, an existing ``Generator``
+    (returned unchanged) or ``None`` (fresh OS-entropy generator).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from one seed.
+
+    The streams are independent in the ``SeedSequence.spawn`` sense: no
+    two of them share state, and the full list is reproducible from the
+    root seed.  When ``seed`` is already a ``Generator`` the children are
+    spawned from it (numpy >= 1.25 ``Generator.spawn``).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(count))
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -1,0 +1,67 @@
+"""Wall-clock measurement helpers for the complexity experiments (Lemma 4.1)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Timer", "fit_power_law"]
+
+
+@dataclass
+class Timer:
+    """Context manager accumulating wall-clock time over repeated runs.
+
+    Example::
+
+        timer = Timer()
+        for _ in range(5):
+            with timer:
+                krum(vectors, f=2)
+        print(timer.mean_seconds)
+    """
+
+    samples: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        self.samples.append(time.perf_counter() - self._start)
+        self._start = None
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean_seconds(self) -> float:
+        if not self.samples:
+            return 0.0
+        return self.total_seconds / len(self.samples)
+
+    @property
+    def min_seconds(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+
+def fit_power_law(sizes: np.ndarray, times: np.ndarray) -> float:
+    """Fit ``time = c · size^k`` by least squares in log-log space; return k.
+
+    Used to verify empirically that Krum scales ~quadratically in n and
+    ~linearly in d.  Requires at least two strictly positive samples.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if sizes.shape != times.shape or sizes.ndim != 1 or sizes.size < 2:
+        raise ValueError("need matching 1-d arrays with at least 2 samples")
+    if np.any(sizes <= 0) or np.any(times <= 0):
+        raise ValueError("sizes and times must be strictly positive")
+    slope, _intercept = np.polyfit(np.log(sizes), np.log(times), deg=1)
+    return float(slope)

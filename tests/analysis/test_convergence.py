@@ -1,0 +1,67 @@
+"""Tests for convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    has_converged,
+    plateau_value,
+    rounds_to_threshold,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestHasConverged:
+    def test_converged_series(self):
+        values = np.array([5.0, 2.0, 0.5, 0.1, 0.05, 0.04, 0.05])
+        assert has_converged(values, threshold=0.1, window=3)
+
+    def test_not_converged(self):
+        values = np.array([5.0, 4.0, 5.0, 4.5])
+        assert not has_converged(values, threshold=0.1, window=2)
+
+    def test_short_series(self):
+        assert not has_converged(np.array([0.01]), threshold=0.1, window=5)
+
+    def test_spike_in_window_fails(self):
+        values = np.array([0.05, 0.05, 5.0, 0.05])
+        assert not has_converged(values, threshold=0.1, window=3)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            has_converged(np.ones(3), threshold=0.1, window=0)
+
+
+class TestRoundsToThreshold:
+    def test_first_crossing(self):
+        rounds = np.array([0, 10, 20, 30])
+        values = np.array([5.0, 1.0, 0.05, 0.01])
+        assert rounds_to_threshold(rounds, values, threshold=0.1) == 20
+
+    def test_never_reached(self):
+        rounds = np.array([0, 10])
+        values = np.array([5.0, 4.0])
+        assert rounds_to_threshold(rounds, values, threshold=0.1) is None
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            rounds_to_threshold(np.arange(3), np.ones(4), threshold=0.1)
+
+
+class TestPlateauValue:
+    def test_tail_mean(self):
+        values = np.array([10.0, 10.0, 10.0, 10.0, 2.0, 2.0])
+        # last 1/3 of 6 points = 2 points
+        assert plateau_value(values, fraction=1 / 3) == pytest.approx(2.0)
+
+    def test_full_fraction(self):
+        values = np.array([1.0, 3.0])
+        assert plateau_value(values, fraction=1.0) == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            plateau_value(np.array([]))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            plateau_value(np.ones(3), fraction=0.0)

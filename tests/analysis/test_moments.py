@@ -1,0 +1,34 @@
+"""Tests for moment estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.moments import empirical_norm_moments
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+class TestEmpiricalNormMoments:
+    def test_unit_vectors(self):
+        samples = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0]])
+        moments = empirical_norm_moments(samples)
+        assert moments[2] == pytest.approx(1.0)
+        assert moments[4] == pytest.approx(1.0)
+
+    def test_gaussian_second_moment_is_d(self, rng):
+        # E||N(0, I_d)||^2 = d.
+        samples = rng.standard_normal((20000, 5))
+        moments = empirical_norm_moments(samples, orders=(2,))
+        assert moments[2] == pytest.approx(5.0, rel=0.05)
+
+    def test_custom_orders(self, rng):
+        samples = rng.standard_normal((100, 3))
+        moments = empirical_norm_moments(samples, orders=(1, 6))
+        assert set(moments) == {1, 6}
+
+    def test_rejects_1d(self):
+        with pytest.raises(DimensionMismatchError):
+            empirical_norm_moments(np.ones(5))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            empirical_norm_moments(np.ones((2, 2)), orders=(0,))

@@ -1,0 +1,165 @@
+"""Tests for the empirical (α, f)-resilience checker."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.resilience import estimate_resilience
+from repro.attacks.omniscient import OmniscientAttack
+from repro.attacks.random_noise import GaussianAttack
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.exceptions import ConfigurationError
+
+
+class TestEstimateResilience:
+    def test_krum_satisfies_condition_under_gaussian_attack(self):
+        report = estimate_resilience(
+            Krum(f=2),
+            GaussianAttack(sigma=100.0),
+            n=11,
+            f=2,
+            dimension=4,
+            sigma=0.01,
+            trials=300,
+            seed=0,
+        )
+        assert report.condition_holds
+        assert report.satisfied
+        assert report.scalar_product > 0
+        assert report.byzantine_selection_rate < 0.05
+
+    def test_average_fails_under_omniscient_attack(self):
+        # The omniscient attack reverses the average's direction, so the
+        # scalar-product condition (i) must fail.
+        report = estimate_resilience(
+            Average(),
+            OmniscientAttack(scale=10.0),
+            n=11,
+            f=2,
+            dimension=4,
+            sigma=0.01,
+            trials=300,
+            seed=0,
+        )
+        assert not report.satisfied
+        assert report.scalar_product < 0
+
+    def test_no_attack_baseline(self):
+        report = estimate_resilience(
+            Krum(f=0, strict=False),
+            None,
+            n=8,
+            f=0,
+            dimension=4,
+            sigma=0.05,
+            trials=200,
+            seed=1,
+        )
+        assert report.attack == "none"
+        assert report.satisfied
+
+    def test_variance_condition_violation_reported(self):
+        # Huge sigma: eta * sqrt(d) * sigma >> ||g||, guarantee void.
+        report = estimate_resilience(
+            Krum(f=2),
+            GaussianAttack(sigma=1.0),
+            n=11,
+            f=2,
+            dimension=16,
+            sigma=10.0,
+            trials=50,
+            seed=2,
+        )
+        assert not report.condition_holds
+        assert report.threshold is None
+
+    def test_moment_ratios_bounded_for_krum(self):
+        report = estimate_resilience(
+            Krum(f=2),
+            GaussianAttack(sigma=1000.0),
+            n=11,
+            f=2,
+            dimension=4,
+            sigma=0.05,
+            trials=200,
+            seed=3,
+        )
+        # Condition (ii): the attack cannot blow up Krum's moments.
+        for r in (2, 3, 4):
+            assert report.moment_ratios[r] < 10.0
+
+    def test_moment_ratios_explode_for_average(self):
+        report = estimate_resilience(
+            Average(),
+            GaussianAttack(sigma=1000.0),
+            n=11,
+            f=2,
+            dimension=4,
+            sigma=0.05,
+            trials=200,
+            seed=3,
+        )
+        assert report.moment_ratios[2] > 100.0
+
+    def test_omniscient_attack_against_krum(self):
+        report = estimate_resilience(
+            Krum(f=2),
+            OmniscientAttack(scale=10.0),
+            n=13,
+            f=2,
+            dimension=6,
+            sigma=0.02,
+            trials=300,
+            seed=4,
+        )
+        assert report.satisfied
+
+    def test_custom_gradient(self):
+        gradient = np.array([3.0, 4.0])
+        report = estimate_resilience(
+            Krum(f=0, strict=False),
+            None,
+            n=6,
+            f=0,
+            dimension=2,
+            sigma=0.01,
+            gradient=gradient,
+            trials=100,
+            seed=5,
+        )
+        assert report.grad_norm == pytest.approx(5.0)
+
+    def test_row_rendering(self):
+        report = estimate_resilience(
+            Krum(f=2),
+            GaussianAttack(sigma=10.0),
+            n=11,
+            f=2,
+            dimension=4,
+            sigma=0.01,
+            trials=50,
+            seed=6,
+        )
+        row = report.row()
+        assert row["n"] == 11
+        assert "ok" in row
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_resilience(
+                Krum(f=2), GaussianAttack(), n=5, f=5, dimension=3, sigma=0.1
+            )
+        with pytest.raises(ConfigurationError):
+            estimate_resilience(
+                Krum(f=2), None, n=11, f=2, dimension=3, sigma=0.1
+            )
+        with pytest.raises(ConfigurationError):
+            estimate_resilience(
+                Krum(f=0, strict=False),
+                None,
+                n=8,
+                f=0,
+                dimension=3,
+                sigma=0.1,
+                trials=0,
+            )

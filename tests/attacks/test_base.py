@@ -1,0 +1,64 @@
+"""Tests for the attack framework."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackContext, BenignAttack
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+def make_context(rng, *, num_honest=8, num_byzantine=2, dimension=4, **overrides):
+    honest = 1.0 + 0.1 * rng.standard_normal((num_honest, dimension))
+    n = num_honest + num_byzantine
+    defaults = dict(
+        round_index=0,
+        params=np.zeros(dimension),
+        honest_gradients=honest,
+        byzantine_indices=np.arange(num_honest, n),
+        honest_indices=np.arange(num_honest),
+        num_workers=n,
+        rng=rng,
+    )
+    defaults.update(overrides)
+    return AttackContext(**defaults)
+
+
+class TestAttackContext:
+    def test_properties(self, rng):
+        ctx = make_context(rng)
+        assert ctx.num_byzantine == 2
+        assert ctx.dimension == 4
+        np.testing.assert_allclose(
+            ctx.honest_mean, ctx.honest_gradients.mean(axis=0)
+        )
+
+    def test_validate_accepts_consistent(self, rng):
+        make_context(rng).validate()
+
+    def test_validate_rejects_overlap(self, rng):
+        ctx = make_context(rng, byzantine_indices=np.array([0, 8]))
+        with pytest.raises(ConfigurationError, match="both honest and Byzantine"):
+            ctx.validate()
+
+    def test_validate_rejects_count_mismatch(self, rng):
+        ctx = make_context(rng, num_workers=11)
+        with pytest.raises(ConfigurationError):
+            ctx.validate()
+
+    def test_validate_rejects_bad_gradient_shape(self, rng):
+        ctx = make_context(rng, honest_gradients=np.zeros(4))
+        with pytest.raises(DimensionMismatchError):
+            ctx.validate()
+
+
+class TestBenignAttack:
+    def test_shape(self, rng):
+        ctx = make_context(rng, num_byzantine=3)
+        out = BenignAttack().craft(ctx)
+        assert out.shape == (3, 4)
+
+    def test_statistically_close_to_honest(self, rng):
+        ctx = make_context(rng, num_honest=50, num_byzantine=20)
+        out = BenignAttack().craft(ctx)
+        honest_mean = ctx.honest_mean
+        assert np.linalg.norm(out.mean(axis=0) - honest_mean) < 0.5

@@ -1,0 +1,60 @@
+"""Tests for the composite attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.composite import CompositeAttack
+from repro.attacks.random_noise import GaussianAttack
+from repro.attacks.simple import CrashAttack, SignFlipAttack
+from repro.exceptions import ConfigurationError
+from tests.attacks.test_base import make_context
+
+
+class TestCompositeAttack:
+    def test_partitions_slots(self, rng):
+        attack = CompositeAttack([(CrashAttack(), 2), (SignFlipAttack(), 1)])
+        ctx = make_context(rng, num_honest=7, num_byzantine=3)
+        out = attack.craft(ctx)
+        # First two rows are crash zeros; third is the sign flip.
+        np.testing.assert_array_equal(out[:2], np.zeros((2, 4)))
+        np.testing.assert_allclose(out[2], -ctx.honest_mean)
+
+    def test_name_lists_parts(self):
+        attack = CompositeAttack([(CrashAttack(), 1), (GaussianAttack(), 2)])
+        assert "1xcrash" in attack.name
+        assert "2xgaussian" in attack.name
+
+    def test_count_mismatch_raises(self, rng):
+        attack = CompositeAttack([(CrashAttack(), 2)])
+        ctx = make_context(rng, num_byzantine=3, num_honest=7)
+        with pytest.raises(ConfigurationError, match="Byzantine slots"):
+            attack.craft(ctx)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CompositeAttack([])
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            CompositeAttack([(CrashAttack(), 0)])
+
+    def test_rejects_non_attack(self):
+        with pytest.raises(ConfigurationError):
+            CompositeAttack([("not an attack", 1)])
+
+    def test_sub_attacks_see_own_indices(self, rng):
+        """Each sub-attack's context carries only its slot ids."""
+
+        captured = {}
+
+        class Probe(CrashAttack):
+            name = "probe"
+
+            def craft(self, context):
+                captured["indices"] = context.byzantine_indices.copy()
+                return super().craft(context)
+
+        attack = CompositeAttack([(CrashAttack(), 1), (Probe(), 2)])
+        ctx = make_context(rng, num_honest=6, num_byzantine=3)
+        attack.craft(ctx)
+        np.testing.assert_array_equal(captured["indices"], ctx.byzantine_indices[1:])

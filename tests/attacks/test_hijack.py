@@ -1,0 +1,76 @@
+"""Tests for the Lemma 3.1 linear hijack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.hijack import LinearHijackAttack
+from repro.baselines.average import Average, WeightedAverage
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from tests.attacks.test_base import make_context
+
+
+class TestLinearHijackAttack:
+    def test_forces_average_to_target(self, rng):
+        target = rng.standard_normal(4)
+        attack = LinearHijackAttack(target)
+        ctx = make_context(rng, num_honest=9, num_byzantine=1)
+        crafted = attack.craft(ctx)
+        stack = np.vstack([ctx.honest_gradients, crafted])
+        np.testing.assert_allclose(Average().aggregate(stack), target, atol=1e-9)
+
+    def test_single_byzantine_suffices(self, rng):
+        """Lemma 3.1 needs exactly one Byzantine worker."""
+        target = np.full(4, -7.0)
+        ctx = make_context(rng, num_honest=19, num_byzantine=1)
+        crafted = LinearHijackAttack(target).craft(ctx)
+        assert crafted.shape == (1, 4)
+        stack = np.vstack([ctx.honest_gradients, crafted])
+        np.testing.assert_allclose(Average().aggregate(stack), target, atol=1e-9)
+
+    def test_extra_byzantine_send_zeros(self, rng):
+        target = rng.standard_normal(4)
+        ctx = make_context(rng, num_honest=7, num_byzantine=3)
+        crafted = LinearHijackAttack(target).craft(ctx)
+        np.testing.assert_array_equal(crafted[:2], np.zeros((2, 4)))
+        stack = np.vstack([ctx.honest_gradients, crafted])
+        np.testing.assert_allclose(Average().aggregate(stack), target, atol=1e-9)
+
+    def test_weighted_rule_hijack(self, rng):
+        weights = rng.uniform(0.2, 1.5, size=10)
+        rule = WeightedAverage(weights, normalize=False)
+        target = rng.standard_normal(4)
+        attack = LinearHijackAttack(target, weights=weights)
+        ctx = make_context(rng, num_honest=9, num_byzantine=1)
+        crafted = attack.craft(ctx)
+        stack = np.vstack([ctx.honest_gradients, crafted])
+        np.testing.assert_allclose(rule.aggregate(stack), target, atol=1e-8)
+
+    def test_byzantine_slot_not_last(self, rng):
+        # The Byzantine worker can sit anywhere; here in slot 0.
+        target = rng.standard_normal(3)
+        attack = LinearHijackAttack(target)
+        ctx = make_context(
+            rng,
+            num_honest=5,
+            num_byzantine=1,
+            dimension=3,
+            byzantine_indices=np.array([0]),
+            honest_indices=np.arange(1, 6),
+        )
+        crafted = attack.craft(ctx)
+        stack = np.vstack([crafted, ctx.honest_gradients])
+        np.testing.assert_allclose(Average().aggregate(stack), target, atol=1e-9)
+
+    def test_rejects_dimension_mismatch(self, rng):
+        attack = LinearHijackAttack(np.zeros(3))
+        ctx = make_context(rng, dimension=4)
+        with pytest.raises(DimensionMismatchError):
+            attack.craft(ctx)
+
+    def test_rejects_zero_weights(self):
+        with pytest.raises(ConfigurationError):
+            LinearHijackAttack(np.zeros(3), weights=np.array([1.0, 0.0]))
+
+    def test_rejects_2d_target(self):
+        with pytest.raises(DimensionMismatchError):
+            LinearHijackAttack(np.zeros((2, 2)))

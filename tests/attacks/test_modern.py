@@ -1,0 +1,70 @@
+"""Tests for the post-2017 extension attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.modern import InnerProductAttack, LittleIsEnoughAttack
+from repro.core.krum import Krum
+from repro.exceptions import ConfigurationError
+from tests.attacks.test_base import make_context
+
+
+class TestLittleIsEnough:
+    def test_explicit_z(self, rng):
+        ctx = make_context(rng, num_honest=20, num_byzantine=5)
+        out = LittleIsEnoughAttack(z=1.5).craft(ctx)
+        expected = ctx.honest_mean - 1.5 * ctx.honest_gradients.std(axis=0)
+        np.testing.assert_allclose(out, np.tile(expected, (5, 1)))
+
+    def test_auto_z_positive(self, rng):
+        ctx = make_context(rng, num_honest=20, num_byzantine=5)
+        out = LittleIsEnoughAttack().craft(ctx)
+        assert np.all(np.isfinite(out))
+
+    def test_stays_near_honest_cloud(self, rng):
+        """The attack's point: the crafted vector is NOT an outlier."""
+        ctx = make_context(rng, num_honest=20, num_byzantine=5)
+        out = LittleIsEnoughAttack(z=1.0).craft(ctx)
+        spread = np.linalg.norm(ctx.honest_gradients - ctx.honest_mean, axis=1).max()
+        assert np.linalg.norm(out[0] - ctx.honest_mean) < 3 * spread
+
+    def test_can_fool_krum_selection(self):
+        """With enough colluders, the crafted point wins Krum's score —
+        the known limitation this attack exploits."""
+        rng = np.random.default_rng(0)
+        wins = 0
+        trials = 20
+        for t in range(trials):
+            trial_rng = np.random.default_rng(t)
+            ctx = make_context(
+                trial_rng, num_honest=15, num_byzantine=7, dimension=10
+            )
+            out = LittleIsEnoughAttack(z=0.3).craft(ctx)
+            stack = np.vstack([ctx.honest_gradients, out])
+            result = Krum(f=7).aggregate_detailed(stack)
+            if int(result.selected[0]) >= 15:
+                wins += 1
+        # f identical colluding vectors distance 0 from each other: they
+        # dominate the score ranking in most trials.
+        assert wins > trials // 2
+
+    def test_rejects_bad_z(self):
+        with pytest.raises(ConfigurationError):
+            LittleIsEnoughAttack(z=-1.0)
+
+
+class TestInnerProduct:
+    def test_negative_epsilon_mean(self, rng):
+        ctx = make_context(rng)
+        out = InnerProductAttack(epsilon=0.5).craft(ctx)
+        np.testing.assert_allclose(out[0], -0.5 * ctx.honest_mean)
+
+    def test_norm_comparable_to_honest(self, rng):
+        ctx = make_context(rng)
+        out = InnerProductAttack(epsilon=1.0).craft(ctx)
+        honest_norm = np.linalg.norm(ctx.honest_mean)
+        assert np.linalg.norm(out[0]) == pytest.approx(honest_norm, rel=1e-9)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            InnerProductAttack(epsilon=0.0)

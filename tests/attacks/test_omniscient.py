@@ -1,0 +1,54 @@
+"""Tests for the omniscient attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.omniscient import OmniscientAttack
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.exceptions import ConfigurationError
+from tests.attacks.test_base import make_context
+
+
+class TestOmniscientAttack:
+    def test_proposes_negative_gradient(self, rng):
+        gradient = np.array([1.0, 2.0, 3.0, 4.0])
+        ctx = make_context(rng, true_gradient=gradient)
+        out = OmniscientAttack(scale=5.0).craft(ctx)
+        np.testing.assert_allclose(out, np.tile(-5.0 * gradient, (2, 1)))
+
+    def test_compensating_variant_controls_average(self, rng):
+        gradient = np.array([1.0, -1.0, 2.0, 0.0])
+        ctx = make_context(rng, num_honest=8, num_byzantine=2, true_gradient=gradient)
+        out = OmniscientAttack(scale=3.0, compensate_average=True).craft(ctx)
+        stack = np.vstack([ctx.honest_gradients, out])
+        np.testing.assert_allclose(
+            Average().aggregate(stack), -3.0 * gradient, atol=1e-9
+        )
+
+    def test_average_descends_wrong_direction(self, rng):
+        """Under the attack the average points against the gradient."""
+        gradient = np.full(4, 2.0)
+        ctx = make_context(rng, true_gradient=gradient)
+        out = OmniscientAttack(scale=10.0).craft(ctx)
+        stack = np.vstack([ctx.honest_gradients, out])
+        aggregate = Average().aggregate(stack)
+        assert aggregate @ gradient < 0
+
+    def test_krum_filters_loud_omniscient(self, rng):
+        gradient = np.full(4, 2.0)
+        ctx = make_context(rng, num_honest=9, num_byzantine=2, true_gradient=gradient)
+        out = OmniscientAttack(scale=100.0).craft(ctx)
+        stack = np.vstack([ctx.honest_gradients, out])
+        result = Krum(f=2).aggregate_detailed(stack)
+        assert int(result.selected[0]) < 9
+        assert result.vector @ gradient > 0
+
+    def test_falls_back_to_honest_mean(self, rng):
+        ctx = make_context(rng)
+        out = OmniscientAttack(scale=1.0).craft(ctx)
+        np.testing.assert_allclose(out[0], -ctx.honest_mean)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            OmniscientAttack(scale=-2.0)

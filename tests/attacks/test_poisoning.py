@@ -1,0 +1,81 @@
+"""Tests for the label-flip data-poisoning attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.poisoning import LabelFlipAttack, _flip_labels
+from repro.data.synthetic import make_blobs
+from repro.exceptions import ConfigurationError
+from repro.models.softmax import SoftmaxRegressionModel
+from tests.attacks.test_base import make_context
+
+
+class TestFlipLabels:
+    def test_involution(self):
+        labels = np.array([0, 1, 2, 3, 4])
+        flipped = _flip_labels(labels, 5)
+        np.testing.assert_array_equal(flipped, [4, 3, 2, 1, 0])
+        np.testing.assert_array_equal(_flip_labels(flipped, 5), labels)
+
+    def test_binary_flip(self):
+        np.testing.assert_array_equal(_flip_labels(np.array([0, 1]), 2), [1, 0])
+
+
+class TestLabelFlipAttack:
+    @pytest.fixture
+    def setup(self, rng):
+        dataset = make_blobs(120, num_classes=3, num_features=4, seed=0)
+        model = SoftmaxRegressionModel(4, 3)
+        params = model.init_params(rng)
+        shards = [(dataset.inputs[:60], dataset.targets[:60])]
+        return model, dataset, params, shards
+
+    def test_crafts_correct_shape(self, setup, rng):
+        model, _dataset, params, shards = setup
+        attack = LabelFlipAttack(model, shards, num_classes=3, batch_size=16)
+        ctx = make_context(
+            rng,
+            num_honest=6,
+            num_byzantine=2,
+            dimension=model.dimension,
+            honest_gradients=np.zeros((6, model.dimension)),
+            byzantine_indices=np.array([6, 7]),
+            honest_indices=np.arange(6),
+            num_workers=8,
+            params=params,
+        )
+        out = attack.craft(ctx)
+        assert out.shape == (2, model.dimension)
+        assert np.all(np.isfinite(out))
+
+    def test_poisoned_gradient_misaligned_with_true(self, setup, rng):
+        """Flipped-label gradients point away from the clean gradient."""
+        model, dataset, params, shards = setup
+        attack = LabelFlipAttack(model, shards, num_classes=3, batch_size=60)
+        ctx = make_context(
+            rng,
+            num_honest=4,
+            num_byzantine=1,
+            dimension=model.dimension,
+            honest_gradients=np.zeros((4, model.dimension)),
+            byzantine_indices=np.array([4]),
+            honest_indices=np.arange(4),
+            num_workers=5,
+            params=params,
+        )
+        poisoned = attack.craft(ctx)[0]
+        clean = model.gradient(params, dataset.inputs, dataset.targets)
+        cosine = (poisoned @ clean) / (
+            np.linalg.norm(poisoned) * np.linalg.norm(clean)
+        )
+        assert cosine < 0.5
+
+    def test_rejects_empty_shards(self, setup):
+        model, _dataset, _params, _shards = setup
+        with pytest.raises(ConfigurationError):
+            LabelFlipAttack(model, [], num_classes=3, batch_size=8)
+
+    def test_rejects_bad_num_classes(self, setup):
+        model, _dataset, _params, shards = setup
+        with pytest.raises(ConfigurationError):
+            LabelFlipAttack(model, shards, num_classes=1, batch_size=8)

@@ -1,0 +1,71 @@
+"""Tests for linear choice functions, including the Lemma 3.1 weakness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.average import Average, WeightedAverage
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+class TestAverage:
+    def test_mean(self, rng):
+        vectors = rng.standard_normal((6, 4))
+        np.testing.assert_allclose(Average().aggregate(vectors), vectors.mean(axis=0))
+
+    def test_single_vector(self):
+        vectors = np.array([[1.0, 2.0]])
+        np.testing.assert_array_equal(Average().aggregate(vectors), [1.0, 2.0])
+
+    def test_lemma31_single_byzantine_controls_output(self, rng):
+        """Lemma 3.1: one Byzantine worker forces the average to any U."""
+        target = rng.standard_normal(5)
+        honest = rng.standard_normal((9, 5))
+        n = 10
+        byzantine = n * target - honest.sum(axis=0)
+        stack = np.vstack([honest, byzantine[None, :]])
+        np.testing.assert_allclose(Average().aggregate(stack), target, atol=1e-9)
+
+
+class TestWeightedAverage:
+    def test_uniform_weights_match_average(self, rng):
+        vectors = rng.standard_normal((5, 3))
+        rule = WeightedAverage(np.ones(5))
+        np.testing.assert_allclose(
+            rule.aggregate(vectors), vectors.mean(axis=0), atol=1e-12
+        )
+
+    def test_weights_applied(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0]])
+        rule = WeightedAverage(np.array([3.0, 1.0]))
+        np.testing.assert_allclose(rule.aggregate(vectors), [0.75, 0.25])
+
+    def test_unnormalized_weights(self):
+        vectors = np.array([[1.0], [1.0]])
+        rule = WeightedAverage(np.array([2.0, 2.0]), normalize=False)
+        np.testing.assert_allclose(rule.aggregate(vectors), [4.0])
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ConfigurationError, match="non-zero"):
+            WeightedAverage(np.array([1.0, 0.0]))
+
+    def test_rejects_zero_sum_normalization(self):
+        with pytest.raises(ConfigurationError):
+            WeightedAverage(np.array([1.0, -1.0]))
+
+    def test_rejects_worker_count_mismatch(self, rng):
+        rule = WeightedAverage(np.ones(4))
+        with pytest.raises(DimensionMismatchError):
+            rule.aggregate(rng.standard_normal((5, 2)))
+
+    def test_lemma31_holds_for_any_nonzero_weights(self, rng):
+        """The hijack works for arbitrary non-zero coefficient vectors."""
+        weights = rng.uniform(0.5, 2.0, size=7)
+        weights[3] = -1.2  # negative coefficients too
+        rule = WeightedAverage(weights, normalize=False)
+        target = rng.standard_normal(4)
+        honest = rng.standard_normal((6, 4))
+        # Byzantine worker sits in slot 6.
+        contribution = weights[:6] @ honest
+        byzantine = (target - contribution) / weights[6]
+        stack = np.vstack([honest, byzantine[None, :]])
+        np.testing.assert_allclose(rule.aggregate(stack), target, atol=1e-9)

@@ -1,0 +1,53 @@
+"""Tests for the flawed closest-to-all rule (Figure 2)."""
+
+import numpy as np
+
+from repro.baselines.distance_based import ClosestToAll
+from repro.core.krum import Krum
+
+
+class TestClosestToAll:
+    def test_selects_input_vector(self, rng):
+        vectors = rng.standard_normal((8, 4))
+        out = ClosestToAll().aggregate(vectors)
+        assert any(np.array_equal(out, v) for v in vectors)
+
+    def test_selects_most_central(self):
+        vectors = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 0.1], [0.0, 1.0]])
+        result = ClosestToAll().aggregate_detailed(vectors)
+        # Vector 2 is nearest the barycenter (0.375, 0.275).
+        assert int(result.selected[0]) == 2
+
+    def test_tolerates_one_byzantine(self, honest_cloud):
+        # With a single far outlier, the outlier cannot win: its summed
+        # distance dwarfs everyone else's.
+        byzantine = 1e6 * np.ones((1, 8))
+        stack = np.vstack([honest_cloud, byzantine])
+        result = ClosestToAll().aggregate_detailed(stack)
+        assert int(result.selected[0]) < 10
+
+    def test_figure2_collusion_defeats_it_but_not_krum(self, rng):
+        """The paper's Figure 2: two colluders beat closest-to-all."""
+        honest = np.full((9, 4), 3.0) + 0.05 * rng.standard_normal((9, 4))
+        f = 3
+        n = 9 + f
+        decoy = np.full(4, 1e4)
+        trojan = (honest.sum(axis=0) + (f - 1) * decoy) / (n - 1)
+        stack = np.vstack([honest, np.tile(decoy, (f - 1, 1)), trojan[None, :]])
+
+        flawed = ClosestToAll().aggregate_detailed(stack)
+        assert int(flawed.selected[0]) == n - 1, "trojan must win closest-to-all"
+
+        robust = Krum(f=f).aggregate_detailed(stack)
+        assert int(robust.selected[0]) < 9, "Krum must still pick honest"
+
+    def test_collusion_works_at_any_distance(self, rng):
+        """Figure 2's point: the decoys can be arbitrarily remote."""
+        honest = np.zeros((5, 3)) + 0.01 * rng.standard_normal((5, 3))
+        for magnitude in (1e2, 1e5, 1e8):
+            decoy = np.full(3, magnitude)
+            n = 7
+            trojan = (honest.sum(axis=0) + decoy) / (n - 1)
+            stack = np.vstack([honest, decoy[None, :], trojan[None, :]])
+            result = ClosestToAll().aggregate_detailed(stack)
+            assert int(result.selected[0]) == 6

@@ -1,0 +1,53 @@
+"""Tests for the exponential minimal-diameter subset rule."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.majority import MinimalDiameterSubset
+from repro.exceptions import ByzantineToleranceError, ConfigurationError
+
+
+class TestMinimalDiameterSubset:
+    def test_picks_tight_cluster(self, rng):
+        cluster = 0.01 * rng.standard_normal((6, 3))
+        outliers = 50.0 + rng.standard_normal((2, 3))
+        stack = np.vstack([cluster, outliers])
+        result = MinimalDiameterSubset(f=2).aggregate_detailed(stack)
+        np.testing.assert_array_equal(np.sort(result.selected), np.arange(6))
+
+    def test_output_is_subset_mean(self, rng):
+        vectors = rng.standard_normal((7, 4))
+        rule = MinimalDiameterSubset(f=2)
+        result = rule.aggregate_detailed(vectors)
+        np.testing.assert_allclose(
+            result.vector, vectors[result.selected].mean(axis=0)
+        )
+
+    def test_f_zero_keeps_everything(self, rng):
+        vectors = rng.standard_normal((5, 2))
+        result = MinimalDiameterSubset(f=0).aggregate_detailed(vectors)
+        assert result.selected.size == 5
+        np.testing.assert_allclose(result.vector, vectors.mean(axis=0))
+
+    def test_robust_to_colluding_attack_that_beats_closest_to_all(self, rng):
+        honest = np.zeros((6, 3)) + 0.01 * rng.standard_normal((6, 3))
+        decoy = np.full(3, 1e4)
+        n = 8
+        trojan = (honest.sum(axis=0) + decoy) / (n - 1)
+        stack = np.vstack([honest, decoy[None, :], trojan[None, :]])
+        result = MinimalDiameterSubset(f=2).aggregate_detailed(stack)
+        assert np.all(result.selected < 6)
+
+    def test_needs_two_survivors(self):
+        with pytest.raises(ByzantineToleranceError):
+            MinimalDiameterSubset(f=3).aggregate(np.zeros((4, 2)))
+
+    def test_subset_budget_guard(self):
+        rule = MinimalDiameterSubset(f=10, max_subsets=100)
+        with pytest.raises(ConfigurationError, match="exponential"):
+            rule.aggregate(np.zeros((30, 2)))
+
+    def test_deterministic_tie_break(self):
+        vectors = np.zeros((5, 2))  # every subset has diameter 0
+        result = MinimalDiameterSubset(f=1).aggregate_detailed(vectors)
+        np.testing.assert_array_equal(result.selected, [0, 1, 2, 3])

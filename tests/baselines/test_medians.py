@@ -1,0 +1,98 @@
+"""Tests for coordinate median, trimmed mean and geometric median."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.medians import (
+    CoordinateWiseMedian,
+    GeometricMedian,
+    TrimmedMean,
+)
+from repro.exceptions import ByzantineToleranceError
+
+
+class TestCoordinateWiseMedian:
+    def test_matches_numpy(self, rng):
+        vectors = rng.standard_normal((9, 5))
+        np.testing.assert_allclose(
+            CoordinateWiseMedian().aggregate(vectors), np.median(vectors, axis=0)
+        )
+
+    def test_resists_minority_outliers(self, honest_cloud):
+        byzantine = 1e9 * np.ones((4, 8))
+        stack = np.vstack([honest_cloud, byzantine])
+        out = CoordinateWiseMedian().aggregate(stack)
+        np.testing.assert_allclose(out, np.full(8, 2.0), atol=0.5)
+
+
+class TestTrimmedMean:
+    def test_f_zero_is_average(self, rng):
+        vectors = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(
+            TrimmedMean(f=0).aggregate(vectors), vectors.mean(axis=0)
+        )
+
+    def test_trims_extremes_per_coordinate(self):
+        vectors = np.array([[0.0], [1.0], [2.0], [100.0], [-100.0]])
+        out = TrimmedMean(f=1).aggregate(vectors)
+        np.testing.assert_allclose(out, [1.0])
+
+    def test_output_within_honest_range_when_f_correct(self, honest_cloud, rng):
+        byzantine = 1e6 * rng.standard_normal((3, 8))
+        stack = np.vstack([honest_cloud, byzantine])
+        out = TrimmedMean(f=3).aggregate(stack)
+        assert np.all(out >= honest_cloud.min(axis=0) - 1e-9)
+        assert np.all(out <= honest_cloud.max(axis=0) + 1e-9)
+
+    def test_requires_n_greater_than_2f(self):
+        with pytest.raises(ByzantineToleranceError, match="n > 2f"):
+            TrimmedMean(f=2).aggregate(np.zeros((4, 2)))
+
+
+class TestGeometricMedian:
+    def test_collinear_median(self):
+        vectors = np.array([[0.0], [1.0], [10.0]])
+        out = GeometricMedian().aggregate(vectors)
+        assert out[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric_configuration(self):
+        # Vertices of an equilateral-ish symmetric set: median at centroid.
+        vectors = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        out = GeometricMedian().aggregate(vectors)
+        np.testing.assert_allclose(out, [0.0, 0.0], atol=1e-7)
+
+    def test_single_point(self):
+        out = GeometricMedian().aggregate(np.array([[3.0, 4.0]]))
+        np.testing.assert_array_equal(out, [3.0, 4.0])
+
+    def test_two_points_median_between(self):
+        # Any point on the segment minimizes; Weiszfeld returns the midpoint
+        # by symmetry of its initialization.
+        vectors = np.array([[0.0, 0.0], [2.0, 0.0]])
+        out = GeometricMedian().aggregate(vectors)
+        assert 0.0 <= out[0] <= 2.0
+        assert out[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_majority_at_point_pins_median(self):
+        # With > n/2 points at the same location, the geometric median IS
+        # that location (breakdown-point property).
+        vectors = np.vstack([np.tile([5.0, 5.0], (6, 1)), [[100.0, -3.0]], [[-40.0, 7.0]]])
+        out = GeometricMedian().aggregate(vectors)
+        np.testing.assert_allclose(out, [5.0, 5.0], atol=1e-6)
+
+    def test_resists_far_outliers_better_than_mean(self, honest_cloud):
+        byzantine = 1e6 * np.ones((4, 8))
+        stack = np.vstack([honest_cloud, byzantine])
+        gm = GeometricMedian().aggregate(stack)
+        mean = stack.mean(axis=0)
+        truth = np.full(8, 2.0)
+        assert np.linalg.norm(gm - truth) < np.linalg.norm(mean - truth) / 1e3
+
+    def test_gradient_optimality(self, rng):
+        # At the optimum the sum of unit vectors toward the points ~ 0.
+        vectors = rng.standard_normal((15, 3))
+        out = GeometricMedian(tolerance=1e-12).aggregate(vectors)
+        diffs = vectors - out
+        norms = np.linalg.norm(diffs, axis=1)
+        residual = (diffs / norms[:, None]).sum(axis=0)
+        assert np.linalg.norm(residual) < 1e-4

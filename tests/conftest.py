@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def honest_cloud(rng: np.random.Generator) -> np.ndarray:
+    """A tight cluster of 10 'honest' 8-dimensional gradient estimates."""
+    center = np.full(8, 2.0)
+    return center + 0.1 * rng.standard_normal((10, 8))

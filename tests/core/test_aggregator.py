@@ -1,0 +1,48 @@
+"""Tests for the Aggregator interface machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.average import Average
+from repro.core.aggregator import AggregationResult, Aggregator
+from repro.core.krum import Krum
+from repro.exceptions import ByzantineToleranceError, DimensionMismatchError
+
+
+class TestAggregatorInterface:
+    def test_call_is_aggregate(self, honest_cloud):
+        rule = Average()
+        np.testing.assert_array_equal(rule(honest_cloud), rule.aggregate(honest_cloud))
+
+    def test_detailed_vector_matches_aggregate(self, honest_cloud):
+        rule = Krum(f=3)
+        detailed = rule.aggregate_detailed(honest_cloud)
+        np.testing.assert_array_equal(detailed.vector, rule.aggregate(honest_cloud))
+
+    def test_default_result_has_empty_selection(self, honest_cloud):
+        result = Average().aggregate_detailed(honest_cloud)
+        assert result.selected.size == 0
+        assert result.scores is None
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(DimensionMismatchError):
+            Average().aggregate(np.ones(4))
+
+    def test_repr_contains_name(self):
+        assert "krum" in repr(Krum(f=1))
+
+    def test_base_check_tolerance_rejects_zero(self):
+        class Dummy(Aggregator):
+            def aggregate_detailed(self, vectors):
+                vectors = self._validated(vectors)
+                return AggregationResult(vector=vectors[0])
+
+        with pytest.raises(ByzantineToleranceError):
+            Dummy().check_tolerance(0)
+
+
+class TestAggregationResult:
+    def test_defaults(self):
+        result = AggregationResult(vector=np.ones(3))
+        assert result.selected.size == 0
+        assert result.scores is None

@@ -1,0 +1,114 @@
+"""Tests for the Bulyan extension."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.modern import LittleIsEnoughAttack
+from repro.core.bulyan import Bulyan
+from repro.core.krum import Krum
+from repro.core.registry import make_aggregator
+from repro.exceptions import ByzantineToleranceError
+from tests.attacks.test_base import make_context
+
+
+class TestBulyanBasics:
+    def test_requires_4f_plus_3(self):
+        with pytest.raises(ByzantineToleranceError, match="4f"):
+            Bulyan(f=2).aggregate(np.zeros((10, 3)))
+
+    def test_minimum_n_accepted(self, rng):
+        vectors = rng.standard_normal((11, 4))  # 4*2+3
+        out = Bulyan(f=2).aggregate(vectors)
+        assert out.shape == (4,)
+
+    def test_f_zero_is_committee_of_all(self, rng):
+        vectors = rng.standard_normal((5, 3))
+        result = Bulyan(f=0).aggregate_detailed(vectors)
+        assert result.selected.size == 5
+        np.testing.assert_allclose(result.vector, vectors.mean(axis=0))
+
+    def test_unanimity(self):
+        vectors = np.tile(np.array([1.0, -2.0, 3.0]), (11, 1))
+        np.testing.assert_allclose(
+            Bulyan(f=2).aggregate(vectors), [1.0, -2.0, 3.0]
+        )
+
+    def test_committee_admits_at_most_f_byzantine(self, rng):
+        # Identical far Byzantine vectors can sneak into the committee's
+        # tail (their mutual distance is 0 once the pool shrinks); the
+        # guarantee is that at most f of them can, and the trimmed
+        # aggregation phase neutralizes those.
+        honest = 0.1 * rng.standard_normal((9, 4))
+        byzantine = 1e6 * np.ones((2, 4))
+        stack = np.vstack([honest, byzantine])
+        result = Bulyan(f=2).aggregate_detailed(stack)
+        byzantine_in_committee = int(np.sum(result.selected >= 9))
+        assert byzantine_in_committee <= 2
+        # The output itself must ignore them entirely.
+        assert np.all(np.abs(result.vector) < 1.0)
+
+    def test_output_within_honest_envelope(self, rng):
+        honest = rng.standard_normal((9, 5))
+        byzantine = 1e5 * np.ones((2, 5))
+        stack = np.vstack([honest, byzantine])
+        out = Bulyan(f=2).aggregate(stack)
+        assert np.all(out >= honest.min(axis=0) - 1e-9)
+        assert np.all(out <= honest.max(axis=0) + 1e-9)
+
+    def test_registered(self):
+        rule = make_aggregator("bulyan", f=1)
+        assert isinstance(rule, Bulyan)
+
+
+class TestBulyanVsStealthAttack:
+    def test_blunts_single_coordinate_planting(self, rng):
+        """The ICML'18 motivation: a proposal inside the honest cloud on
+        all-but-one coordinate, with one planted coordinate at the cloud
+        edge, can win Krum's *whole-vector* selection, shifting that
+        coordinate; Bulyan's per-coordinate trim caps the shift."""
+        f, n = 3, 15
+        num_honest = n - f
+        krum_err, bulyan_err = [], []
+        for trial in range(30):
+            trial_rng = np.random.default_rng(trial)
+            honest = trial_rng.standard_normal((num_honest, 20))
+            # Byzantine: copy the honest mean exactly (unbeatable Krum
+            # score) but plant +3 std on coordinate 0.
+            crafted = np.tile(honest.mean(axis=0), (f, 1))
+            crafted[:, 0] += 3.0 * honest[:, 0].std()
+            stack = np.vstack([honest, crafted])
+            truth = np.zeros(20)
+            krum_err.append(
+                abs(Krum(f=f).aggregate(stack)[0] - truth[0])
+            )
+            bulyan_err.append(
+                abs(Bulyan(f=f).aggregate(stack)[0] - truth[0])
+            )
+        assert np.mean(bulyan_err) < np.mean(krum_err), (
+            f"bulyan {np.mean(bulyan_err):.3f} should beat krum "
+            f"{np.mean(krum_err):.3f} on the planted coordinate"
+        )
+
+    def test_little_is_enough_comparison(self, rng):
+        """Aggregate error under little-is-enough: Bulyan's trimmed
+        aggregation bounds the per-coordinate displacement."""
+        f, n, d = 3, 15, 10
+        attack = LittleIsEnoughAttack(z=1.0)
+        errors = {"krum": [], "bulyan": []}
+        for trial in range(30):
+            trial_rng = np.random.default_rng(100 + trial)
+            ctx = make_context(
+                trial_rng,
+                num_honest=n - f,
+                num_byzantine=f,
+                dimension=d,
+            )
+            stack = np.vstack([ctx.honest_gradients, attack.craft(ctx)])
+            truth = np.ones(d)  # make_context centers honest at 1.0
+            errors["krum"].append(
+                float(np.linalg.norm(Krum(f=f).aggregate(stack) - truth))
+            )
+            errors["bulyan"].append(
+                float(np.linalg.norm(Bulyan(f=f).aggregate(stack) - truth))
+            )
+        assert np.mean(errors["bulyan"]) < np.mean(errors["krum"])

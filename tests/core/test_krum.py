@@ -1,0 +1,129 @@
+"""Tests for the Krum choice function (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.krum import Krum, krum_scores, krum_scores_reference
+from repro.exceptions import ByzantineToleranceError
+
+
+class TestKrumScores:
+    def test_matches_reference(self, rng):
+        for _trial in range(10):
+            n = int(rng.integers(5, 20))
+            f = int(rng.integers(0, (n - 3) // 2 + 1))
+            vectors = rng.standard_normal((n, 6))
+            np.testing.assert_allclose(
+                krum_scores(vectors, f),
+                krum_scores_reference(vectors, f),
+                rtol=1e-10,
+            )
+
+    def test_identical_vectors_score_zero(self):
+        vectors = np.tile(np.array([1.0, 2.0, 3.0]), (6, 1))
+        np.testing.assert_allclose(krum_scores(vectors, 1), np.zeros(6))
+
+    def test_outlier_gets_highest_score(self, rng):
+        cloud = rng.standard_normal((7, 4)) * 0.1
+        cloud[3] = 100.0
+        scores = krum_scores(cloud, 2)
+        assert np.argmax(scores) == 3
+
+    def test_rejects_too_few_neighbors(self):
+        vectors = np.zeros((4, 2))
+        with pytest.raises(ByzantineToleranceError):
+            krum_scores(vectors, 2)  # n - f - 2 = 0
+
+    def test_f_zero_uses_n_minus_two_neighbors(self, rng):
+        # With f = 0, each score sums n-2 of the n-1 distances.
+        vectors = rng.standard_normal((5, 3))
+        scores = krum_scores(vectors, 0)
+        assert np.all(scores > 0)
+        np.testing.assert_allclose(
+            scores, krum_scores_reference(vectors, 0), rtol=1e-10
+        )
+
+
+class TestKrumSelection:
+    def test_output_is_one_of_the_inputs(self, rng):
+        vectors = rng.standard_normal((9, 5))
+        chosen = Krum(f=2).aggregate(vectors)
+        assert any(np.array_equal(chosen, v) for v in vectors)
+
+    def test_rejects_far_outliers(self, honest_cloud, rng):
+        # 10 honest + 3 Byzantine very far away: Krum must pick honest.
+        byzantine = 1e6 * rng.standard_normal((3, 8))
+        stack = np.vstack([honest_cloud, byzantine])
+        result = Krum(f=3).aggregate_detailed(stack)
+        assert int(result.selected[0]) < 10
+
+    def test_tie_break_smallest_identifier(self):
+        # Two identical tight pairs; scores tie within each pair.
+        vectors = np.array(
+            [[0.0, 0.0], [0.0, 0.0], [0.0, 0.0], [5.0, 5.0], [5.0, 5.0], [9.0, 9.0]]
+        )
+        result = Krum(f=1, strict=False).aggregate_detailed(vectors)
+        assert int(result.selected[0]) == 0
+
+    def test_strict_enforces_2f_plus_2(self):
+        vectors = np.zeros((6, 2))
+        with pytest.raises(ByzantineToleranceError, match="2f"):
+            Krum(f=2).aggregate(vectors)  # 2*2+2 = 6, not < 6
+
+    def test_non_strict_allows_structural_minimum(self):
+        vectors = np.arange(12, dtype=float).reshape(6, 2)
+        chosen = Krum(f=2, strict=False).aggregate(vectors)
+        assert chosen.shape == (2,)
+
+    def test_non_strict_still_needs_neighbors(self):
+        vectors = np.zeros((5, 2))
+        with pytest.raises(ByzantineToleranceError):
+            Krum(f=3, strict=False).aggregate(vectors)
+
+    def test_minimum_viable_cluster(self, rng):
+        # n = 2f + 3 is the smallest n satisfying the precondition.
+        f = 2
+        n = 2 * f + 3
+        vectors = rng.standard_normal((n, 3))
+        chosen = Krum(f=f).aggregate(vectors)
+        assert any(np.array_equal(chosen, v) for v in vectors)
+
+    def test_f_zero_picks_most_central(self, rng):
+        cloud = rng.standard_normal((8, 3))
+        result = Krum(f=0).aggregate_detailed(cloud)
+        assert result.scores is not None
+        assert int(result.selected[0]) == int(np.argmin(result.scores))
+
+    def test_scores_returned(self, honest_cloud):
+        result = Krum(f=3).aggregate_detailed(honest_cloud)
+        assert result.scores.shape == (10,)
+
+    def test_handles_non_finite_byzantine_values(self, honest_cloud):
+        # A Byzantine worker may send NaN/Inf; Krum must not crash and
+        # must not select it.
+        bad = np.full((2, 8), np.nan)
+        stack = np.vstack([honest_cloud, bad])
+        result = Krum(f=2).aggregate_detailed(stack)
+        assert int(result.selected[0]) < 10
+        assert np.all(np.isfinite(result.vector))
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(Exception):
+            Krum(f=-1)
+
+    def test_name_contains_f(self):
+        assert "f=3" in Krum(f=3).name
+
+
+class TestKrumAgainstTheAttackOfFigure2:
+    def test_collusion_does_not_fool_krum(self, rng):
+        # Construct the Figure 2 scenario manually: honest cluster, f-1
+        # remote decoys, one trojan at the overall barycenter.
+        honest = np.full((9, 4), 3.0) + 0.05 * rng.standard_normal((9, 4))
+        f = 3
+        decoy = np.full(4, 1e5)
+        n = 9 + f
+        trojan = (honest.sum(axis=0) + (f - 1) * decoy) / (n - 1)
+        stack = np.vstack([honest, np.tile(decoy, (f - 1, 1)), trojan[None, :]])
+        result = Krum(f=f).aggregate_detailed(stack)
+        assert int(result.selected[0]) < 9, "Krum must select an honest vector"

@@ -1,0 +1,82 @@
+"""Tests for Multi-Krum."""
+
+import numpy as np
+import pytest
+
+from repro.core.krum import Krum, MultiKrum, krum_scores
+from repro.exceptions import ByzantineToleranceError, ConfigurationError
+
+
+class TestMultiKrum:
+    def test_m_equals_one_reduces_to_krum(self, rng):
+        vectors = rng.standard_normal((11, 6))
+        krum_out = Krum(f=3).aggregate(vectors)
+        multi_out = MultiKrum(f=3, m=1).aggregate(vectors)
+        np.testing.assert_array_equal(krum_out, multi_out)
+
+    def test_output_is_mean_of_selected(self, rng):
+        vectors = rng.standard_normal((12, 4))
+        rule = MultiKrum(f=3, m=4)
+        result = rule.aggregate_detailed(vectors)
+        np.testing.assert_allclose(
+            result.vector, vectors[result.selected].mean(axis=0)
+        )
+
+    def test_selected_are_lowest_scores(self, rng):
+        vectors = rng.standard_normal((13, 5))
+        rule = MultiKrum(f=3, m=5)
+        result = rule.aggregate_detailed(vectors)
+        scores = krum_scores(vectors, 3)
+        worst_selected = scores[result.selected].max()
+        unselected = np.setdiff1d(np.arange(13), result.selected)
+        assert np.all(scores[unselected] >= worst_selected - 1e-12)
+
+    def test_excludes_far_byzantine(self, honest_cloud, rng):
+        byzantine = 1e5 * np.ones((3, 8))
+        stack = np.vstack([honest_cloud, byzantine])
+        result = MultiKrum(f=3, m=6).aggregate_detailed(stack)
+        assert np.all(result.selected < 10)
+
+    def test_m_bound_enforced_strict(self):
+        vectors = np.zeros((11, 2))
+        rule = MultiKrum(f=3, m=7)  # n - f - 2 = 6 < 7
+        with pytest.raises(ByzantineToleranceError, match="m <= n - f - 2"):
+            rule.aggregate(vectors)
+
+    def test_m_up_to_n_in_relaxed_mode(self, rng):
+        vectors = rng.standard_normal((11, 3))
+        rule = MultiKrum(f=3, m=11, strict=False)
+        result = rule.aggregate_detailed(vectors)
+        # With m = n, Multi-Krum degenerates to plain averaging.
+        np.testing.assert_allclose(result.vector, vectors.mean(axis=0))
+
+    def test_m_above_n_rejected_even_relaxed(self):
+        vectors = np.zeros((8, 2))
+        with pytest.raises(ConfigurationError):
+            MultiKrum(f=2, m=9, strict=False).aggregate(vectors)
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MultiKrum(f=2, m=0)
+
+    def test_deterministic_tie_break(self):
+        vectors = np.zeros((9, 3))  # all identical: every score ties at 0
+        result = MultiKrum(f=2, m=3).aggregate_detailed(vectors)
+        np.testing.assert_array_equal(result.selected, [0, 1, 2])
+
+    def test_variance_reduction_over_krum(self, rng):
+        # With no Byzantine workers, Multi-Krum's average of m vectors has
+        # lower deviation from the true mean than single-vector Krum.
+        truth = np.full(6, 1.0)
+        krum_err, multi_err = 0.0, 0.0
+        trials = 40
+        for t in range(trials):
+            trial_rng = np.random.default_rng(t)
+            vectors = truth + trial_rng.standard_normal((13, 6))
+            krum_err += float(
+                np.linalg.norm(Krum(f=2).aggregate(vectors) - truth)
+            )
+            multi_err += float(
+                np.linalg.norm(MultiKrum(f=2, m=9).aggregate(vectors) - truth)
+            )
+        assert multi_err < krum_err

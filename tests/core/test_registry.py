@@ -1,0 +1,61 @@
+"""Tests for the aggregator registry."""
+
+import pytest
+
+from repro.core.aggregator import Aggregator
+from repro.core.registry import (
+    available_aggregators,
+    make_aggregator,
+    register_aggregator,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        names = available_aggregators()
+        for expected in (
+            "krum",
+            "multi-krum",
+            "average",
+            "weighted-average",
+            "closest-to-all",
+            "minimal-diameter",
+            "coordinate-median",
+            "trimmed-mean",
+            "geometric-median",
+        ):
+            assert expected in names
+
+    def test_make_krum(self):
+        rule = make_aggregator("krum", f=2)
+        assert isinstance(rule, Aggregator)
+        assert rule.f == 2
+
+    def test_make_multikrum_with_kwargs(self):
+        rule = make_aggregator("multi-krum", f=2, m=3)
+        assert rule.m == 3
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            make_aggregator("no-such-rule")
+
+    def test_register_custom(self):
+        class Custom(Aggregator):
+            name = "custom"
+
+            def aggregate_detailed(self, vectors):
+                raise NotImplementedError
+
+        register_aggregator("custom-test-rule", Custom)
+        try:
+            assert isinstance(make_aggregator("custom-test-rule"), Custom)
+        finally:
+            # Keep the global registry clean for other tests.
+            from repro.core import registry
+
+            registry._REGISTRY.pop("custom-test-rule", None)
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            register_aggregator("", lambda: None)

@@ -1,0 +1,116 @@
+"""Tests for the resilience theory helpers (Prop. 4.2 constants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    check_krum_precondition,
+    eta,
+    krum_variance_bound,
+    max_tolerable_f,
+    resilience_angle,
+)
+from repro.exceptions import ByzantineToleranceError, ConfigurationError
+
+
+class TestPrecondition:
+    @pytest.mark.parametrize("n,f", [(5, 1), (7, 2), (23, 10), (4, 0)])
+    def test_accepts_valid_pairs(self, n, f):
+        check_krum_precondition(n, f)  # must not raise
+
+    @pytest.mark.parametrize("n,f", [(4, 1), (6, 2), (3, 1), (2, 0)])
+    def test_rejects_invalid_pairs(self, n, f):
+        with pytest.raises(ByzantineToleranceError):
+            check_krum_precondition(n, f)
+
+    def test_rejects_negative_f(self):
+        with pytest.raises(ConfigurationError):
+            check_krum_precondition(10, -1)
+
+    def test_error_reports_max_f(self):
+        with pytest.raises(ByzantineToleranceError, match="max tolerable f is 3"):
+            check_krum_precondition(9, 4)
+
+
+class TestMaxTolerableF:
+    @pytest.mark.parametrize("n,expected", [(3, 0), (5, 1), (10, 3), (100, 48)])
+    def test_values(self, n, expected):
+        assert max_tolerable_f(n) == expected
+
+    def test_consistency_with_precondition(self):
+        for n in range(3, 60):
+            f = max_tolerable_f(n)
+            check_krum_precondition(n, f)
+            with pytest.raises(ByzantineToleranceError):
+                check_krum_precondition(n, f + 1)
+
+    def test_asymptotically_half(self):
+        # "up to half the workers": f/n -> 1/2 as n grows.
+        assert max_tolerable_f(10_001) / 10_001 == pytest.approx(0.5, abs=0.001)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            max_tolerable_f(2)
+
+
+class TestEta:
+    def test_f_zero_value(self):
+        # With f = 0 the formula reduces to sqrt(2 n).
+        assert eta(10, 0) == pytest.approx(np.sqrt(20.0))
+
+    def test_sqrt_n_regime_for_constant_f(self):
+        # f = O(1): eta(n, f) / sqrt(n) should approach a constant.
+        ratios = [eta(n, 2) / np.sqrt(n) for n in (100, 1000, 10000)]
+        assert ratios[2] == pytest.approx(ratios[1], rel=0.05)
+
+    def test_linear_regime_for_proportional_f(self):
+        # f = n/4: eta(n, f) / n should approach a constant.
+        ratios = [eta(n, n // 4) / n for n in (100, 1000, 10000)]
+        assert ratios[2] == pytest.approx(ratios[1], rel=0.05)
+
+    def test_monotone_in_f(self):
+        values = [eta(25, f) for f in range(0, 11)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rejects_precondition_violation(self):
+        with pytest.raises(ByzantineToleranceError):
+            eta(6, 2)
+
+
+class TestResilienceAngle:
+    def test_zero_sigma_gives_zero_angle(self):
+        assert resilience_angle(11, 2, 10, 0.0, 1.0) == 0.0
+
+    def test_angle_increases_with_sigma(self):
+        angles = [resilience_angle(11, 2, 4, s, 10.0) for s in (0.01, 0.05, 0.1)]
+        assert angles[0] < angles[1] < angles[2]
+
+    def test_violation_raises(self):
+        with pytest.raises(ByzantineToleranceError, match="variance condition"):
+            resilience_angle(11, 2, 100, 1.0, 0.1)
+
+    def test_angle_below_pi_half(self):
+        alpha = resilience_angle(11, 2, 4, 0.01, 10.0)
+        assert 0.0 <= alpha < np.pi / 2
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            resilience_angle(11, 2, 0, 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            resilience_angle(11, 2, 5, -0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            resilience_angle(11, 2, 5, 0.1, 0.0)
+
+
+class TestVarianceBound:
+    def test_formula(self):
+        assert krum_variance_bound(11, 2, 9, 0.5) == pytest.approx(
+            eta(11, 2) * 3.0 * 0.5
+        )
+
+    def test_zero_sigma(self):
+        assert krum_variance_bound(11, 2, 9, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            krum_variance_bound(11, 2, 0, 0.5)

@@ -1,0 +1,89 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, train_test_split
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+def _toy(n=10):
+    return Dataset(
+        np.arange(n * 2, dtype=float).reshape(n, 2),
+        np.arange(n) % 3,
+        task="multiclass",
+        num_classes=3,
+    )
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = _toy()
+        assert len(ds) == 10
+        assert ds.num_features == 2
+        assert ds.targets.dtype == np.int64
+
+    def test_regression_targets_float(self):
+        ds = Dataset(np.zeros((4, 2)), np.arange(4), task="regression")
+        assert ds.targets.dtype == np.float64
+
+    def test_subset(self):
+        ds = _toy()
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.targets, ds.targets[[1, 3, 5]])
+
+    def test_shuffled_preserves_pairs(self):
+        ds = _toy()
+        shuffled = ds.shuffled(seed=0)
+        # Every (input, target) pair must survive the shuffle.
+        original = {(tuple(x), int(y)) for x, y in zip(ds.inputs, ds.targets)}
+        after = {(tuple(x), int(y)) for x, y in zip(shuffled.inputs, shuffled.targets)}
+        assert original == after
+
+    def test_rejects_label_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            Dataset(np.zeros((2, 1)), [0, 5], task="multiclass", num_classes=3)
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((2, 1)), [0, 1], task="ranking")
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Dataset(np.zeros((3, 1)), [0, 1], task="binary", num_classes=2)
+
+    def test_rejects_1d_inputs(self):
+        with pytest.raises(DimensionMismatchError):
+            Dataset(np.zeros(3), [0, 1, 0], task="binary", num_classes=2)
+
+    def test_missing_num_classes(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((2, 1)), [0, 1], task="binary")
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(_toy(100), test_fraction=0.25, seed=1)
+        assert len(test) == 25
+        assert len(train) == 75
+
+    def test_disjoint_and_covering(self):
+        ds = _toy(50)
+        train, test = train_test_split(ds, test_fraction=0.2, seed=0)
+        train_rows = {tuple(x) for x in train.inputs}
+        test_rows = {tuple(x) for x in test.inputs}
+        assert train_rows.isdisjoint(test_rows)
+        assert len(train_rows | test_rows) == 50
+
+    def test_reproducible(self):
+        ds = _toy(30)
+        a_train, _ = train_test_split(ds, seed=5)
+        b_train, _ = train_test_split(ds, seed=5)
+        np.testing.assert_array_equal(a_train.inputs, b_train.inputs)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split(_toy(), test_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            train_test_split(_toy(), test_fraction=1.0)

@@ -1,0 +1,102 @@
+"""Tests for dataset partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    label_shard_partition,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _assert_disjoint_cover(partitions, n):
+    combined = np.concatenate(partitions)
+    assert len(combined) == n
+    assert len(np.unique(combined)) == n
+
+
+class TestIidPartition:
+    def test_disjoint_cover(self):
+        parts = iid_partition(103, 7, seed=0)
+        _assert_disjoint_cover(parts, 103)
+        assert len(parts) == 7
+
+    def test_near_equal_sizes(self):
+        parts = iid_partition(100, 6, seed=1)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_reproducible(self):
+        a = iid_partition(50, 5, seed=2)
+        b = iid_partition(50, 5, seed=2)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_label_distribution_approximately_uniform(self, rng):
+        labels = rng.integers(0, 4, size=4000)
+        parts = iid_partition(4000, 4, seed=3)
+        for part in parts:
+            counts = np.bincount(labels[part], minlength=4) / len(part)
+            np.testing.assert_allclose(counts, 0.25, atol=0.05)
+
+    def test_rejects_more_workers_than_samples(self):
+        with pytest.raises(ConfigurationError):
+            iid_partition(3, 5)
+
+
+class TestLabelShardPartition:
+    def test_disjoint_cover(self, rng):
+        labels = rng.integers(0, 10, size=200)
+        parts = label_shard_partition(labels, 10, shards_per_worker=2, seed=0)
+        _assert_disjoint_cover(parts, 200)
+
+    def test_skew_is_severe(self, rng):
+        labels = np.sort(rng.integers(0, 10, size=1000))
+        parts = label_shard_partition(labels, 10, shards_per_worker=2, seed=1)
+        # Each worker should see only a few distinct labels.
+        distinct = [len(np.unique(labels[p])) for p in parts]
+        assert np.mean(distinct) < 5
+
+    def test_rejects_too_many_shards(self):
+        with pytest.raises(ConfigurationError):
+            label_shard_partition(np.zeros(5), 3, shards_per_worker=2)
+
+
+class TestDirichletPartition:
+    def test_disjoint_cover(self, rng):
+        labels = rng.integers(0, 5, size=500)
+        parts = dirichlet_partition(labels, 8, alpha=0.5, seed=0)
+        _assert_disjoint_cover(parts, 500)
+
+    def test_min_per_worker_enforced(self, rng):
+        labels = rng.integers(0, 5, size=500)
+        parts = dirichlet_partition(
+            labels, 8, alpha=0.3, min_per_worker=10, seed=1
+        )
+        assert all(len(p) >= 10 for p in parts)
+
+    def test_small_alpha_more_skewed_than_large(self, rng):
+        labels = rng.integers(0, 5, size=5000)
+
+        def label_entropy(parts):
+            entropies = []
+            for part in parts:
+                dist = np.bincount(labels[part], minlength=5) / len(part)
+                dist = dist[dist > 0]
+                entropies.append(-(dist * np.log(dist)).sum())
+            return np.mean(entropies)
+
+        skewed = dirichlet_partition(labels, 10, alpha=0.05, seed=2)
+        uniform = dirichlet_partition(labels, 10, alpha=100.0, seed=2)
+        assert label_entropy(skewed) < label_entropy(uniform)
+
+    def test_rejects_bad_alpha(self, rng):
+        with pytest.raises(ConfigurationError):
+            dirichlet_partition(np.zeros(10), 2, alpha=0.0)
+
+    def test_impossible_min_raises(self, rng):
+        labels = rng.integers(0, 2, size=10)
+        with pytest.raises(ConfigurationError):
+            dirichlet_partition(labels, 5, alpha=0.5, min_per_worker=10)

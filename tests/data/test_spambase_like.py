@@ -1,0 +1,52 @@
+"""Tests for the procedural spambase substitute."""
+
+import numpy as np
+import pytest
+
+from repro.data.spambase_like import NUM_FEATURES, make_spambase_like
+from repro.exceptions import ConfigurationError
+from repro.models.logistic import LogisticRegressionModel
+
+
+class TestMakeSpambaseLike:
+    def test_shapes(self):
+        ds = make_spambase_like(100, seed=0)
+        assert ds.inputs.shape == (100, NUM_FEATURES)
+        assert NUM_FEATURES == 57  # matches real spambase
+        assert ds.task == "binary"
+
+    def test_reproducible(self):
+        a = make_spambase_like(50, seed=9)
+        b = make_spambase_like(50, seed=9)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_spam_fraction_respected(self):
+        ds = make_spambase_like(5000, spam_fraction=0.4, seed=1)
+        assert ds.targets.mean() == pytest.approx(0.4, abs=0.03)
+
+    def test_features_non_negative(self):
+        ds = make_spambase_like(200, seed=2)
+        assert np.all(ds.inputs >= 0.0)
+
+    def test_run_length_features_heavy_tailed(self):
+        ds = make_spambase_like(2000, seed=3)
+        run_features = ds.inputs[:, -3:]
+        freq_features = ds.inputs[:, :-3]
+        assert run_features.mean() > freq_features.mean()
+
+    def test_task_is_learnable(self, rng):
+        train = make_spambase_like(1500, seed=4)
+        test = make_spambase_like(500, seed=5)
+        model = LogisticRegressionModel(NUM_FEATURES)
+        params = model.init_params(rng)
+        for _step in range(400):
+            params -= 0.3 * model.gradient(params, train.inputs, train.targets)
+        assert model.accuracy(params, test.inputs, test.targets) > 0.8
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            make_spambase_like(10, spam_fraction=0.0)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            make_spambase_like(1)

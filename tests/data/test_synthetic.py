@@ -1,0 +1,67 @@
+"""Tests for synthetic task generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs, make_linear_regression, make_logistic_data
+from repro.exceptions import ConfigurationError
+
+
+class TestMakeBlobs:
+    def test_shapes(self):
+        ds = make_blobs(50, num_classes=4, num_features=3, seed=0)
+        assert ds.inputs.shape == (50, 3)
+        assert ds.num_classes == 4
+        assert ds.task == "multiclass"
+
+    def test_reproducible(self):
+        a = make_blobs(20, seed=7)
+        b = make_blobs(20, seed=7)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+    def test_clusters_are_separated_with_small_spread(self):
+        ds = make_blobs(300, num_classes=3, spread=0.05, seed=1)
+        # Class-conditional means should be far apart relative to spread.
+        means = np.stack(
+            [ds.inputs[ds.targets == c].mean(axis=0) for c in range(3)]
+        )
+        min_dist = min(
+            np.linalg.norm(means[i] - means[j])
+            for i in range(3)
+            for j in range(i + 1, 3)
+        )
+        assert min_dist > 1.0
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            make_blobs(2, num_classes=3)
+
+
+class TestMakeLinearRegression:
+    def test_noiseless_data_is_exactly_linear(self):
+        ds, params = make_linear_regression(40, num_features=3, noise=0.0, seed=2)
+        predictions = ds.inputs @ params[:-1] + params[-1]
+        np.testing.assert_allclose(predictions, ds.targets, atol=1e-12)
+
+    def test_noise_increases_residuals(self):
+        ds, params = make_linear_regression(500, num_features=3, noise=0.5, seed=2)
+        residuals = ds.targets - (ds.inputs @ params[:-1] + params[-1])
+        assert residuals.std() == pytest.approx(0.5, rel=0.2)
+
+
+class TestMakeLogisticData:
+    def test_labels_binary(self):
+        ds, _params = make_logistic_data(100, seed=3)
+        assert set(np.unique(ds.targets)) <= {0, 1}
+        assert ds.task == "binary"
+
+    def test_margin_scale_controls_separability(self):
+        easy, w_easy = make_logistic_data(2000, margin_scale=8.0, seed=4)
+        hard, w_hard = make_logistic_data(2000, margin_scale=0.5, seed=4)
+
+        def bayes_accuracy(ds, w):
+            logits = ds.inputs @ w[:-1] + w[-1]
+            return np.mean((logits > 0).astype(int) == ds.targets)
+
+        assert bayes_accuracy(easy, w_easy) > bayes_accuracy(hard, w_hard)

@@ -1,0 +1,34 @@
+"""Tests for message types."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.messages import GradientMessage, ParameterBroadcast
+from repro.exceptions import DimensionMismatchError
+
+
+class TestParameterBroadcast:
+    def test_stores_fields(self):
+        msg = ParameterBroadcast(round_index=3, params=np.ones(4))
+        assert msg.round_index == 3
+        assert msg.params.dtype == np.float64
+
+    def test_rejects_2d_params(self):
+        with pytest.raises(DimensionMismatchError):
+            ParameterBroadcast(round_index=0, params=np.ones((2, 2)))
+
+    def test_frozen(self):
+        msg = ParameterBroadcast(round_index=0, params=np.ones(2))
+        with pytest.raises(AttributeError):
+            msg.round_index = 1
+
+
+class TestGradientMessage:
+    def test_stores_fields(self):
+        msg = GradientMessage(round_index=1, worker_id=4, vector=np.zeros(3))
+        assert msg.worker_id == 4
+        assert msg.vector.shape == (3,)
+
+    def test_rejects_2d_vector(self):
+        with pytest.raises(DimensionMismatchError):
+            GradientMessage(round_index=0, worker_id=0, vector=np.ones((2, 2)))

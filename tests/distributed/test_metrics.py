@@ -1,0 +1,84 @@
+"""Tests for round records and the training history."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.metrics import RoundRecord, TrainingHistory
+from repro.exceptions import ConfigurationError
+
+
+def _record(t, loss=None, **kwargs):
+    defaults = dict(
+        round_index=t,
+        learning_rate=0.1,
+        aggregate_norm=1.0,
+        params_norm=2.0,
+        loss=loss,
+    )
+    defaults.update(kwargs)
+    return RoundRecord(**defaults)
+
+
+class TestTrainingHistory:
+    def test_append_and_access(self):
+        history = TrainingHistory()
+        history.append(_record(0))
+        history.append(_record(1))
+        assert len(history) == 2
+        assert history[1].round_index == 1
+
+    def test_rejects_out_of_order(self):
+        history = TrainingHistory()
+        history.append(_record(5))
+        with pytest.raises(ConfigurationError):
+            history.append(_record(5))
+
+    def test_series_skips_unevaluated(self):
+        history = TrainingHistory()
+        history.append(_record(0, loss=1.0))
+        history.append(_record(1))
+        history.append(_record(2, loss=0.5))
+        rounds, losses = history.series("loss")
+        np.testing.assert_array_equal(rounds, [0, 2])
+        np.testing.assert_array_equal(losses, [1.0, 0.5])
+
+    def test_series_from_extras(self):
+        history = TrainingHistory()
+        history.append(_record(0, extras={"dist_to_opt": 3.0}))
+        rounds, values = history.series("dist_to_opt")
+        np.testing.assert_array_equal(values, [3.0])
+
+    def test_final_loss(self):
+        history = TrainingHistory()
+        history.append(_record(0, loss=2.0))
+        history.append(_record(1, loss=1.0))
+        assert history.final_loss == 1.0
+
+    def test_final_loss_requires_evaluation(self):
+        history = TrainingHistory()
+        history.append(_record(0))
+        with pytest.raises(ConfigurationError):
+            _ = history.final_loss
+
+    def test_byzantine_selection_rate(self):
+        history = TrainingHistory()
+        history.append(_record(0, selected=(3,), byzantine_selected=1))
+        history.append(_record(1, selected=(2,), byzantine_selected=0))
+        history.append(_record(2, selected=(9,), byzantine_selected=1))
+        assert history.byzantine_selection_rate() == pytest.approx(2 / 3)
+
+    def test_selection_rate_empty_for_statistical_rules(self):
+        history = TrainingHistory()
+        history.append(_record(0))
+        assert history.byzantine_selection_rate() == 0.0
+
+    def test_min_series_value(self):
+        history = TrainingHistory()
+        for t, loss in enumerate([3.0, 1.0, 2.0]):
+            history.append(_record(t, loss=loss))
+        assert history.min_series_value("loss") == 1.0
+
+    def test_iteration(self):
+        history = TrainingHistory()
+        history.append(_record(0))
+        assert [r.round_index for r in history] == [0]

@@ -1,0 +1,120 @@
+"""Tests for history serialization and the non-finite server guard."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.attacks.simple import NonFiniteAttack
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.distributed.metrics import RoundRecord, TrainingHistory
+from repro.distributed.schedules import ConstantSchedule
+from repro.distributed.simulator import TrainingSimulation
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.models.quadratic import QuadraticBowl
+
+
+def _history():
+    history = TrainingHistory()
+    history.append(
+        RoundRecord(
+            round_index=0,
+            learning_rate=0.1,
+            aggregate_norm=1.0,
+            params_norm=2.0,
+            selected=(3, 4),
+            byzantine_selected=1,
+            loss=0.5,
+            accuracy=0.9,
+            grad_norm=0.2,
+            extras={"dist_to_opt": 1.5},
+        )
+    )
+    history.append(
+        RoundRecord(
+            round_index=1,
+            learning_rate=0.1,
+            aggregate_norm=0.9,
+            params_norm=1.9,
+        )
+    )
+    return history
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path):
+        history = _history()
+        path = tmp_path / "run.json"
+        history.save_json(path)
+        loaded = TrainingHistory.load_json(path)
+        assert len(loaded) == 2
+        assert loaded[0].selected == (3, 4)
+        assert loaded[0].extras == {"dist_to_opt": 1.5}
+        assert loaded[0].loss == 0.5
+        assert loaded[1].loss is None
+
+    def test_series_survive(self, tmp_path):
+        history = _history()
+        path = tmp_path / "run.json"
+        history.save_json(path)
+        loaded = TrainingHistory.load_json(path)
+        rounds, losses = loaded.series("loss")
+        np.testing.assert_array_equal(rounds, [0])
+        np.testing.assert_array_equal(losses, [0.5])
+
+
+class TestCsvExport:
+    def test_csv_contents(self, tmp_path):
+        history = _history()
+        path = tmp_path / "run.csv"
+        history.save_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["selected"] == "3;4"
+        assert rows[0]["dist_to_opt"] == "1.5"
+        assert rows[1]["loss"] == ""
+
+
+class TestNonFiniteGuard:
+    def _sim(self, aggregator, halt):
+        bowl = QuadraticBowl(4)
+        sim = TrainingSimulation(
+            aggregator=aggregator,
+            schedule=ConstantSchedule(0.1),
+            honest_estimators=[bowl.as_estimator(0.1) for _ in range(7)],
+            initial_params=np.ones(4),
+            num_byzantine=2,
+            attack=NonFiniteAttack(),
+            seed=0,
+        )
+        sim.server.halt_on_nonfinite = halt
+        return sim
+
+    def test_average_halts_loudly(self):
+        sim = self._sim(Average(), halt=True)
+        with pytest.raises(SimulationError, match="non-finite"):
+            sim.run(5)
+
+    def test_average_silently_poisoned_without_guard(self):
+        sim = self._sim(Average(), halt=False)
+        sim.run(3)
+        assert np.all(np.isnan(sim.params))
+
+    def test_krum_survives_nan_attack(self):
+        sim = self._sim(Krum(f=2), halt=True)
+        history = sim.run(50)
+        assert np.all(np.isfinite(sim.params))
+        assert history.byzantine_selection_rate() == 0.0
+
+    def test_nonfinite_attack_validates_value(self):
+        with pytest.raises(ConfigurationError):
+            NonFiniteAttack(value=1.0)
+
+    def test_inf_variant(self):
+        sim = self._sim(Krum(f=2), halt=True)
+        sim.attack = NonFiniteAttack(value=float("inf"))
+        history = sim.run(20)
+        assert np.all(np.isfinite(sim.params))
+        assert history.byzantine_selection_rate() == 0.0

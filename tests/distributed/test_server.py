@@ -1,0 +1,84 @@
+"""Tests for the parameter server."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.distributed.messages import GradientMessage
+from repro.distributed.schedules import ConstantSchedule
+from repro.distributed.server import ParameterServer
+from repro.exceptions import DimensionMismatchError, SimulationError
+
+
+def _messages(vectors, round_index=0):
+    return [
+        GradientMessage(round_index=round_index, worker_id=i, vector=v)
+        for i, v in enumerate(vectors)
+    ]
+
+
+class TestParameterServer:
+    def test_broadcast_carries_round_and_params(self):
+        server = ParameterServer(np.ones(3), Average(), ConstantSchedule(0.1))
+        broadcast = server.broadcast()
+        assert broadcast.round_index == 0
+        np.testing.assert_array_equal(broadcast.params, np.ones(3))
+
+    def test_sgd_update(self):
+        server = ParameterServer(np.zeros(2), Average(), ConstantSchedule(0.5))
+        server.step(_messages([np.array([2.0, 4.0]), np.array([4.0, 2.0])]))
+        # x1 = x0 - 0.5 * mean = -0.5 * [3, 3]
+        np.testing.assert_allclose(server.params, [-1.5, -1.5])
+        assert server.round_index == 1
+
+    def test_params_property_returns_copy(self):
+        server = ParameterServer(np.zeros(2), Average(), ConstantSchedule(0.1))
+        view = server.params
+        view[:] = 99.0
+        np.testing.assert_array_equal(server.params, np.zeros(2))
+
+    def test_message_order_does_not_matter(self):
+        """The server sorts by worker id, so Krum's tie-break is stable."""
+        vectors = [np.array([float(i), 0.0]) for i in range(7)]
+        msgs = _messages(vectors)
+        server1 = ParameterServer(np.zeros(2), Krum(f=1), ConstantSchedule(1.0))
+        server2 = ParameterServer(np.zeros(2), Krum(f=1), ConstantSchedule(1.0))
+        server1.step(list(msgs))
+        server2.step(list(reversed(msgs)))
+        np.testing.assert_array_equal(server1.params, server2.params)
+
+    def test_rejects_empty_round(self):
+        server = ParameterServer(np.zeros(2), Average(), ConstantSchedule(0.1))
+        with pytest.raises(SimulationError, match="no gradient"):
+            server.step([])
+
+    def test_rejects_stale_messages(self):
+        server = ParameterServer(np.zeros(2), Average(), ConstantSchedule(0.1))
+        with pytest.raises(SimulationError, match="rounds"):
+            server.step(_messages([np.zeros(2)], round_index=5))
+
+    def test_rejects_duplicate_worker(self):
+        server = ParameterServer(np.zeros(2), Average(), ConstantSchedule(0.1))
+        msgs = [
+            GradientMessage(round_index=0, worker_id=1, vector=np.zeros(2)),
+            GradientMessage(round_index=0, worker_id=1, vector=np.ones(2)),
+        ]
+        with pytest.raises(SimulationError, match="duplicate"):
+            server.step(msgs)
+
+    def test_rejects_dimension_mismatch(self):
+        server = ParameterServer(np.zeros(2), Average(), ConstantSchedule(0.1))
+        with pytest.raises(DimensionMismatchError):
+            server.step(_messages([np.zeros(3)]))
+
+    def test_schedule_applied_per_round(self):
+        from repro.distributed.schedules import StepDecaySchedule
+
+        server = ParameterServer(
+            np.zeros(1), Average(), StepDecaySchedule(1.0, period=1, factor=0.5)
+        )
+        server.step(_messages([np.array([1.0])], round_index=0))
+        server.step(_messages([np.array([1.0])], round_index=1))
+        # x = 0 - 1.0*1 - 0.5*1
+        np.testing.assert_allclose(server.params, [-1.5])

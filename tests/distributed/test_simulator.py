@@ -1,0 +1,197 @@
+"""Tests for the synchronous training simulation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.random_noise import GaussianAttack
+from repro.attacks.simple import SignFlipAttack
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.distributed.schedules import ConstantSchedule
+from repro.distributed.simulator import TrainingSimulation
+from repro.exceptions import ByzantineToleranceError, ConfigurationError
+from repro.models.quadratic import QuadraticBowl
+
+
+def _simulation(
+    *,
+    aggregator=None,
+    num_workers=11,
+    num_byzantine=0,
+    attack=None,
+    sigma=0.2,
+    seed=0,
+    **kwargs,
+):
+    bowl = QuadraticBowl(6)
+    num_honest = num_workers - num_byzantine
+    return (
+        bowl,
+        TrainingSimulation(
+            aggregator=aggregator or Krum(f=num_byzantine, strict=False),
+            schedule=ConstantSchedule(0.1),
+            honest_estimators=[bowl.as_estimator(sigma) for _ in range(num_honest)],
+            initial_params=np.full(6, 10.0),
+            num_byzantine=num_byzantine,
+            attack=attack,
+            true_gradient_fn=bowl.exact_gradient,
+            seed=seed,
+            **kwargs,
+        ),
+    )
+
+
+class TestConstruction:
+    def test_worker_counts(self):
+        _bowl, sim = _simulation(num_workers=11, num_byzantine=3, attack=GaussianAttack())
+        assert sim.num_workers == 11
+        assert len(sim.honest_workers) == 8
+        assert len(sim.byzantine_workers) == 3
+
+    def test_byzantine_requires_attack(self):
+        with pytest.raises(ConfigurationError, match="requires an attack"):
+            _simulation(num_byzantine=2)
+
+    def test_attack_requires_byzantine(self):
+        with pytest.raises(ConfigurationError, match="num_byzantine=0"):
+            _simulation(num_byzantine=0, attack=GaussianAttack())
+
+    def test_aggregator_tolerance_checked_at_build(self):
+        bowl = QuadraticBowl(4)
+        with pytest.raises(ByzantineToleranceError):
+            TrainingSimulation(
+                aggregator=Krum(f=3),  # needs n >= 9
+                schedule=ConstantSchedule(0.1),
+                honest_estimators=[bowl.as_estimator(0.1) for _ in range(4)],
+                initial_params=np.zeros(4),
+                num_byzantine=3,
+                attack=GaussianAttack(),
+            )
+
+    def test_byzantine_slot_placement(self):
+        _bowl, sim = _simulation(
+            num_workers=9,
+            num_byzantine=2,
+            attack=GaussianAttack(),
+            byzantine_slots="first",
+        )
+        assert sim.byzantine_ids == [0, 1]
+        honest_ids = [w.worker_id for w in sim.honest_workers]
+        assert honest_ids == list(range(2, 9))
+
+    def test_explicit_slots(self):
+        _bowl, sim = _simulation(
+            num_workers=9,
+            num_byzantine=2,
+            attack=GaussianAttack(),
+            byzantine_slots=[3, 7],
+        )
+        assert sim.byzantine_ids == [3, 7]
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ConfigurationError):
+            _simulation(
+                num_workers=9,
+                num_byzantine=2,
+                attack=GaussianAttack(),
+                byzantine_slots=[3, 99],
+            )
+        with pytest.raises(ConfigurationError):
+            _simulation(
+                num_workers=9,
+                num_byzantine=2,
+                attack=GaussianAttack(),
+                byzantine_slots="middle",
+            )
+
+    def test_dimension_mismatch_detected(self):
+        bowl6, bowl5 = QuadraticBowl(6), QuadraticBowl(5)
+        with pytest.raises(ConfigurationError, match="dimension"):
+            TrainingSimulation(
+                aggregator=Average(),
+                schedule=ConstantSchedule(0.1),
+                honest_estimators=[bowl5.as_estimator(0.1)],
+                initial_params=np.zeros(6),
+            )
+
+
+class TestRunning:
+    def test_reproducible(self):
+        _b1, sim1 = _simulation(num_byzantine=2, attack=GaussianAttack(), seed=42)
+        _b2, sim2 = _simulation(num_byzantine=2, attack=GaussianAttack(), seed=42)
+        sim1.run(20)
+        sim2.run(20)
+        np.testing.assert_array_equal(sim1.params, sim2.params)
+
+    def test_different_seeds_differ(self):
+        _b1, sim1 = _simulation(seed=1)
+        _b2, sim2 = _simulation(seed=2)
+        sim1.run(5)
+        sim2.run(5)
+        assert not np.array_equal(sim1.params, sim2.params)
+
+    def test_history_length_and_rounds(self):
+        _bowl, sim = _simulation()
+        history = sim.run(17, eval_every=5)
+        assert len(history) == 17
+        assert history[-1].round_index == 16
+
+    def test_final_round_always_evaluated(self):
+        bowl, sim = _simulation()
+        sim.evaluate = lambda params: {"loss": bowl.value(params)}
+        history = sim.run(13, eval_every=5)
+        assert history[-1].loss is not None
+
+    def test_eval_every_spacing(self):
+        bowl, sim = _simulation()
+        sim.evaluate = lambda params: {"loss": bowl.value(params)}
+        history = sim.run(20, eval_every=7)
+        evaluated = [r.round_index for r in history.evaluated]
+        assert evaluated == [0, 7, 14, 19]
+
+    def test_grad_norm_recorded_via_oracle(self):
+        _bowl, sim = _simulation()
+        history = sim.run(5, eval_every=1)
+        assert all(r.grad_norm is not None for r in history)
+
+    def test_quadratic_descent_without_byzantine(self):
+        bowl, sim = _simulation(aggregator=Average(), sigma=0.05)
+        history = sim.run(200, eval_every=50)
+        assert bowl.distance_to_optimum(sim.params) < 0.5
+
+    def test_selection_tracked_for_krum(self):
+        _bowl, sim = _simulation(
+            num_workers=11, num_byzantine=2, attack=GaussianAttack(sigma=50.0),
+            aggregator=Krum(f=2),
+        )
+        history = sim.run(10)
+        assert all(len(r.selected) == 1 for r in history)
+        assert history.byzantine_selection_rate() == 0.0
+
+    def test_sign_flip_breaks_average_but_not_krum(self):
+        bowl, avg_sim = _simulation(
+            aggregator=Average(),
+            num_workers=11,
+            num_byzantine=3,
+            attack=SignFlipAttack(scale=4.0),
+        )
+        avg_sim.run(100)
+        avg_dist = bowl.distance_to_optimum(avg_sim.params)
+
+        bowl2, krum_sim = _simulation(
+            aggregator=Krum(f=3),
+            num_workers=11,
+            num_byzantine=3,
+            attack=SignFlipAttack(scale=4.0),
+        )
+        krum_sim.run(100)
+        krum_dist = bowl2.distance_to_optimum(krum_sim.params)
+        assert krum_dist < 1.0
+        assert avg_dist > 2 * krum_dist
+
+    def test_rejects_bad_run_args(self):
+        _bowl, sim = _simulation()
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+        with pytest.raises(ConfigurationError):
+            sim.run(5, eval_every=0)

@@ -1,0 +1,46 @@
+"""Tests for worker processes."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.messages import ParameterBroadcast
+from repro.distributed.worker import ByzantineWorker, HonestWorker
+from repro.exceptions import ConfigurationError
+from repro.gradients.oracle import GaussianOracleEstimator
+
+
+class TestHonestWorker:
+    def test_computes_estimate(self, rng):
+        est = GaussianOracleEstimator(lambda x: 2 * x, 3, sigma=0.0)
+        worker = HonestWorker(2, est, rng)
+        broadcast = ParameterBroadcast(round_index=5, params=np.ones(3))
+        msg = worker.compute(broadcast)
+        assert msg.worker_id == 2
+        assert msg.round_index == 5
+        np.testing.assert_array_equal(msg.vector, 2 * np.ones(3))
+
+    def test_not_byzantine(self, rng):
+        est = GaussianOracleEstimator(lambda x: x, 2, sigma=0.0)
+        assert not HonestWorker(0, est, rng).is_byzantine
+
+    def test_private_stream_isolated(self):
+        est = GaussianOracleEstimator(lambda x: x, 4, sigma=1.0)
+        w1 = HonestWorker(0, est, np.random.default_rng(1))
+        w2 = HonestWorker(1, est, np.random.default_rng(2))
+        broadcast = ParameterBroadcast(round_index=0, params=np.zeros(4))
+        assert not np.array_equal(
+            w1.compute(broadcast).vector, w2.compute(broadcast).vector
+        )
+
+    def test_rejects_negative_id(self, rng):
+        est = GaussianOracleEstimator(lambda x: x, 2, sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            HonestWorker(-1, est, rng)
+
+
+class TestByzantineWorker:
+    def test_is_byzantine(self):
+        assert ByzantineWorker(3).is_byzantine
+
+    def test_repr_mentions_kind(self):
+        assert "byzantine" in repr(ByzantineWorker(1))

@@ -1,0 +1,95 @@
+"""Tests for experiment builders."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.random_noise import GaussianAttack
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.data.synthetic import make_blobs
+from repro.exceptions import ConfigurationError
+from repro.experiments.builders import (
+    build_dataset_simulation,
+    build_quadratic_simulation,
+    model_evaluator,
+    quadratic_evaluator,
+)
+from repro.models.quadratic import QuadraticBowl
+from repro.models.softmax import SoftmaxRegressionModel
+
+
+class TestQuadraticBuilder:
+    def test_builds_and_runs(self):
+        bowl = QuadraticBowl(5)
+        sim = build_quadratic_simulation(
+            bowl,
+            aggregator=Krum(f=2),
+            num_workers=11,
+            num_byzantine=2,
+            sigma=0.1,
+            attack=GaussianAttack(sigma=10.0),
+            seed=0,
+        )
+        history = sim.run(30, eval_every=10)
+        assert history.final_loss < history[0].loss
+
+    def test_evaluator_metrics(self):
+        bowl = QuadraticBowl(3, optimum=np.array([1.0, 1.0, 1.0]))
+        evaluate = quadratic_evaluator(bowl)
+        metrics = evaluate(np.zeros(3))
+        assert metrics["loss"] == pytest.approx(1.5)
+        assert metrics["dist_to_opt"] == pytest.approx(np.sqrt(3))
+        assert metrics["grad_norm"] == pytest.approx(np.sqrt(3))
+
+    def test_rejects_all_byzantine(self):
+        bowl = QuadraticBowl(3)
+        with pytest.raises(ConfigurationError):
+            build_quadratic_simulation(
+                bowl,
+                aggregator=Average(),
+                num_workers=3,
+                num_byzantine=3,
+                sigma=0.1,
+                attack=GaussianAttack(),
+            )
+
+
+class TestDatasetBuilder:
+    def test_builds_and_trains(self):
+        train = make_blobs(200, num_classes=3, num_features=4, spread=0.5, seed=0)
+        model = SoftmaxRegressionModel(4, 3)
+        sim = build_dataset_simulation(
+            model,
+            train,
+            aggregator=Average(),
+            num_workers=5,
+            num_byzantine=0,
+            batch_size=16,
+            learning_rate=0.5,
+            seed=0,
+        )
+        history = sim.run(60, eval_every=20)
+        assert history.final_accuracy > 0.8
+
+    def test_eval_dataset_used(self):
+        train = make_blobs(100, num_classes=2, num_features=3, seed=1)
+        test = make_blobs(50, num_classes=2, num_features=3, seed=2)
+        model = SoftmaxRegressionModel(3, 2)
+        sim = build_dataset_simulation(
+            model,
+            train,
+            aggregator=Average(),
+            num_workers=4,
+            num_byzantine=0,
+            eval_dataset=test,
+            seed=0,
+        )
+        history = sim.run(5, eval_every=1)
+        assert all(r.accuracy is not None for r in history)
+
+    def test_model_evaluator(self):
+        data = make_blobs(30, num_classes=2, num_features=3, seed=3)
+        model = SoftmaxRegressionModel(3, 2)
+        evaluate = model_evaluator(model, data)
+        metrics = evaluate(np.zeros(model.dimension))
+        assert "loss" in metrics and "accuracy" in metrics

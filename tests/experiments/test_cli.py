@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "mnist-like"
+        assert args.aggregator == "krum"
+        assert args.byzantine == 0
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "imagenet"])
+
+    def test_rejects_unknown_attack(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--attack", "quantum"])
+
+
+class TestMain:
+    def test_blobs_run_prints_summary(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--aggregator", "average",
+                "--workers", "5",
+                "--rounds", "20",
+                "--train-size", "150",
+                "--test-size", "60",
+                "--eval-every", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "summary" in out
+        assert "final loss" in out
+
+    def test_krum_under_attack(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--aggregator", "krum",
+                "--workers", "9",
+                "--byzantine", "2",
+                "--attack", "gaussian",
+                "--rounds", "20",
+                "--train-size", "150",
+                "--test-size", "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "krum" in out
+        assert "byzantine selection rate" in out
+
+    def test_byzantine_without_attack_errors(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--workers", "9",
+                "--byzantine", "2",
+                "--rounds", "5",
+                "--train-size", "100",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "requires --attack" in err
+
+    def test_invalid_tolerance_reports_cleanly(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--aggregator", "krum",
+                "--workers", "5",
+                "--byzantine", "2",
+                "--attack", "gaussian",
+                "--rounds", "5",
+                "--train-size", "100",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_multikrum_default_m(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--aggregator", "multi-krum",
+                "--workers", "9",
+                "--byzantine", "2",
+                "--attack", "gaussian",
+                "--rounds", "10",
+                "--train-size", "120",
+            ]
+        )
+        assert code == 0
+        assert "multi-krum" in capsys.readouterr().out

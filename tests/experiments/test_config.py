@@ -1,0 +1,54 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import SGDExperimentConfig
+
+
+def _config(**overrides):
+    defaults = dict(
+        num_workers=11,
+        num_byzantine=2,
+        num_rounds=50,
+        aggregator="krum",
+        aggregator_kwargs={"f": 2},
+        attack="gaussian",
+    )
+    defaults.update(overrides)
+    return SGDExperimentConfig(**defaults)
+
+
+class TestSGDExperimentConfig:
+    def test_valid_config(self):
+        config = _config()
+        assert config.num_honest == 9
+
+    def test_rejects_f_ge_n(self):
+        with pytest.raises(ConfigurationError):
+            _config(num_byzantine=11)
+
+    def test_rejects_byzantine_without_attack(self):
+        with pytest.raises(ConfigurationError, match="attack"):
+            _config(attack=None)
+
+    def test_f_zero_without_attack_is_fine(self):
+        config = _config(num_byzantine=0, attack=None)
+        assert config.num_honest == 11
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            _config(learning_rate=0.0)
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ConfigurationError):
+            _config(num_rounds=0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            _config(batch_size=0)
+
+    def test_frozen(self):
+        config = _config()
+        with pytest.raises(AttributeError):
+            config.num_workers = 5

@@ -1,0 +1,69 @@
+"""Tests for ASCII reporting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", None]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "-" in lines[1]
+        assert "1" in lines[2]
+        assert "-" in lines[3]  # None renders as '-'
+
+    def test_title(self):
+        out = format_table(["c"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000012345], [123456.0], [1.5]])
+        assert "1.234e-05" in out
+        assert "1.235e+05" in out
+        assert "1.5000" in out
+
+    def test_bool_formatting(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_rejects_no_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_subsampling(self):
+        rounds = np.arange(100)
+        out = format_series(
+            "fig", rounds, {"krum": rounds * 0.5}, max_points=5
+        )
+        data_lines = out.splitlines()[3:]
+        assert len(data_lines) <= 5
+
+    def test_multiple_labels(self):
+        rounds = np.arange(4)
+        out = format_series(
+            "fig", rounds, {"a": np.ones(4), "b": np.zeros(4)}
+        )
+        assert "a" in out.splitlines()[1]
+        assert "b" in out.splitlines()[1]
+
+    def test_rejects_misaligned_series(self):
+        with pytest.raises(ConfigurationError):
+            format_series("fig", np.arange(3), {"a": np.ones(4)})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            format_series("fig", np.array([]), {})

@@ -1,0 +1,66 @@
+"""Tests for the momentum estimator wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gradients.momentum import MomentumEstimator
+from repro.gradients.oracle import GaussianOracleEstimator
+
+
+def _oracle(sigma=0.0, dim=4):
+    return GaussianOracleEstimator(lambda x: 2.0 * x, dim, sigma=sigma)
+
+
+class TestMomentumEstimator:
+    def test_bias_corrected_first_step_matches_gradient(self, rng):
+        est = MomentumEstimator(_oracle(), beta=0.9)
+        x = np.ones(4)
+        np.testing.assert_allclose(est.estimate(x, rng), 2.0 * x)
+
+    def test_uncorrected_first_step_is_shrunk(self, rng):
+        est = MomentumEstimator(_oracle(), beta=0.9, correct_bias=False)
+        x = np.ones(4)
+        np.testing.assert_allclose(est.estimate(x, rng), 0.1 * 2.0 * x)
+
+    def test_converges_to_stationary_gradient(self, rng):
+        est = MomentumEstimator(_oracle(), beta=0.8)
+        x = np.full(4, 3.0)
+        for _ in range(100):
+            out = est.estimate(x, rng)
+        np.testing.assert_allclose(out, 2.0 * x, rtol=1e-6)
+
+    def test_variance_reduction(self, rng):
+        """The EMA's stationary variance is ~(1−β)/(1+β) of the base's."""
+        base_sigma = 1.0
+        beta = 0.9
+        est = MomentumEstimator(_oracle(sigma=base_sigma, dim=50), beta=beta)
+        x = np.zeros(50)
+        for _ in range(100):  # reach stationarity
+            est.estimate(x, rng)
+        samples = np.stack([est.estimate(x, rng) for _ in range(500)])
+        measured_var = samples.var(axis=0).mean()
+        expected_var = base_sigma**2 * (1 - beta) / (1 + beta)
+        assert measured_var == pytest.approx(expected_var, rel=0.3)
+
+    def test_expected_is_base_mean(self, rng):
+        est = MomentumEstimator(_oracle(sigma=1.0), beta=0.5)
+        x = np.ones(4)
+        np.testing.assert_allclose(est.expected(x), 2.0 * x)
+
+    def test_reset(self, rng):
+        est = MomentumEstimator(_oracle(), beta=0.9)
+        x = np.ones(4)
+        first = est.estimate(x, rng)
+        est.estimate(x, rng)
+        est.reset()
+        np.testing.assert_allclose(est.estimate(x, rng), first)
+
+    def test_dimension_passthrough(self):
+        assert MomentumEstimator(_oracle(dim=7), beta=0.5).dimension == 7
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ConfigurationError):
+            MomentumEstimator(_oracle(), beta=1.0)
+        with pytest.raises(ConfigurationError):
+            MomentumEstimator(_oracle(), beta=-0.1)

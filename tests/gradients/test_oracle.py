@@ -1,0 +1,54 @@
+"""Tests for the Gaussian oracle estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gradients.oracle import GaussianOracleEstimator
+
+
+def quadratic_gradient(x):
+    return 2.0 * x
+
+
+class TestGaussianOracleEstimator:
+    def test_zero_sigma_is_exact(self, rng):
+        est = GaussianOracleEstimator(quadratic_gradient, 5, sigma=0.0)
+        x = rng.standard_normal(5)
+        np.testing.assert_array_equal(est.estimate(x, rng), 2.0 * x)
+
+    def test_unbiased(self, rng):
+        est = GaussianOracleEstimator(quadratic_gradient, 4, sigma=1.0)
+        x = np.ones(4)
+        samples = np.stack([est.estimate(x, rng) for _ in range(5000)])
+        np.testing.assert_allclose(samples.mean(axis=0), 2.0 * x, atol=0.1)
+
+    def test_variance_is_d_sigma_squared(self, rng):
+        est = GaussianOracleEstimator(quadratic_gradient, 8, sigma=0.7)
+        x = np.zeros(8)
+        samples = np.stack([est.estimate(x, rng) for _ in range(5000)])
+        total_var = np.mean(np.sum((samples - 2.0 * x) ** 2, axis=1))
+        assert total_var == pytest.approx(8 * 0.7**2, rel=0.1)
+
+    def test_expected_returns_true_gradient(self, rng):
+        est = GaussianOracleEstimator(quadratic_gradient, 3, sigma=2.0)
+        x = rng.standard_normal(3)
+        np.testing.assert_array_equal(est.expected(x), 2.0 * x)
+
+    def test_expected_returns_copy(self):
+        est = GaussianOracleEstimator(quadratic_gradient, 2, sigma=0.0)
+        x = np.ones(2)
+        out = est.expected(x)
+        out[:] = 99.0
+        np.testing.assert_array_equal(est.expected(x), 2.0 * np.ones(2))
+
+    def test_empirical_sigma(self, rng):
+        est = GaussianOracleEstimator(quadratic_gradient, 12, sigma=0.4)
+        measured = est.empirical_sigma(np.zeros(12), rng, num_samples=1500)
+        assert measured == pytest.approx(0.4, rel=0.1)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            GaussianOracleEstimator(quadratic_gradient, 0, sigma=1.0)
+        with pytest.raises(ConfigurationError):
+            GaussianOracleEstimator(quadratic_gradient, 3, sigma=-1.0)

@@ -1,0 +1,47 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["numerical_gradient", "assert_gradients_close"]
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float],
+    params: np.ndarray,
+    *,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function."""
+    params = np.asarray(params, dtype=np.float64)
+    grad = np.zeros_like(params)
+    flat = params.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = fn(params)
+        flat[i] = original - epsilon
+        lower = fn(params)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def assert_gradients_close(
+    analytic: np.ndarray,
+    numeric: np.ndarray,
+    *,
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+) -> None:
+    """Assert analytic and numeric gradients agree within tolerance."""
+    analytic = np.asarray(analytic, dtype=np.float64)
+    numeric = np.asarray(numeric, dtype=np.float64)
+    assert analytic.shape == numeric.shape, (
+        f"shape mismatch: {analytic.shape} vs {numeric.shape}"
+    )
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,201 @@
+"""End-to-end integration tests reproducing the paper's headline claims
+at small scale (the benches reproduce them at figure scale)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.collusion import CollusionAttack
+from repro.attacks.hijack import LinearHijackAttack
+from repro.attacks.omniscient import OmniscientAttack
+from repro.attacks.random_noise import GaussianAttack
+from repro.baselines.average import Average
+from repro.baselines.distance_based import ClosestToAll
+from repro.core.krum import Krum, MultiKrum
+from repro.core.theory import krum_variance_bound
+from repro.data.synthetic import make_blobs
+from repro.experiments.builders import (
+    build_dataset_simulation,
+    build_quadratic_simulation,
+)
+from repro.models.quadratic import QuadraticBowl
+from repro.models.softmax import SoftmaxRegressionModel
+
+
+class TestLemma31EndToEnd:
+    def test_hijacked_average_converges_to_attacker_target(self):
+        """One Byzantine worker steers averaging-SGD to its chosen point."""
+        bowl = QuadraticBowl(8, optimum=np.zeros(8))
+        attacker_optimum = np.full(8, 5.0)
+
+        class PullToTarget(LinearHijackAttack):
+            def craft(self, context):
+                # U = gradient of a bowl centered at the attacker's point,
+                # evaluated at x_t: forces SGD toward attacker_optimum.
+                self.target = context.params - attacker_optimum
+                return super().craft(context)
+
+        sim = build_quadratic_simulation(
+            bowl,
+            aggregator=Average(),
+            num_workers=11,
+            num_byzantine=1,
+            sigma=0.1,
+            attack=PullToTarget(np.zeros(8)),
+            learning_rate=0.2,
+            lr_timescale=None,
+            seed=0,
+        )
+        sim.run(300)
+        assert np.linalg.norm(sim.params - attacker_optimum) < 0.5
+        assert bowl.distance_to_optimum(sim.params) > 4.0
+
+    def test_krum_under_same_attack_still_converges(self):
+        bowl = QuadraticBowl(8, optimum=np.zeros(8))
+
+        class PullAway(LinearHijackAttack):
+            def craft(self, context):
+                self.target = context.params - np.full(8, 5.0)
+                return super().craft(context)
+
+        sim = build_quadratic_simulation(
+            bowl,
+            aggregator=Krum(f=1),
+            num_workers=11,
+            num_byzantine=1,
+            sigma=0.1,
+            attack=PullAway(np.zeros(8)),
+            learning_rate=0.2,
+            lr_timescale=None,
+            seed=0,
+        )
+        sim.run(300)
+        assert bowl.distance_to_optimum(sim.params) < 1.0
+
+
+class TestProposition43EndToEnd:
+    def test_gradient_norm_enters_theory_basin(self):
+        """SGD+Krum drives ‖∇Q‖ into the η·√d·σ basin (Prop. 4.3)."""
+        dimension, sigma = 10, 0.05
+        n, f = 15, 3
+        bowl = QuadraticBowl(dimension)
+        sim = build_quadratic_simulation(
+            bowl,
+            aggregator=Krum(f=f),
+            num_workers=n,
+            num_byzantine=f,
+            sigma=sigma,
+            attack=OmniscientAttack(scale=5.0),
+            learning_rate=0.3,
+            lr_timescale=200.0,
+            seed=1,
+        )
+        history = sim.run(400, eval_every=20)
+        basin = krum_variance_bound(n, f, dimension, sigma)
+        _rounds, grad_norms = history.series("grad_norm")
+        assert grad_norms[-1] <= basin, (
+            f"final ‖∇Q‖={grad_norms[-1]:.4f} above basin {basin:.4f}"
+        )
+
+    def test_average_fails_same_setting(self):
+        bowl = QuadraticBowl(10)
+        sim = build_quadratic_simulation(
+            bowl,
+            aggregator=Average(),
+            num_workers=15,
+            num_byzantine=3,
+            sigma=0.05,
+            attack=OmniscientAttack(scale=5.0),
+            learning_rate=0.3,
+            lr_timescale=200.0,
+            seed=1,
+        )
+        history = sim.run(400, eval_every=20)
+        _rounds, grad_norms = history.series("grad_norm")
+        basin = krum_variance_bound(15, 3, 10, 0.05)
+        assert grad_norms[-1] > basin
+
+
+class TestDatasetTrainingUnderAttack:
+    @pytest.fixture
+    def blobs(self):
+        return make_blobs(300, num_classes=3, num_features=5, spread=0.6, seed=0)
+
+    def test_krum_trains_through_gaussian_attack(self, blobs):
+        model = SoftmaxRegressionModel(5, 3)
+        sim = build_dataset_simulation(
+            model,
+            blobs,
+            aggregator=Krum(f=3),
+            num_workers=12,
+            num_byzantine=3,
+            attack=GaussianAttack(sigma=100.0),
+            batch_size=16,
+            learning_rate=0.3,
+            seed=0,
+        )
+        history = sim.run(80, eval_every=20)
+        assert history.final_accuracy > 0.85
+        assert history.byzantine_selection_rate() < 0.05
+
+    def test_average_collapses_under_gaussian_attack(self, blobs):
+        model = SoftmaxRegressionModel(5, 3)
+        sim = build_dataset_simulation(
+            model,
+            blobs,
+            aggregator=Average(),
+            num_workers=12,
+            num_byzantine=3,
+            attack=GaussianAttack(sigma=100.0),
+            batch_size=16,
+            learning_rate=0.3,
+            seed=0,
+        )
+        history = sim.run(80, eval_every=20)
+        assert history.final_accuracy < 0.8
+
+    def test_multikrum_interpolates(self, blobs):
+        """Multi-Krum retains robustness while averaging m proposals."""
+        model = SoftmaxRegressionModel(5, 3)
+        sim = build_dataset_simulation(
+            model,
+            blobs,
+            aggregator=MultiKrum(f=3, m=5),
+            num_workers=12,
+            num_byzantine=3,
+            attack=GaussianAttack(sigma=100.0),
+            batch_size=16,
+            learning_rate=0.3,
+            seed=0,
+        )
+        history = sim.run(80, eval_every=20)
+        assert history.final_accuracy > 0.85
+
+
+class TestFigure2EndToEnd:
+    def test_collusion_poisons_closest_to_all_training(self):
+        """Training with the flawed rule under collusion diverges; Krum
+        under the identical attack converges."""
+        bowl = QuadraticBowl(6, optimum=np.zeros(6))
+
+        def build(rule):
+            return build_quadratic_simulation(
+                bowl,
+                aggregator=rule,
+                num_workers=11,
+                num_byzantine=3,
+                sigma=0.1,
+                attack=CollusionAttack(decoy_distance=50.0),
+                learning_rate=0.2,
+                lr_timescale=None,
+                seed=3,
+            )
+
+        flawed = build(ClosestToAll())
+        flawed_history = flawed.run(150)
+        krum = build(Krum(f=3))
+        krum.run(150)
+
+        assert bowl.distance_to_optimum(krum.params) < 1.0
+        # The flawed rule selected Byzantine proposals routinely.
+        assert flawed_history.byzantine_selection_rate() > 0.9
+        assert bowl.distance_to_optimum(flawed.params) > 1.0

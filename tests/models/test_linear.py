@@ -1,0 +1,71 @@
+"""Tests for linear regression."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_linear_regression
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.models.linear import LinearRegressionModel
+from tests.helpers import assert_gradients_close, numerical_gradient
+
+
+class TestLinearRegression:
+    def test_dimension(self):
+        assert LinearRegressionModel(5).dimension == 6
+        assert LinearRegressionModel(5, fit_bias=False).dimension == 5
+
+    def test_gradient_matches_numeric(self, rng):
+        model = LinearRegressionModel(4, l2=0.1)
+        params = rng.standard_normal(5)
+        inputs = rng.standard_normal((8, 4))
+        targets = rng.standard_normal(8)
+        analytic = model.gradient(params, inputs, targets)
+        numeric = numerical_gradient(
+            lambda p: model.loss(p, inputs, targets), params.copy()
+        )
+        assert_gradients_close(analytic, numeric, rtol=1e-6)
+
+    def test_gradient_no_bias(self, rng):
+        model = LinearRegressionModel(3, fit_bias=False)
+        params = rng.standard_normal(3)
+        inputs = rng.standard_normal((6, 3))
+        targets = rng.standard_normal(6)
+        numeric = numerical_gradient(
+            lambda p: model.loss(p, inputs, targets), params.copy()
+        )
+        assert_gradients_close(model.gradient(params, inputs, targets), numeric)
+
+    def test_zero_loss_at_closed_form_optimum(self, rng):
+        dataset, true_params = make_linear_regression(
+            200, num_features=6, noise=0.0, seed=3
+        )
+        model = LinearRegressionModel(6)
+        optimum = model.closed_form_optimum(dataset.inputs, dataset.targets)
+        np.testing.assert_allclose(optimum, true_params, atol=1e-8)
+        assert model.loss(optimum, dataset.inputs, dataset.targets) < 1e-15
+
+    def test_gradient_zero_at_optimum(self, rng):
+        dataset, _params = make_linear_regression(100, num_features=4, noise=0.2, seed=1)
+        model = LinearRegressionModel(4)
+        optimum = model.closed_form_optimum(dataset.inputs, dataset.targets)
+        grad = model.gradient(optimum, dataset.inputs, dataset.targets)
+        np.testing.assert_allclose(grad, np.zeros(5), atol=1e-10)
+
+    def test_l2_shrinks_weights(self, rng):
+        dataset, _params = make_linear_regression(100, num_features=4, seed=2)
+        plain = LinearRegressionModel(4)
+        ridge = LinearRegressionModel(4, l2=10.0)
+        w_plain = plain.closed_form_optimum(dataset.inputs, dataset.targets)
+        w_ridge = ridge.closed_form_optimum(dataset.inputs, dataset.targets)
+        assert np.linalg.norm(w_ridge[:-1]) < np.linalg.norm(w_plain[:-1])
+
+    def test_rejects_bad_param_shape(self):
+        model = LinearRegressionModel(3)
+        with pytest.raises(DimensionMismatchError):
+            model.loss(np.zeros(3), np.zeros((2, 3)), np.zeros(2))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegressionModel(0)
+        with pytest.raises(ConfigurationError):
+            LinearRegressionModel(3, l2=-1.0)

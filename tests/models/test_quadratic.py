@@ -1,0 +1,82 @@
+"""Tests for the quadratic bowl model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models.quadratic import QuadraticBowl
+from tests.helpers import assert_gradients_close, numerical_gradient
+
+
+class TestQuadraticBowl:
+    def test_value_at_optimum_is_offset(self):
+        bowl = QuadraticBowl(4, optimum=np.ones(4), offset=2.0)
+        assert bowl.value(np.ones(4)) == pytest.approx(2.0)
+
+    def test_gradient_zero_at_optimum(self):
+        bowl = QuadraticBowl(5, optimum=np.arange(5.0))
+        np.testing.assert_allclose(bowl.exact_gradient(np.arange(5.0)), np.zeros(5))
+
+    def test_gradient_matches_numeric(self, rng):
+        matrix = rng.standard_normal((4, 4))
+        curvature = matrix @ matrix.T + 4 * np.eye(4)
+        bowl = QuadraticBowl(4, curvature=curvature)
+        x = rng.standard_normal(4)
+        numeric = numerical_gradient(lambda p: bowl.value(p), x.copy())
+        assert_gradients_close(bowl.exact_gradient(x), numeric, rtol=1e-5)
+
+    def test_scalar_curvature(self):
+        bowl = QuadraticBowl(3, curvature=2.0)
+        np.testing.assert_allclose(
+            bowl.exact_gradient(np.array([1.0, 0.0, 0.0])), [2.0, 0.0, 0.0]
+        )
+
+    def test_distance_to_optimum(self):
+        bowl = QuadraticBowl(2, optimum=np.array([3.0, 4.0]))
+        assert bowl.distance_to_optimum(np.zeros(2)) == pytest.approx(5.0)
+
+    def test_model_interface_ignores_batch(self, rng):
+        bowl = QuadraticBowl(3)
+        x = rng.standard_normal(3)
+        assert bowl.loss(x, np.zeros((5, 1)), np.zeros(5)) == bowl.value(x)
+        np.testing.assert_array_equal(
+            bowl.gradient(x, None, None), bowl.exact_gradient(x)
+        )
+
+    def test_estimator_is_unbiased(self, rng):
+        bowl = QuadraticBowl(6)
+        estimator = bowl.as_estimator(sigma=0.3)
+        x = rng.standard_normal(6)
+        samples = np.stack([estimator.estimate(x, rng) for _ in range(4000)])
+        np.testing.assert_allclose(
+            samples.mean(axis=0), bowl.exact_gradient(x), atol=0.05
+        )
+
+    def test_estimator_sigma_matches_definition(self, rng):
+        # d sigma^2 = E||G - g||^2
+        bowl = QuadraticBowl(10)
+        estimator = bowl.as_estimator(sigma=0.5)
+        x = np.zeros(10)
+        measured = estimator.empirical_sigma(x, rng, num_samples=2000)
+        assert measured == pytest.approx(0.5, rel=0.1)
+
+    def test_rejects_non_psd_curvature(self):
+        with pytest.raises(ConfigurationError, match="positive definite"):
+            QuadraticBowl(2, curvature=np.array([[1.0, 0.0], [0.0, -1.0]]))
+
+    def test_rejects_asymmetric_curvature(self):
+        with pytest.raises(ConfigurationError, match="symmetric"):
+            QuadraticBowl(2, curvature=np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+    def test_rejects_wrong_optimum_shape(self):
+        with pytest.raises(ConfigurationError):
+            QuadraticBowl(3, optimum=np.zeros(4))
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            QuadraticBowl(2, offset=-1.0)
+
+    def test_init_params_far_from_optimum(self, rng):
+        bowl = QuadraticBowl(8)
+        x0 = bowl.init_params(rng)
+        assert bowl.distance_to_optimum(x0) > 1.0

@@ -1,0 +1,49 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import he_normal, normal, xavier_uniform, zeros
+
+
+class TestZeros:
+    def test_all_zero(self, rng):
+        out = zeros((3, 4), rng)
+        np.testing.assert_array_equal(out, np.zeros((3, 4)))
+
+
+class TestNormal:
+    def test_shape_and_scale(self, rng):
+        out = normal((2000,), rng, std=0.5)
+        assert out.shape == (2000,)
+        assert out.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_reproducible(self):
+        a = normal((5,), np.random.default_rng(0))
+        b = normal((5,), np.random.default_rng(0))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestXavierUniform:
+    def test_within_limit(self, rng):
+        fan_in, fan_out = 30, 50
+        out = xavier_uniform((fan_in, fan_out), rng)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(out) <= limit)
+
+    def test_variance_close_to_glorot(self, rng):
+        fan_in, fan_out = 100, 100
+        out = xavier_uniform((fan_in, fan_out), rng)
+        expected_var = 2.0 / (fan_in + fan_out)
+        assert out.var() == pytest.approx(expected_var, rel=0.1)
+
+
+class TestHeNormal:
+    def test_std_matches_fan_in(self, rng):
+        fan_in = 200
+        out = he_normal((fan_in, 300), rng)
+        assert out.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.05)
+
+    def test_1d_shape_uses_own_size(self, rng):
+        out = he_normal((50,), rng)
+        assert out.shape == (50,)

@@ -1,0 +1,158 @@
+"""Gradient-checked tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.nn.layers import Dense, Dropout, LeakyReLU, ReLU, Sigmoid, Tanh
+from tests.helpers import assert_gradients_close, numerical_gradient
+
+
+def _input_gradient_check(layer, inputs, rng):
+    """Check dL/d(input) for L = sum(w * forward(x)) with random w."""
+    out = layer.forward(inputs)
+    weights = rng.standard_normal(out.shape)
+
+    def scalar_loss(x):
+        return float(np.sum(weights * layer.forward(x)))
+
+    analytic = layer.backward(weights)
+    numeric = numerical_gradient(scalar_loss, inputs.copy())
+    assert_gradients_close(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        out = layer.forward(rng.standard_normal((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_values(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        layer.weight.value = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.bias.value = np.array([1.0, -1.0])
+        out = layer.forward(np.array([[3.0, 4.0]]))
+        np.testing.assert_allclose(out, [[4.0, 7.0]])
+
+    def test_input_gradient(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        _input_gradient_check(layer, rng.standard_normal((6, 4)), rng)
+
+    def test_weight_gradient(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        inputs = rng.standard_normal((5, 3))
+        weights = rng.standard_normal((5, 2))
+        layer.forward(inputs)
+        layer.backward(weights)
+        analytic = layer.weight.grad.copy()
+
+        def scalar_loss(w):
+            layer.weight.value = w
+            return float(np.sum(weights * layer.forward(inputs)))
+
+        numeric = numerical_gradient(scalar_loss, layer.weight.value.copy())
+        assert_gradients_close(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_bias_gradient(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        inputs = rng.standard_normal((4, 3))
+        upstream = rng.standard_normal((4, 2))
+        layer.forward(inputs)
+        layer.backward(upstream)
+        np.testing.assert_allclose(layer.bias.grad, upstream.sum(axis=0))
+
+    def test_no_bias_option(self, rng):
+        layer = Dense(3, 2, rng=rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters) == 1
+
+    def test_rejects_wrong_input_dim(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(DimensionMismatchError):
+            layer.forward(np.ones((2, 4)))
+
+    def test_rejects_bad_sizes(self, rng):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 2, rng=rng)
+
+    def test_backward_before_forward(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+
+@pytest.mark.parametrize(
+    "layer_factory",
+    [ReLU, Tanh, Sigmoid, lambda: LeakyReLU(0.1)],
+    ids=["relu", "tanh", "sigmoid", "leaky_relu"],
+)
+class TestActivations:
+    def test_gradient(self, layer_factory, rng):
+        layer = layer_factory()
+        # Shift away from 0 to avoid the ReLU kink in finite differences.
+        inputs = rng.standard_normal((5, 4))
+        inputs[np.abs(inputs) < 1e-2] += 0.1
+        _input_gradient_check(layer, inputs, rng)
+
+    def test_output_shape(self, layer_factory, rng):
+        layer = layer_factory()
+        out = layer.forward(rng.standard_normal((3, 7)))
+        assert out.shape == (3, 7)
+
+    def test_backward_before_forward(self, layer_factory, rng):
+        with pytest.raises(RuntimeError):
+            layer_factory().backward(np.ones((1, 2)))
+
+
+class TestActivationValues:
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([[-10.0, 10.0]]))
+        np.testing.assert_allclose(out, [[-1.0, 10.0]])
+
+    def test_leaky_relu_rejects_negative_slope(self):
+        with pytest.raises(ConfigurationError):
+            LeakyReLU(-0.5)
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.standard_normal((10, 10)) * 100)
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        inputs = rng.standard_normal((4, 6))
+        np.testing.assert_array_equal(layer.forward(inputs, training=False), inputs)
+
+    def test_preserves_expectation(self, rng):
+        layer = Dropout(0.3, rng=rng)
+        inputs = np.ones((200, 500))
+        out = layer.forward(inputs, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_zero_probability_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        inputs = rng.standard_normal((3, 3))
+        np.testing.assert_array_equal(layer.forward(inputs, training=True), inputs)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        inputs = np.ones((10, 10))
+        out = layer.forward(inputs, training=True)
+        grad = layer.backward(np.ones_like(inputs))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_rejects_invalid_probability(self, rng):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            Dropout(-0.1, rng=rng)

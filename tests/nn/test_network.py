@@ -1,0 +1,106 @@
+"""Tests for the Sequential container and its flat-parameter view."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.nn.layers import Dense, ReLU, Tanh
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+from tests.helpers import assert_gradients_close, numerical_gradient
+
+
+@pytest.fixture
+def small_net(rng):
+    return Sequential([Dense(4, 8, rng=rng), Tanh(), Dense(8, 3, rng=rng)])
+
+
+class TestSequentialBasics:
+    def test_forward_shape(self, small_net, rng):
+        out = small_net.forward(rng.standard_normal((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_call_alias(self, small_net, rng):
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_array_equal(small_net(x), small_net.forward(x))
+
+    def test_num_parameters(self, small_net):
+        assert small_net.num_parameters == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionMismatchError):
+            Sequential([])
+
+    def test_zero_grad(self, small_net, rng):
+        loss = MeanSquaredError()
+        small_net.loss_and_flat_gradient(
+            rng.standard_normal((2, 4)), rng.standard_normal((2, 3)), loss
+        )
+        assert np.any(small_net.get_flat_gradient() != 0)
+        small_net.zero_grad()
+        np.testing.assert_array_equal(
+            small_net.get_flat_gradient(), np.zeros(small_net.num_parameters)
+        )
+
+
+class TestFlatParameterView:
+    def test_round_trip(self, small_net, rng):
+        flat = rng.standard_normal(small_net.num_parameters)
+        small_net.set_flat_parameters(flat)
+        np.testing.assert_allclose(small_net.get_flat_parameters(), flat)
+
+    def test_set_changes_forward(self, small_net, rng):
+        x = rng.standard_normal((3, 4))
+        before = small_net.forward(x).copy()
+        small_net.set_flat_parameters(
+            rng.standard_normal(small_net.num_parameters)
+        )
+        after = small_net.forward(x)
+        assert not np.allclose(before, after)
+
+    def test_rejects_wrong_size(self, small_net):
+        with pytest.raises(DimensionMismatchError):
+            small_net.set_flat_parameters(np.ones(small_net.num_parameters + 1))
+
+
+class TestEndToEndGradient:
+    def test_flat_gradient_matches_numeric_mse(self, rng):
+        net = Sequential([Dense(3, 5, rng=rng), Tanh(), Dense(5, 2, rng=rng)])
+        loss = MeanSquaredError()
+        x = rng.standard_normal((4, 3))
+        y = rng.standard_normal((4, 2))
+        _value, analytic = net.loss_and_flat_gradient(x, y, loss)
+
+        def scalar(flat):
+            net.set_flat_parameters(flat)
+            return loss.forward(net.forward(x), y)
+
+        numeric = numerical_gradient(scalar, net.get_flat_parameters())
+        assert_gradients_close(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_flat_gradient_matches_numeric_softmax(self, rng):
+        net = Sequential([Dense(4, 6, rng=rng), ReLU(), Dense(6, 3, rng=rng)])
+        loss = SoftmaxCrossEntropy()
+        x = rng.standard_normal((5, 4)) + 0.5
+        y = rng.integers(0, 3, size=5)
+        _value, analytic = net.loss_and_flat_gradient(x, y, loss)
+
+        def scalar(flat):
+            net.set_flat_parameters(flat)
+            return loss.forward(net.forward(x), y)
+
+        numeric = numerical_gradient(scalar, net.get_flat_parameters())
+        assert_gradients_close(analytic, numeric, rtol=1e-3, atol=1e-6)
+
+    def test_gradient_descent_reduces_loss(self, rng):
+        net = Sequential([Dense(2, 16, rng=rng), Tanh(), Dense(16, 1, rng=rng)])
+        loss = MeanSquaredError()
+        x = rng.standard_normal((64, 2))
+        y = (x[:, :1] ** 2 + x[:, 1:]) * 0.5
+        first = None
+        for _step in range(200):
+            value, grad = net.loss_and_flat_gradient(x, y, loss)
+            if first is None:
+                first = value
+            net.set_flat_parameters(net.get_flat_parameters() - 0.05 * grad)
+        assert value < first * 0.5

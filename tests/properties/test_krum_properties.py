@@ -1,0 +1,128 @@
+"""Hypothesis property tests for Krum (the paper's core invariants)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.krum import Krum, MultiKrum, krum_scores, krum_scores_reference
+
+
+def stacks(min_n=5, max_n=14, min_d=1, max_d=8):
+    """Strategy producing (vectors, f) with valid Krum parameters."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_n, max_n))
+        d = draw(st.integers(min_d, max_d))
+        f_max = (n - 3) // 2
+        f = draw(st.integers(0, max(0, f_max)))
+        vectors = draw(
+            hnp.arrays(
+                dtype=np.float64,
+                shape=(n, d),
+                elements=st.floats(
+                    min_value=-1e6, max_value=1e6, allow_nan=False
+                ),
+            )
+        )
+        return vectors, f
+
+    return build()
+
+
+class TestKrumInvariants:
+    @given(stacks())
+    @settings(max_examples=60, deadline=None)
+    def test_output_is_an_input_row(self, case):
+        vectors, f = case
+        out = Krum(f=f, strict=False).aggregate(vectors)
+        assert any(np.array_equal(out, row) for row in vectors)
+
+    @given(stacks(max_n=10, max_d=5))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_scores_match_reference(self, case):
+        vectors, f = case
+        # The GEMM distance expansion carries an absolute error of order
+        # eps · ‖V‖² (catastrophic cancellation for near-equal huge
+        # vectors), so the tolerance scales with the squared magnitude.
+        scale = max(1.0, float(np.max(np.abs(vectors))) ** 2)
+        np.testing.assert_allclose(
+            krum_scores(vectors, f),
+            krum_scores_reference(vectors, f),
+            rtol=1e-7,
+            atol=1e-10 * scale * len(vectors),
+        )
+
+    @given(stacks(), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_equivariance(self, case, pyrandom):
+        """Permuting inputs permutes the selection (up to tie-breaks):
+        the selected *vector* value is invariant whenever scores are
+        distinct."""
+        vectors, f = case
+        scores = krum_scores(vectors, f)
+        if len(np.unique(scores)) != len(scores):
+            return  # ties allow identifier-dependent choices
+        perm = list(range(len(vectors)))
+        pyrandom.shuffle(perm)
+        original = Krum(f=f, strict=False).aggregate(vectors)
+        permuted = Krum(f=f, strict=False).aggregate(vectors[perm])
+        np.testing.assert_array_equal(original, permuted)
+
+    @given(stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_translation_equivariance(self, case):
+        """Kr(V + c) = Kr(V) + c — scores depend only on differences."""
+        vectors, f = case
+        shift = np.full(vectors.shape[1], 17.5)
+        original = Krum(f=f, strict=False).aggregate(vectors)
+        shifted = Krum(f=f, strict=False).aggregate(vectors + shift)
+        np.testing.assert_allclose(shifted, original + shift, rtol=1e-9, atol=1e-6)
+
+    @given(stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_scale_equivariance(self, case):
+        """Kr(c·V) = c·Kr(V) for c > 0."""
+        vectors, f = case
+        original = Krum(f=f, strict=False).aggregate(vectors)
+        scaled = Krum(f=f, strict=False).aggregate(2.5 * vectors)
+        np.testing.assert_allclose(scaled, 2.5 * original, rtol=1e-9, atol=1e-6)
+
+    @given(stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_non_negative(self, case):
+        vectors, f = case
+        assert np.all(krum_scores(vectors, f) >= 0.0)
+
+    @given(st.integers(5, 12), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_unanimous_inputs_returned_exactly(self, n, d):
+        vectors = np.tile(np.arange(d, dtype=float), (n, 1))
+        f = max(0, (n - 3) // 2)
+        out = Krum(f=f, strict=False).aggregate(vectors)
+        np.testing.assert_array_equal(out, np.arange(d, dtype=float))
+
+
+class TestMultiKrumInvariants:
+    @given(stacks(min_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_selected_count_is_m(self, case):
+        vectors, f = case
+        n = len(vectors)
+        m_max = max(1, n - f - 2)
+        for m in {1, m_max}:
+            result = MultiKrum(f=f, m=m, strict=False).aggregate_detailed(vectors)
+            assert len(result.selected) == m
+
+    @given(stacks(min_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_output_in_convex_hull_bounds(self, case):
+        """Multi-Krum's output is a mean of inputs, so it lies within the
+        coordinate-wise min/max envelope."""
+        vectors, f = case
+        n = len(vectors)
+        m = max(1, n - f - 2)
+        out = MultiKrum(f=f, m=m, strict=False).aggregate(vectors)
+        assert np.all(out >= vectors.min(axis=0) - 1e-9)
+        assert np.all(out <= vectors.max(axis=0) + 1e-9)

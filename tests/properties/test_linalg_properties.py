@@ -1,0 +1,70 @@
+"""Hypothesis property tests for the linear-algebra kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.linalg import (
+    flatten_arrays,
+    pairwise_sq_distances,
+    unflatten_array,
+)
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 10), st.integers(1, 8)),
+    elements=st.floats(min_value=-1e8, max_value=1e8, allow_nan=False),
+)
+
+
+class TestPairwiseDistanceProperties:
+    @given(matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_symmetric_zero_diagonal(self, vectors):
+        distances = pairwise_sq_distances(vectors)
+        assert np.all(distances >= 0)
+        np.testing.assert_allclose(distances, distances.T, rtol=1e-7, atol=1e-4)
+        np.testing.assert_array_equal(np.diag(distances), 0.0)
+
+    @given(matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_norm_definition(self, vectors):
+        distances = pairwise_sq_distances(vectors)
+        n = len(vectors)
+        i, j = 0, n - 1
+        expected = float(np.sum((vectors[i] - vectors[j]) ** 2))
+        # The GEMM formulation loses precision at large magnitudes;
+        # tolerance scales with the squared magnitudes involved.
+        scale = max(1.0, np.max(np.abs(vectors)) ** 2)
+        assert abs(distances[i, j] - expected) <= 1e-7 * scale
+
+    @given(matrices, st.floats(min_value=-1e3, max_value=1e3, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance(self, vectors, shift):
+        original = pairwise_sq_distances(vectors)
+        translated = pairwise_sq_distances(vectors + shift)
+        scale = max(1.0, np.max(np.abs(vectors)) ** 2, shift**2)
+        np.testing.assert_allclose(
+            original, translated, atol=1e-6 * scale, rtol=1e-6
+        )
+
+
+class TestFlattenProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 4), st.integers(1, 4)),
+            min_size=1,
+            max_size=5,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_any_shapes(self, shapes, pyrandom):
+        rng = np.random.default_rng(pyrandom.randint(0, 2**31))
+        arrays = [rng.standard_normal(s) for s in shapes]
+        flat, recorded = flatten_arrays(arrays)
+        restored = unflatten_array(flat, recorded)
+        assert len(restored) == len(arrays)
+        for original, back in zip(arrays, restored):
+            np.testing.assert_array_equal(original, back)

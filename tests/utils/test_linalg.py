@@ -1,0 +1,102 @@
+"""Tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.utils.linalg import (
+    flatten_arrays,
+    pairwise_sq_distances,
+    stack_vectors,
+    unflatten_array,
+)
+
+
+class TestPairwiseSqDistances:
+    def test_matches_naive(self, rng):
+        vectors = rng.standard_normal((7, 5))
+        fast = pairwise_sq_distances(vectors)
+        naive = np.array(
+            [
+                [np.sum((vectors[i] - vectors[j]) ** 2) for j in range(7)]
+                for i in range(7)
+            ]
+        )
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_diagonal_zero(self, rng):
+        vectors = rng.standard_normal((4, 3)) * 1e6
+        distances = pairwise_sq_distances(vectors)
+        np.testing.assert_array_equal(np.diag(distances), np.zeros(4))
+
+    def test_symmetry(self, rng):
+        vectors = rng.standard_normal((6, 4))
+        distances = pairwise_sq_distances(vectors)
+        np.testing.assert_allclose(distances, distances.T, atol=1e-12)
+
+    def test_non_negative_despite_cancellation(self):
+        # Nearly identical large vectors trigger catastrophic cancellation.
+        base = np.full(10, 1e8)
+        vectors = np.stack([base, base + 1e-8])
+        distances = pairwise_sq_distances(vectors)
+        assert np.all(distances >= 0.0)
+
+    def test_single_vector(self):
+        distances = pairwise_sq_distances(np.array([[1.0, 2.0]]))
+        assert distances.shape == (1, 1)
+        assert distances[0, 0] == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(DimensionMismatchError):
+            pairwise_sq_distances(np.ones(3))
+
+    def test_known_values(self):
+        vectors = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_sq_distances(vectors)
+        assert distances[0, 1] == pytest.approx(25.0)
+
+
+class TestStackVectors:
+    def test_stacks(self):
+        stack = stack_vectors([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert stack.shape == (2, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionMismatchError):
+            stack_vectors([])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DimensionMismatchError, match="inconsistent"):
+            stack_vectors([np.ones(2), np.ones(3)])
+
+    def test_rejects_2d_elements(self):
+        with pytest.raises(DimensionMismatchError):
+            stack_vectors([np.ones((2, 2))])
+
+
+class TestFlattenRoundTrip:
+    def test_round_trip(self, rng):
+        arrays = [rng.standard_normal(s) for s in [(3, 4), (4,), (2, 2, 2)]]
+        flat, shapes = flatten_arrays(arrays)
+        assert flat.shape == (12 + 4 + 8,)
+        restored = unflatten_array(flat, shapes)
+        for original, back in zip(arrays, restored):
+            np.testing.assert_allclose(original, back)
+
+    def test_scalar_shape(self):
+        flat, shapes = flatten_arrays([np.array(5.0)])
+        assert flat.shape == (1,)
+        restored = unflatten_array(flat, shapes)
+        assert restored[0].shape == ()
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(DimensionMismatchError):
+            flatten_arrays([])
+
+    def test_unflatten_rejects_wrong_size(self):
+        with pytest.raises(DimensionMismatchError, match="entries"):
+            unflatten_array(np.ones(5), [(2, 2)])
+
+    def test_unflatten_rejects_2d_input(self):
+        with pytest.raises(DimensionMismatchError):
+            unflatten_array(np.ones((2, 2)), [(4,)])

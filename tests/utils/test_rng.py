@@ -1,0 +1,65 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(3)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_none_gives_fresh_entropy(self):
+        a = as_generator(None).random(8)
+        b = as_generator(None).random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnGenerators:
+    def test_count_and_type(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_streams_are_independent(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.random(100) for g in gens]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_reproducible_from_root_seed(self):
+        a = [g.random(4) for g in spawn_generators(9, 3)]
+        b = [g.random(4) for g in spawn_generators(9, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_spawn_from_generator(self):
+        root = np.random.default_rng(5)
+        gens = spawn_generators(root, 2)
+        assert len(gens) == 2
+        assert not np.array_equal(gens[0].random(10), gens[1].random(10))

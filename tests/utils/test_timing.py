@@ -1,0 +1,48 @@
+"""Tests for repro.utils.timing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timing import Timer, fit_power_law
+
+
+class TestTimer:
+    def test_accumulates_samples(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                sum(range(1000))
+        assert len(timer.samples) == 3
+        assert timer.total_seconds > 0
+        assert timer.mean_seconds == pytest.approx(timer.total_seconds / 3)
+        assert timer.min_seconds <= timer.mean_seconds
+
+    def test_empty_timer(self):
+        timer = Timer()
+        assert timer.mean_seconds == 0.0
+        assert timer.min_seconds == 0.0
+
+
+class TestFitPowerLaw:
+    def test_recovers_quadratic_exponent(self):
+        sizes = np.array([10.0, 20.0, 40.0, 80.0])
+        times = 3.0 * sizes**2
+        assert fit_power_law(sizes, times) == pytest.approx(2.0)
+
+    def test_recovers_linear_exponent(self):
+        sizes = np.array([1.0, 2.0, 4.0, 8.0])
+        times = 0.5 * sizes
+        assert fit_power_law(sizes, times) == pytest.approx(1.0)
+
+    def test_tolerates_noise(self, rng):
+        sizes = np.logspace(1, 3, 10)
+        times = 2.0 * sizes**1.5 * np.exp(rng.normal(0, 0.01, 10))
+        assert fit_power_law(sizes, times) == pytest.approx(1.5, abs=0.1)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0]), np.array([1.0]))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([0.0, 1.0]))

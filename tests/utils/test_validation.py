@@ -1,0 +1,101 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    InvalidVectorError,
+)
+from repro.utils.validation import (
+    check_finite,
+    check_positive_int,
+    check_probability,
+    check_vector_stack,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_valid(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    def test_minimum_zero(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ConfigurationError, match="must be >= 1"):
+            check_positive_int(0, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            check_positive_int(1.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="num_workers"):
+            check_positive_int(-1, "num_workers")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability(value, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("half", "p")
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        arr = np.array([1.0, -2.0, 3.5])
+        result = check_finite(arr, "v")
+        np.testing.assert_array_equal(result, arr)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(InvalidVectorError, match="non-finite"):
+            check_finite(np.array([1.0, bad]), "v")
+
+
+class TestCheckVectorStack:
+    def test_valid_stack(self):
+        stack = check_vector_stack([[1, 2], [3, 4]])
+        assert stack.dtype == np.float64
+        assert stack.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DimensionMismatchError):
+            check_vector_stack(np.ones(3))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionMismatchError):
+            check_vector_stack(np.ones((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionMismatchError):
+            check_vector_stack(np.zeros((0, 3)))
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(DimensionMismatchError):
+            check_vector_stack(np.zeros((3, 0)))
+
+    def test_rejects_nan_by_default(self):
+        with pytest.raises(InvalidVectorError):
+            check_vector_stack([[1.0, np.nan]])
+
+    def test_allows_nan_when_requested(self):
+        stack = check_vector_stack([[1.0, np.nan]], require_finite=False)
+        assert np.isnan(stack[0, 1])
