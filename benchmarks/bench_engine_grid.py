@@ -1,0 +1,174 @@
+"""Engine bench — batched scenario-grid vs per-scenario loop.
+
+Runs the same 64-cell grid (4 seeds × 2 attacks × 4 aggregators × 2 f
+values; n = 20 workers, d = 1000, 100 rounds — the scale of the paper's
+figure grids) through both executors:
+
+* ``loop``    — one :class:`~repro.distributed.TrainingSimulation` per
+  cell, the seed code's execution model;
+* ``batched`` — all cells stacked into ``(B, n, d)`` tensors by
+  :class:`~repro.engine.BatchedSimulation`.
+
+Asserts the batched engine is ≥ 3× faster AND trajectory-identical
+(bit-for-bit final parameters and per-round records for every cell),
+then writes the measurement to ``BENCH_engine.json`` at the repo root.
+
+Standalone usage (CI smoke / regenerating the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_grid.py          # full grid
+    PYTHONPATH=src python benchmarks/bench_engine_grid.py --smoke  # tiny grid
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.engine import ScenarioGrid, run_grid
+from repro.experiments.reporting import format_table
+
+try:
+    from benchmarks.conftest import emit, run_once
+except ImportError:  # executed as a script: python benchmarks/bench_engine_grid.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import emit, run_once
+
+MIN_SPEEDUP = 3.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _grid(
+    *, seeds=(0, 1, 2, 3), num_rounds=100, dimension=1000
+) -> ScenarioGrid:
+    return ScenarioGrid(
+        seeds=seeds,
+        attacks=(
+            ("gaussian", {"sigma": 200.0}),
+            ("omniscient", {"scale": 10.0}),
+        ),
+        aggregators=(
+            ("krum", {}),
+            ("multi-krum", {"m": 5}),
+            ("coordinate-median", {}),
+            ("trimmed-mean", {}),
+        ),
+        f_values=(3, 6),
+        num_workers=20,
+        dimension=dimension,
+        sigma=0.5,
+        num_rounds=num_rounds,
+        learning_rate=0.1,
+        lr_timescale=100.0,
+    )
+
+
+def _identical_trajectories(loop_result, batched_result) -> bool:
+    for label in loop_result.histories:
+        if (
+            loop_result.final_params[label].tobytes()
+            != batched_result.final_params[label].tobytes()
+        ):
+            return False
+        loop_history = loop_result.histories[label]
+        batched_history = batched_result.histories[label]
+        if len(loop_history) != len(batched_history):
+            return False
+        if any(a != b for a, b in zip(loop_history, batched_history)):
+            return False
+    return True
+
+
+def run_comparison(grid: ScenarioGrid) -> dict:
+    """Execute the grid in both modes and summarize the comparison."""
+    loop_result = run_grid(grid, mode="loop", eval_every=25)
+    batched_result = run_grid(grid, mode="batched", eval_every=25)
+    speedup = loop_result.wall_time / max(batched_result.wall_time, 1e-12)
+    return {
+        "grid": {
+            "cells": len(grid),
+            "num_workers": grid.num_workers,
+            "dimension": grid.dimension,
+            "num_rounds": grid.num_rounds,
+            "seeds": list(grid.seeds),
+            "f_values": list(grid.f_values),
+            "attacks": [name for name, _ in grid.attacks],
+            "aggregators": [name for name, _ in grid.aggregators],
+        },
+        "loop_seconds": round(loop_result.wall_time, 4),
+        "batched_seconds": round(batched_result.wall_time, 4),
+        "speedup": round(speedup, 2),
+        "trajectories_identical": _identical_trajectories(
+            loop_result, batched_result
+        ),
+        "python": platform.python_version(),
+    }
+
+
+def _emit_summary(summary: dict) -> None:
+    emit(
+        format_table(
+            ["cells", "n", "d", "rounds", "loop s", "batched s", "speedup", "identical"],
+            [
+                [
+                    summary["grid"]["cells"],
+                    summary["grid"]["num_workers"],
+                    summary["grid"]["dimension"],
+                    summary["grid"]["num_rounds"],
+                    summary["loop_seconds"],
+                    summary["batched_seconds"],
+                    f"{summary['speedup']}x",
+                    summary["trajectories_identical"],
+                ]
+            ],
+            title="Engine — batched grid vs per-scenario loop",
+        )
+    )
+
+
+def bench_engine_batched_vs_loop(benchmark):
+    summary = run_once(benchmark, lambda: run_comparison(_grid()))
+    _emit_summary(summary)
+    RESULT_PATH.write_text(json.dumps(summary, indent=1) + "\n")
+
+    assert summary["trajectories_identical"], (
+        "batched engine diverged from the per-scenario loop"
+    )
+    assert summary["speedup"] >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x speedup, got {summary['speedup']}x"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a small grid (16 cells, 10 rounds, d=50) without "
+        "writing BENCH_engine.json — the CI sanity check",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        grid = _grid(seeds=(0,), num_rounds=10, dimension=50)
+    else:
+        grid = _grid()
+    summary = run_comparison(grid)
+    print(json.dumps(summary, indent=1))
+    if not summary["trajectories_identical"]:
+        print("FAIL: batched engine diverged from the per-scenario loop")
+        return 1
+    if not args.smoke:
+        if summary["speedup"] < MIN_SPEEDUP:
+            print(f"FAIL: speedup {summary['speedup']}x < {MIN_SPEEDUP}x")
+            return 1
+        RESULT_PATH.write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

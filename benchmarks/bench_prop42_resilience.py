@@ -5,6 +5,12 @@ suite: condition (i) ⟨E Kr, g⟩ ≥ (1 − sin α)‖g‖², and condition (i
 bounded moments, over a grid of (n, f, σ) inside the variance condition —
 plus a demonstration that outside the condition (σ too large) the
 guarantee is void.
+
+The trial aggregations run through the engine's batched kernels
+(``estimate_resilience(batched=True)``, the default): all trial stacks
+go through one ``(trials, n, d)`` tensor call.  The kernels are
+bit-for-bit identical to the per-trial loop, which the first bench
+cross-checks explicitly.
 """
 
 from __future__ import annotations
@@ -79,6 +85,21 @@ def bench_prop42_krum_resilient_under_all_attacks(benchmark):
         assert report.moment_ratios[4] < 25.0, (
             f"condition (ii) moment blow-up under {report.attack}"
         )
+
+    # Differential guard: the batched-kernel path must reproduce the
+    # per-trial loop exactly (same report, float for float).
+    loop_report = estimate_resilience(
+        Krum(f=2),
+        _attacks()[0],
+        n=11,
+        f=2,
+        dimension=DIMENSION,
+        sigma=SIGMA,
+        trials=TRIALS,
+        seed=0,
+        batched=False,
+    )
+    assert loop_report == reports[0], "batched kernels diverged from loop path"
 
 
 def bench_prop42_nf_grid(benchmark):

@@ -27,6 +27,7 @@ from repro.attacks.modern import InnerProductAttack, LittleIsEnoughAttack
 from repro.attacks.omniscient import OmniscientAttack
 from repro.attacks.poisoning import LabelFlipAttack
 from repro.attacks.random_noise import GaussianAttack
+from repro.attacks.registry import available_attacks, make_attack, register_attack
 from repro.attacks.simple import (
     CrashAttack,
     NonFiniteAttack,
@@ -50,4 +51,7 @@ __all__ = [
     "LabelFlipAttack",
     "LittleIsEnoughAttack",
     "InnerProductAttack",
+    "register_attack",
+    "available_attacks",
+    "make_attack",
 ]

@@ -1,0 +1,90 @@
+"""Name-based attack factory shared by configs, the CLI and the engine.
+
+Mirrors :mod:`repro.core.registry` for attacks: a scenario names a
+strategy ("gaussian", "omniscient", ...) plus keyword arguments, and the
+registry builds the :class:`~repro.attacks.base.Attack`.  Only attacks
+whose constructors take plain scalars are registered — strategies that
+need runtime objects (models, data shards) are built directly by the
+benches that use them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.attacks.base import Attack
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "register_attack",
+    "available_attacks",
+    "attack_factory",
+    "make_attack",
+]
+
+_REGISTRY: dict[str, Callable[..., Attack]] = {}
+
+
+def register_attack(name: str, factory: Callable[..., Attack]) -> None:
+    """Register a strategy under ``name``; later registrations override."""
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"attack name must be a non-empty string, got {name!r}"
+        )
+    _REGISTRY[name] = factory
+
+
+def available_attacks() -> list[str]:
+    """Sorted list of registered strategy names."""
+    return sorted(_REGISTRY)
+
+
+def attack_factory(name: str) -> Callable[..., Attack]:
+    """The registered factory for ``name`` (for signature introspection)."""
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown attack {name!r}; available: {available_attacks()}"
+        )
+    return _REGISTRY[name]
+
+
+def make_attack(
+    name: str | None, kwargs: Mapping[str, object] | None = None
+) -> Attack | None:
+    """Build a strategy by name, e.g. ``make_attack("gaussian", {"sigma": 50})``.
+
+    ``name=None`` returns ``None`` (the attack-free arm), so callers can
+    thread an optional attack spec straight through.
+    """
+    if name is None:
+        return None
+    return attack_factory(name)(**dict(kwargs or {}))
+
+
+def _register_builtins() -> None:
+    # Imported lazily to avoid a circular import at package load.
+    from repro.attacks.base import BenignAttack
+    from repro.attacks.collusion import CollusionAttack
+    from repro.attacks.modern import InnerProductAttack, LittleIsEnoughAttack
+    from repro.attacks.omniscient import OmniscientAttack
+    from repro.attacks.random_noise import GaussianAttack
+    from repro.attacks.simple import (
+        CrashAttack,
+        NonFiniteAttack,
+        SignFlipAttack,
+        StragglerAttack,
+    )
+
+    register_attack("benign", BenignAttack)
+    register_attack("gaussian", GaussianAttack)
+    register_attack("sign-flip", SignFlipAttack)
+    register_attack("crash", CrashAttack)
+    register_attack("non-finite", NonFiniteAttack)
+    register_attack("straggler", StragglerAttack)
+    register_attack("collusion", CollusionAttack)
+    register_attack("omniscient", OmniscientAttack)
+    register_attack("little-is-enough", LittleIsEnoughAttack)
+    register_attack("inner-product", InnerProductAttack)
+
+
+_register_builtins()

@@ -12,6 +12,13 @@ from repro.core.aggregator import (
     Aggregator,
     SelectionAggregator,
 )
+from repro.core.batched import (
+    BatchedAggregationResult,
+    BatchedAggregator,
+    batched_krum_scores,
+    has_batched_kernel,
+    make_batched_aggregator,
+)
 from repro.core.bulyan import Bulyan
 from repro.core.krum import Krum, MultiKrum, krum_scores, krum_scores_reference
 from repro.core.registry import available_aggregators, make_aggregator
@@ -32,6 +39,11 @@ __all__ = [
     "Bulyan",
     "krum_scores",
     "krum_scores_reference",
+    "BatchedAggregator",
+    "BatchedAggregationResult",
+    "batched_krum_scores",
+    "has_batched_kernel",
+    "make_batched_aggregator",
     "eta",
     "check_krum_precondition",
     "max_tolerable_f",

@@ -1,0 +1,441 @@
+"""Batched aggregation kernels — many scenarios through one tensor op.
+
+The scenario-grid engine (:mod:`repro.engine`) carries a ``(B, n, d)``
+tensor of proposal stacks — B replica scenarios, n workers each — through
+its round loop.  Executing the choice function once per scenario from
+Python makes benchmark wall-time a function of interpreter overhead
+rather than of the O(n² · d) arithmetic of Lemma 4.1; this module instead
+stacks the scenarios into single numpy kernels (one batched GEMM for all
+Krum distance matrices, one batched sort for all trimmed means, ...).
+
+Every kernel is **bit-for-bit identical** to the per-scenario rule it
+replaces: ``aggregate_batch(stacks)[b]`` equals
+``aggregator.aggregate_detailed(stacks[b])`` down to the last float.
+That identity — enforced by ``tests/engine/test_differential.py`` — is
+what makes the engine a safe substitute for the per-scenario loop.
+
+Rules without a vectorized kernel still work through
+:func:`make_batched_aggregator`: the registry falls back to
+:class:`LoopBatchedAggregator`, which runs the ordinary per-scenario path
+(so a grid can mix, say, Krum with the exponential minimal-diameter rule
+and only the latter pays Python-loop cost).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregator import Aggregator
+from repro.exceptions import (
+    ByzantineToleranceError,
+    ConfigurationError,
+    DimensionMismatchError,
+)
+from repro.utils.linalg import batched_pairwise_sq_distances
+
+__all__ = [
+    "BatchedAggregationResult",
+    "BatchedAggregator",
+    "LoopBatchedAggregator",
+    "batched_krum_scores",
+    "batched_average",
+    "batched_coordinate_median",
+    "batched_trimmed_mean",
+    "register_batched_kernel",
+    "has_batched_kernel",
+    "batched_kernel_names",
+    "batch_group_key",
+    "make_batched_aggregator",
+]
+
+
+# ----------------------------------------------------------------------
+# Pure batched kernels
+# ----------------------------------------------------------------------
+
+
+def _as_batch(vectors: np.ndarray) -> np.ndarray:
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 3:
+        raise DimensionMismatchError(
+            f"batched kernels expect shape (B, n, d), got {vectors.shape}"
+        )
+    if vectors.shape[0] == 0 or vectors.shape[1] == 0 or vectors.shape[2] == 0:
+        raise DimensionMismatchError(
+            f"batch must be non-empty in every axis, got {vectors.shape}"
+        )
+    return vectors
+
+
+def _chunked_distance_scores(vectors, chunk_size, score_fn) -> np.ndarray:
+    """Reduce per-chunk ``(chunk, n, n)`` distance blocks to ``(B, n)``
+    scores without ever materializing the full ``(B, n, n)`` tensor.
+
+    ``score_fn`` maps one (writable) distance block to its per-row
+    scores.  Chunking only partitions the batch axis, so the result is
+    invariant to ``chunk_size``.
+    """
+    batch, n, _d = vectors.shape
+    if chunk_size is None:
+        chunk_size = batch
+    scores = np.empty((batch, n))
+    for start in range(0, batch, chunk_size):
+        distances = batched_pairwise_sq_distances(
+            vectors[start : start + chunk_size], nonfinite_as_inf=True
+        )
+        scores[start : start + chunk_size] = score_fn(distances)
+    return scores
+
+
+def batched_krum_scores(
+    vectors: np.ndarray, f: int, *, chunk_size: int | None = None
+) -> np.ndarray:
+    """Krum scores for every scenario: ``(B, n, d) -> (B, n)``.
+
+    Slice ``b`` of the result is bit-for-bit equal to
+    ``krum_scores(vectors[b], f)``.
+
+    ``chunk_size`` caps peak memory: the ``(chunk, n, n)`` distance
+    blocks (and their partition copies) are materialized one chunk at a
+    time and reduced to ``(chunk, n)`` scores before the next chunk —
+    the full ``(B, n, n)`` tensor never exists.  The scores are
+    invariant to the chunk size.
+    """
+    vectors = _as_batch(vectors)
+    n = vectors.shape[1]
+    num_neighbors = n - f - 2
+    if num_neighbors < 1:
+        raise ByzantineToleranceError(
+            f"Krum needs n - f - 2 >= 1 neighbours, got n={n}, f={f}", n=n, f=f
+        )
+    diagonal = np.arange(n)
+
+    def krum_score(distances: np.ndarray) -> np.ndarray:
+        distances[:, diagonal, diagonal] = np.inf
+        neighbor_part = np.partition(distances, num_neighbors - 1, axis=2)
+        return neighbor_part[:, :, :num_neighbors].sum(axis=2)
+
+    return _chunked_distance_scores(vectors, chunk_size, krum_score)
+
+
+def batched_average(vectors: np.ndarray) -> np.ndarray:
+    """Per-scenario unweighted mean: ``(B, n, d) -> (B, d)``."""
+    return _as_batch(vectors).mean(axis=1)
+
+
+def batched_coordinate_median(vectors: np.ndarray) -> np.ndarray:
+    """Per-scenario coordinate-wise median: ``(B, n, d) -> (B, d)``."""
+    return np.median(_as_batch(vectors), axis=1)
+
+
+def batched_trimmed_mean(vectors: np.ndarray, f: int) -> np.ndarray:
+    """Per-scenario coordinate-wise trimmed mean: ``(B, n, d) -> (B, d)``."""
+    vectors = _as_batch(vectors)
+    n = vectors.shape[1]
+    if n <= 2 * f:
+        raise ByzantineToleranceError(
+            f"trimmed mean needs n > 2f, got n={n}, f={f}", n=n, f=f
+        )
+    if f == 0:
+        return vectors.mean(axis=1)
+    ordered = np.sort(vectors, axis=1)
+    return ordered[:, f:-f].mean(axis=1)
+
+
+# ----------------------------------------------------------------------
+# The BatchedAggregator protocol
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchedAggregationResult:
+    """Outcome of one batched aggregation over B scenario stacks.
+
+    ``vectors`` holds one aggregate per scenario; ``selected`` one index
+    array per scenario (empty for statistical rules); ``scores`` the
+    per-scenario per-worker scores when the rule computes them.
+    """
+
+    vectors: np.ndarray  # (B, d)
+    selected: tuple[np.ndarray, ...]
+    scores: np.ndarray | None = None  # (B, n) when present
+
+
+class BatchedAggregator(ABC):
+    """A choice function applied to a batch of proposal stacks at once.
+
+    Implementations must be *observationally identical* to running
+    ``aggregator.aggregate_detailed`` on every slice: same vectors (bit
+    for bit), same selected indices, same scores.
+    """
+
+    #: The per-scenario rule this kernel replicates.
+    aggregator: Aggregator
+
+    #: True when the batch runs through a vectorized kernel, False for
+    #: the per-scenario loop fallback.
+    is_native: bool = True
+
+    @abstractmethod
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        """Aggregate a ``(B, n, d)`` batch of proposal stacks."""
+
+    def _validated(self, stacks: np.ndarray) -> np.ndarray:
+        stacks = _as_batch(stacks)
+        self.aggregator.check_tolerance(stacks.shape[1])
+        return stacks
+
+    def __repr__(self) -> str:
+        kind = "native" if self.is_native else "loop"
+        return f"{type(self).__name__}({self.aggregator.name!r}, {kind})"
+
+
+_EMPTY_SELECTION = np.array([], dtype=np.int64)
+
+
+class LoopBatchedAggregator(BatchedAggregator):
+    """Fallback adapter: run each scenario through its own rule instance.
+
+    Used for rules without a vectorized kernel (geometric median, Bulyan,
+    minimal-diameter, ...).  Keeping one instance per scenario preserves
+    any per-instance configuration exactly as the loop engine would see
+    it.  A single instance adapts to any batch size (every slice runs
+    through the same rule — the Monte-Carlo trial batching case).
+    """
+
+    is_native = False
+
+    def __init__(self, aggregators: Sequence[Aggregator]):
+        if not aggregators:
+            raise ConfigurationError("need at least one aggregator instance")
+        self.aggregators = list(aggregators)
+        self.aggregator = self.aggregators[0]
+
+    def _instances(self, batch: int) -> list[Aggregator]:
+        if len(self.aggregators) == 1:
+            return self.aggregators * batch
+        if batch != len(self.aggregators):
+            raise DimensionMismatchError(
+                f"batch of {batch} scenarios but "
+                f"{len(self.aggregators)} aggregator instances"
+            )
+        return self.aggregators
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        stacks = _as_batch(stacks)
+        vectors = np.empty((stacks.shape[0], stacks.shape[2]))
+        selected: list[np.ndarray] = []
+        scores: list[np.ndarray | None] = []
+        for b, rule in enumerate(self._instances(stacks.shape[0])):
+            result = rule.aggregate_detailed(stacks[b])
+            vectors[b] = result.vector
+            selected.append(result.selected)
+            scores.append(result.scores)
+        stacked_scores = (
+            np.stack(scores) if all(s is not None for s in scores) else None
+        )
+        return BatchedAggregationResult(
+            vectors=vectors, selected=tuple(selected), scores=stacked_scores
+        )
+
+
+def _select_winners(
+    stacks: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+    """Per-scenario argmin selection: first minimal index per row — the
+    smallest-identifier tie-break of Krum's footnote 3."""
+    winners = np.argmin(scores, axis=1)
+    batch_index = np.arange(stacks.shape[0])
+    vectors = stacks[batch_index, winners].copy()
+    selected = tuple(np.array([w], dtype=np.int64) for w in winners.tolist())
+    return vectors, selected
+
+
+class _BatchedKrum(BatchedAggregator):
+    """Vectorized Krum: one batched distance GEMM, one argmin per scenario."""
+
+    def __init__(self, aggregator, *, chunk_size: int | None = None):
+        self.aggregator = aggregator
+        self.chunk_size = chunk_size
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        stacks = self._validated(stacks)
+        scores = batched_krum_scores(
+            stacks, self.aggregator.f, chunk_size=self.chunk_size
+        )
+        vectors, selected = _select_winners(stacks, scores)
+        return BatchedAggregationResult(
+            vectors=vectors, selected=selected, scores=scores
+        )
+
+
+class _BatchedMultiKrum(BatchedAggregator):
+    """Vectorized Multi-Krum: stable argsort, gather, mean over the m best."""
+
+    def __init__(self, aggregator, *, chunk_size: int | None = None):
+        self.aggregator = aggregator
+        self.chunk_size = chunk_size
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        stacks = self._validated(stacks)
+        rule = self.aggregator
+        scores = batched_krum_scores(stacks, rule.f, chunk_size=self.chunk_size)
+        order = np.argsort(scores, axis=1, kind="stable")[:, : rule.m]
+        selected = tuple(row.astype(np.int64) for row in order)
+        if rule.m == 1:
+            batch_index = np.arange(stacks.shape[0])
+            vectors = stacks[batch_index, order[:, 0]].copy()
+        else:
+            gathered = np.take_along_axis(stacks, order[:, :, None], axis=1)
+            vectors = gathered.mean(axis=1)
+        return BatchedAggregationResult(
+            vectors=vectors, selected=selected, scores=scores
+        )
+
+
+class _BatchedAverage(BatchedAggregator):
+    def __init__(self, aggregator, *, chunk_size: int | None = None):
+        self.aggregator = aggregator
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        stacks = self._validated(stacks)
+        vectors = batched_average(stacks)
+        return BatchedAggregationResult(
+            vectors=vectors, selected=(_EMPTY_SELECTION,) * stacks.shape[0]
+        )
+
+
+class _BatchedCoordinateMedian(BatchedAggregator):
+    def __init__(self, aggregator, *, chunk_size: int | None = None):
+        self.aggregator = aggregator
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        stacks = self._validated(stacks)
+        vectors = batched_coordinate_median(stacks)
+        return BatchedAggregationResult(
+            vectors=vectors, selected=(_EMPTY_SELECTION,) * stacks.shape[0]
+        )
+
+
+class _BatchedTrimmedMean(BatchedAggregator):
+    def __init__(self, aggregator, *, chunk_size: int | None = None):
+        self.aggregator = aggregator
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        stacks = self._validated(stacks)
+        vectors = batched_trimmed_mean(stacks, self.aggregator.f)
+        return BatchedAggregationResult(
+            vectors=vectors, selected=(_EMPTY_SELECTION,) * stacks.shape[0]
+        )
+
+
+class _BatchedClosestToAll(BatchedAggregator):
+    def __init__(self, aggregator, *, chunk_size: int | None = None):
+        self.aggregator = aggregator
+        self.chunk_size = chunk_size
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        stacks = self._validated(stacks)
+        scores = _chunked_distance_scores(
+            stacks, self.chunk_size, lambda distances: distances.sum(axis=2)
+        )
+        vectors, selected = _select_winners(stacks, scores)
+        return BatchedAggregationResult(
+            vectors=vectors, selected=selected, scores=scores
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry-driven adaptation
+# ----------------------------------------------------------------------
+
+_BUILDERS: dict[type, Callable[..., BatchedAggregator]] = {}
+
+
+def register_batched_kernel(
+    aggregator_type: type, builder: Callable[..., BatchedAggregator]
+) -> None:
+    """Register a vectorized kernel for an :class:`Aggregator` subclass.
+
+    ``builder(aggregator, chunk_size=...)`` must return a
+    :class:`BatchedAggregator` replicating that instance bit-for-bit.
+    Later registrations override.
+    """
+    if not isinstance(aggregator_type, type):
+        raise ConfigurationError(
+            f"aggregator_type must be a class, got {aggregator_type!r}"
+        )
+    _BUILDERS[aggregator_type] = builder
+
+
+def has_batched_kernel(aggregator: Aggregator) -> bool:
+    """Whether a vectorized kernel is registered for this rule's type."""
+    return type(aggregator) in _BUILDERS
+
+
+def batched_kernel_names() -> list[str]:
+    """Sorted class names of the rules with vectorized kernels."""
+    return sorted(cls.__name__ for cls in _BUILDERS)
+
+
+def batch_group_key(aggregator: Aggregator) -> tuple[str, str]:
+    """Grouping key: scenarios whose rules share this key can share one
+    batched kernel call.  The rule's ``name`` encodes its parameters
+    (e.g. ``krum(f=6)``), so equal keys mean equal aggregation behavior.
+    """
+    return (type(aggregator).__qualname__, aggregator.name)
+
+
+def make_batched_aggregator(
+    aggregators: Aggregator | Sequence[Aggregator],
+    *,
+    chunk_size: int | None = None,
+) -> BatchedAggregator:
+    """Adapt one rule (or a group of identically-configured instances) to
+    the batched protocol.
+
+    Returns the registered vectorized kernel when one exists for the
+    rule's type, otherwise a :class:`LoopBatchedAggregator` running the
+    ordinary per-scenario path.  When a sequence is given, all instances
+    must share the same :func:`batch_group_key`; the loop fallback then
+    keeps one instance per scenario (batch slice b uses instance b).
+    """
+    if isinstance(aggregators, Aggregator):
+        instances = [aggregators]
+    else:
+        instances = list(aggregators)
+    if not instances:
+        raise ConfigurationError("need at least one aggregator instance")
+    keys = {batch_group_key(rule) for rule in instances}
+    if len(keys) != 1:
+        raise ConfigurationError(
+            f"cannot batch differently-configured rules together: {sorted(keys)}"
+        )
+    representative = instances[0]
+    builder = _BUILDERS.get(type(representative))
+    if builder is None:
+        return LoopBatchedAggregator(instances)
+    return builder(representative, chunk_size=chunk_size)
+
+
+def _register_builtins() -> None:
+    # Imported lazily to avoid circular imports at package load (the
+    # baselines import repro.core.aggregator).
+    from repro.baselines.average import Average
+    from repro.baselines.distance_based import ClosestToAll
+    from repro.baselines.medians import CoordinateWiseMedian, TrimmedMean
+    from repro.core.krum import Krum, MultiKrum
+
+    register_batched_kernel(Krum, _BatchedKrum)
+    register_batched_kernel(MultiKrum, _BatchedMultiKrum)
+    register_batched_kernel(Average, _BatchedAverage)
+    register_batched_kernel(CoordinateWiseMedian, _BatchedCoordinateMedian)
+    register_batched_kernel(TrimmedMean, _BatchedTrimmedMean)
+    register_batched_kernel(ClosestToAll, _BatchedClosestToAll)
+
+
+_register_builtins()

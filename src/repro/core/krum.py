@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.aggregator import AggregationResult, SelectionAggregator
+from repro.core.aggregator import SelectionAggregator
 from repro.core.theory import check_krum_precondition
 from repro.exceptions import ByzantineToleranceError, ConfigurationError
 from repro.utils.linalg import pairwise_sq_distances
@@ -156,11 +156,7 @@ class MultiKrum(SelectionAggregator):
     def select(self, vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         scores = krum_scores(vectors, self.f)
         # Stable sort keeps the smallest-identifier tie-break among equal
-        # scores, matching Krum's deterministic selection.
+        # scores, matching Krum's deterministic selection.  The base
+        # class then averages the m selected proposals.
         order = np.argsort(scores, kind="stable")
         return order[: self.m].astype(np.int64), scores
-
-    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
-        # Same as the base class; overridden only to document that the
-        # Multi-Krum output is the *mean* of the m selected proposals.
-        return super().aggregate_detailed(vectors)

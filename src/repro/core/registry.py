@@ -12,7 +12,12 @@ from collections.abc import Callable
 from repro.core.aggregator import Aggregator
 from repro.exceptions import ConfigurationError
 
-__all__ = ["make_aggregator", "available_aggregators", "register_aggregator"]
+__all__ = [
+    "make_aggregator",
+    "available_aggregators",
+    "register_aggregator",
+    "aggregator_factory",
+]
 
 _REGISTRY: dict[str, Callable[..., Aggregator]] = {}
 
@@ -29,13 +34,18 @@ def available_aggregators() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def make_aggregator(name: str, **kwargs: object) -> Aggregator:
-    """Build a rule by registry name, e.g. ``make_aggregator("krum", f=2)``."""
+def aggregator_factory(name: str) -> Callable[..., Aggregator]:
+    """The registered factory for ``name`` (for signature introspection)."""
     if name not in _REGISTRY:
         raise ConfigurationError(
             f"unknown aggregator {name!r}; available: {available_aggregators()}"
         )
-    return _REGISTRY[name](**kwargs)
+    return _REGISTRY[name]
+
+
+def make_aggregator(name: str, **kwargs: object) -> Aggregator:
+    """Build a rule by registry name, e.g. ``make_aggregator("krum", f=2)``."""
+    return aggregator_factory(name)(**kwargs)
 
 
 def _register_builtins() -> None:

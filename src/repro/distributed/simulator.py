@@ -211,12 +211,22 @@ class TrainingSimulation:
         for t in range(num_rounds):
             record = self.run_round()
             if t % eval_every == 0 or t == num_rounds - 1:
-                record = self._with_evaluation(record)
+                record = self.evaluate_record(record)
             history.append(record)
         return history
 
-    def _with_evaluation(self, record: RoundRecord) -> RoundRecord:
-        params = self.server.params
+    def evaluate_record(
+        self, record: RoundRecord, params: np.ndarray | None = None
+    ) -> RoundRecord:
+        """Attach this simulation's evaluation metrics to a round record.
+
+        ``params`` defaults to the server's current parameters; the
+        batched engine executor passes the scenario's externally-tracked
+        parameter vector instead (it advances parameters outside the
+        server).
+        """
+        if params is None:
+            params = self.server.params
         loss = accuracy = grad_norm = None
         extras: dict[str, float] = {}
         if self.evaluate is not None:

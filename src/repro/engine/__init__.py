@@ -1,0 +1,43 @@
+"""Scenario-grid engine: declarative grids, batched execution.
+
+The paper's experiments are grids — seeds × attacks × aggregators × f —
+and the seed code ran every cell as an independent Python round loop.
+This package batches B replica cells into ``(B, n, d)`` proposal tensors
+so the benchmark wall-time tracks the O(n² · d) aggregation arithmetic
+(Lemma 4.1) instead of interpreter overhead, while staying bit-for-bit
+identical to the per-cell loop (the differential test harness in
+``tests/engine/`` proves it).
+
+Quickstart::
+
+    from repro.engine import ScenarioGrid, run_grid
+
+    grid = ScenarioGrid(
+        seeds=(0, 1, 2),
+        attacks=(("gaussian", {"sigma": 200.0}), ("omniscient", {})),
+        aggregators=(("krum", {}), ("average", {})),
+        f_values=(0, 3),
+        num_workers=15, dimension=50, sigma=0.2, num_rounds=40,
+    )
+    result = run_grid(grid, mode="batched")
+    for label, history in result.histories.items():
+        print(label, history.final_loss)
+
+``run_grid(grid, mode="loop")`` executes the same cells through the
+classic one-simulation-at-a-time path — same histories, more wall time —
+which is what the engine benchmark (``benchmarks/bench_engine_grid.py``)
+measures and ``BENCH_engine.json`` records.
+"""
+
+from repro.engine.grid import ScenarioGrid, ScenarioSpec
+from repro.engine.runner import GridResult, build_scenario_simulation, run_grid
+from repro.engine.simulation import BatchedSimulation
+
+__all__ = [
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "BatchedSimulation",
+    "GridResult",
+    "build_scenario_simulation",
+    "run_grid",
+]

@@ -1,0 +1,228 @@
+"""Declarative scenario grids — the cartesian experiment spec.
+
+The paper's figures are grids: seeds × attacks × aggregators × f (plus
+workload knobs).  :class:`ScenarioGrid` declares such a grid once;
+:meth:`ScenarioGrid.scenarios` expands it into concrete
+:class:`ScenarioSpec` cells that the engine materializes and runs —
+either one-by-one through :class:`~repro.distributed.TrainingSimulation`
+(the loop executor) or stacked into ``(B, n, d)`` tensors by
+:class:`~repro.engine.simulation.BatchedSimulation`.
+
+Aggregator specs are registry names plus kwargs; ``f`` is injected into
+any rule whose factory accepts an ``f`` parameter (Krum, trimmed mean,
+...), while f-free rules (averaging, coordinate median) ride through
+unchanged.  Cells with ``f = 0`` are attack-free by definition, so the
+grid collapses the attack axis there to a single ``attack=None`` cell
+instead of emitting one duplicate per attack.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.registry import aggregator_factory, make_aggregator
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ScenarioSpec", "ScenarioGrid"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-resolved cell of a scenario grid.
+
+    Carries everything needed to build the cell's simulation: the
+    workload knobs (dimension, sigma, curvature, learning-rate schedule),
+    the cast (n workers, f Byzantine, slot placement), and the registry
+    names + kwargs of the choice function and the attack.  ``attack`` is
+    ``None`` for attack-free (f = 0) cells.
+    """
+
+    seed: int
+    aggregator: str
+    aggregator_kwargs: dict = field(default_factory=dict)
+    attack: str | None = None
+    attack_kwargs: dict = field(default_factory=dict)
+    num_workers: int = 20
+    num_byzantine: int = 0
+    dimension: int = 10
+    sigma: float = 0.1
+    learning_rate: float = 0.1
+    lr_timescale: float | None = 100.0
+    curvature: float = 1.0
+    byzantine_slots: str = "last"
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would raise on the kwargs
+        # dicts; hash the scalar identity instead (equal specs have equal
+        # labels, so the eq/hash contract holds — treat the kwargs dicts
+        # as read-only).
+        return hash(
+            (self.label, self.dimension, self.sigma, self.learning_rate,
+             self.lr_timescale, self.curvature, self.byzantine_slots)
+        )
+
+    @staticmethod
+    def _with_kwargs(name: str, kwargs: dict) -> str:
+        if not kwargs:
+            return name
+        inner = ",".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+        return f"{name}({inner})"
+
+    @property
+    def label(self) -> str:
+        """Unique human-readable cell identifier used in result dicts.
+
+        Encodes the kwargs of both the rule and the attack so grids can
+        sweep rule *and* attack parameters (e.g. two Gaussian sigmas)
+        without label collisions.
+        """
+        agg = self._with_kwargs(self.aggregator, self.aggregator_kwargs)
+        attack = (
+            self._with_kwargs(self.attack, self.attack_kwargs)
+            if self.attack is not None
+            else "no-attack"
+        )
+        return f"seed={self.seed}|{attack}|{agg}|f={self.num_byzantine}"
+
+
+def _accepts_f(factory: object) -> bool:
+    """Whether a registry factory takes an ``f`` keyword (Krum does,
+    plain averaging does not)."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        return False
+    return "f" in signature.parameters
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """Cartesian product of seeds × attacks × aggregators × f × knobs.
+
+    ``aggregators`` and ``attacks`` are sequences of
+    ``(registry_name, kwargs)`` pairs; ``f_values`` the Byzantine counts
+    to sweep.  The workload is the paper's analytic setting: a quadratic
+    bowl of the given ``dimension``/``curvature`` with the Gaussian
+    gradient oracle of noise ``sigma`` (Section 4's estimator model).
+
+    Example::
+
+        grid = ScenarioGrid(
+            seeds=(0, 1), num_rounds=50, num_workers=15, dimension=100,
+            attacks=(("gaussian", {"sigma": 200.0}),),
+            aggregators=(("krum", {}), ("average", {})),
+            f_values=(0, 3),
+        )
+        len(grid)          # 2 seeds × (1 attack × 2 rules × f=3  +  2 rules × f=0)
+        grid.scenarios()   # the resolved ScenarioSpec cells
+    """
+
+    seeds: Sequence[int] = (0,)
+    attacks: Sequence[tuple[str, Mapping]] = ()
+    aggregators: Sequence[tuple[str, Mapping]] = (("krum", {}),)
+    f_values: Sequence[int] = (0,)
+    num_workers: int = 20
+    num_rounds: int = 50
+    dimension: int = 10
+    sigma: float = 0.1
+    learning_rate: float = 0.1
+    lr_timescale: float | None = 100.0
+    curvature: float = 1.0
+    byzantine_slots: str = "last"
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ConfigurationError("grid needs at least one seed")
+        if not self.aggregators:
+            raise ConfigurationError("grid needs at least one aggregator spec")
+        if not self.f_values:
+            raise ConfigurationError("grid needs at least one f value")
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.num_rounds < 1:
+            raise ConfigurationError(
+                f"num_rounds must be >= 1, got {self.num_rounds}"
+            )
+        if self.dimension < 1:
+            raise ConfigurationError(
+                f"dimension must be >= 1, got {self.dimension}"
+            )
+        if self.sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {self.sigma}")
+        for f in self.f_values:
+            if not 0 <= f < self.num_workers:
+                raise ConfigurationError(
+                    f"need 0 <= f < n for every f value, got f={f}, "
+                    f"n={self.num_workers}"
+                )
+        if any(f > 0 for f in self.f_values) and not self.attacks:
+            raise ConfigurationError(
+                "grid sweeps f > 0 but declares no attacks"
+            )
+
+    def _aggregator_kwargs(self, name: str, kwargs: Mapping, f: int) -> dict:
+        """Resolve a rule's kwargs for a cell, injecting the cell's f
+        where the rule's factory accepts it."""
+        resolved = dict(kwargs)
+        if "f" not in resolved and _accepts_f(aggregator_factory(name)):
+            resolved["f"] = f
+        return resolved
+
+    def scenarios(self) -> list[ScenarioSpec]:
+        """Expand the grid into its concrete cells.
+
+        For ``f = 0`` the attack axis collapses (there is no Byzantine
+        slot to feed), so each (seed, aggregator) pair contributes one
+        attack-free cell instead of one per attack.
+        """
+        cells: list[ScenarioSpec] = []
+        attack_specs: Iterable[tuple[str, Mapping] | None]
+        for seed in self.seeds:
+            for f in self.f_values:
+                attack_specs = self.attacks if f > 0 else (None,)
+                for attack_spec in attack_specs:
+                    for agg_name, agg_kwargs in self.aggregators:
+                        attack_name = None
+                        attack_kwargs: dict = {}
+                        if attack_spec is not None:
+                            attack_name, raw = attack_spec
+                            attack_kwargs = dict(raw)
+                        cells.append(
+                            ScenarioSpec(
+                                seed=int(seed),
+                                aggregator=agg_name,
+                                aggregator_kwargs=self._aggregator_kwargs(
+                                    agg_name, agg_kwargs, f
+                                ),
+                                attack=attack_name,
+                                attack_kwargs=attack_kwargs,
+                                num_workers=self.num_workers,
+                                num_byzantine=int(f),
+                                dimension=self.dimension,
+                                sigma=self.sigma,
+                                learning_rate=self.learning_rate,
+                                lr_timescale=self.lr_timescale,
+                                curvature=self.curvature,
+                                byzantine_slots=self.byzantine_slots,
+                            )
+                        )
+        return cells
+
+    def __len__(self) -> int:
+        f_zero = sum(1 for f in self.f_values if f == 0)
+        f_pos = len(self.f_values) - f_zero
+        per_seed = len(self.aggregators) * (
+            f_zero + f_pos * len(self.attacks)
+        )
+        return len(self.seeds) * per_seed
+
+    def validate(self) -> None:
+        """Eagerly build every cell's aggregator, surfacing bad registry
+        names or (n, f) precondition violations before a long run."""
+        for spec in self.scenarios():
+            rule = make_aggregator(spec.aggregator, **spec.aggregator_kwargs)
+            rule.check_tolerance(spec.num_workers)

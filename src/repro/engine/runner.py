@@ -1,0 +1,141 @@
+"""Materialize and execute scenario grids.
+
+``run_grid(grid, mode="batched")`` expands a
+:class:`~repro.engine.grid.ScenarioGrid` into simulations on the
+paper's Gaussian-oracle quadratic workload and executes them either
+
+* ``mode="loop"`` — each cell through its own
+  :class:`~repro.distributed.TrainingSimulation` round loop (the seed
+  code's execution model), or
+* ``mode="batched"`` — all cells together through
+  :class:`~repro.engine.simulation.BatchedSimulation`.
+
+Both modes produce identical :class:`~repro.distributed.TrainingHistory`
+objects (bit-for-bit — see ``tests/engine/test_differential.py``); the
+batched mode is simply faster, which ``BENCH_engine.json`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.attacks.registry import make_attack
+from repro.core.registry import make_aggregator
+from repro.distributed.metrics import TrainingHistory
+from repro.distributed.simulator import TrainingSimulation
+from repro.engine.grid import ScenarioGrid, ScenarioSpec
+from repro.engine.simulation import BatchedSimulation
+from repro.exceptions import ConfigurationError
+from repro.experiments.builders import build_quadratic_simulation
+from repro.models.quadratic import QuadraticBowl
+
+__all__ = ["GridResult", "build_scenario_simulation", "run_grid"]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of one grid execution.
+
+    ``histories`` and ``final_params`` are keyed by each cell's
+    :attr:`~repro.engine.grid.ScenarioSpec.label`; ``wall_time`` is the
+    execution time of the round loops only (materialization excluded),
+    which is what the engine benchmark compares across modes.
+    """
+
+    mode: str
+    specs: tuple[ScenarioSpec, ...]
+    histories: dict[str, TrainingHistory]
+    final_params: dict[str, np.ndarray]
+    wall_time: float
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def history(self, label: str) -> TrainingHistory:
+        return self.histories[label]
+
+
+def build_scenario_simulation(
+    spec: ScenarioSpec, *, bowl: QuadraticBowl | None = None
+) -> TrainingSimulation:
+    """Build one cell's simulation on the quadratic-bowl workload.
+
+    ``bowl`` lets callers share one workload object across cells (the
+    bowl is stateless; sharing avoids materializing one ``d × d``
+    curvature matrix per cell).
+    """
+    if bowl is None:
+        bowl = QuadraticBowl(spec.dimension, curvature=spec.curvature)
+    aggregator = make_aggregator(spec.aggregator, **spec.aggregator_kwargs)
+    attack = make_attack(spec.attack, spec.attack_kwargs)
+    return build_quadratic_simulation(
+        bowl,
+        aggregator=aggregator,
+        num_workers=spec.num_workers,
+        num_byzantine=spec.num_byzantine,
+        sigma=spec.sigma,
+        attack=attack,
+        learning_rate=spec.learning_rate,
+        lr_timescale=spec.lr_timescale,
+        byzantine_slots=spec.byzantine_slots,
+        seed=spec.seed,
+    )
+
+
+def run_grid(
+    grid: ScenarioGrid,
+    *,
+    mode: str = "batched",
+    eval_every: int = 10,
+    chunk_size: int | None = None,
+) -> GridResult:
+    """Expand and execute every cell of ``grid``.
+
+    ``chunk_size`` (batched mode only) caps the distance-kernel batch
+    chunks; see
+    :func:`~repro.utils.linalg.batched_pairwise_sq_distances`.
+    """
+    if mode not in ("batched", "loop"):
+        raise ConfigurationError(
+            f"mode must be 'batched' or 'loop', got {mode!r}"
+        )
+    specs = grid.scenarios()
+    labels = [spec.label for spec in specs]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(
+            "grid produced duplicate cell labels; make aggregator/attack "
+            "specs distinguishable"
+        )
+
+    bowls: dict[tuple[int, float], QuadraticBowl] = {}
+    simulations = []
+    for spec in specs:
+        key = (spec.dimension, spec.curvature)
+        if key not in bowls:
+            bowls[key] = QuadraticBowl(spec.dimension, curvature=spec.curvature)
+        simulations.append(build_scenario_simulation(spec, bowl=bowls[key]))
+
+    start = perf_counter()
+    if mode == "loop":
+        histories = [
+            sim.run(grid.num_rounds, eval_every=eval_every)
+            for sim in simulations
+        ]
+        finals = [sim.params for sim in simulations]
+    else:
+        batched = BatchedSimulation(simulations, chunk_size=chunk_size)
+        histories = batched.run(grid.num_rounds, eval_every=eval_every)
+        params = batched.params
+        finals = [params[i] for i in range(len(specs))]
+    wall_time = perf_counter() - start
+
+    return GridResult(
+        mode=mode,
+        specs=tuple(specs),
+        histories=dict(zip(labels, histories)),
+        final_params=dict(zip(labels, finals)),
+        wall_time=wall_time,
+    )

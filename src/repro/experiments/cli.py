@@ -23,9 +23,9 @@ from repro.data.mnist_like import make_mnist_like
 from repro.data.spambase_like import make_spambase_like
 from repro.data.synthetic import make_blobs
 from repro.exceptions import ReproError
+from repro.attacks.registry import make_attack
 from repro.experiments.builders import build_dataset_simulation
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.runner import _make_attack
 from repro.models.logistic import LogisticRegressionModel
 from repro.models.mlp import MLPClassifier
 from repro.models.softmax import SoftmaxRegressionModel
@@ -110,7 +110,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         model, train, test = _build_dataset(args)
         aggregator = _build_aggregator(args)
-        attack = _make_attack(args.attack, {})
+        attack = make_attack(args.attack, {})
         if args.byzantine > 0 and attack is None:
             print(
                 "error: --byzantine > 0 requires --attack", file=sys.stderr

@@ -2,66 +2,35 @@
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.attacks.base import Attack
+from repro.attacks.registry import make_attack
 from repro.core.registry import make_aggregator
 from repro.data.dataset import Dataset
 from repro.distributed.metrics import TrainingHistory
+from repro.distributed.simulator import TrainingSimulation
+from repro.engine.simulation import BatchedSimulation
+from repro.exceptions import ConfigurationError
 from repro.experiments.builders import build_dataset_simulation
 from repro.experiments.config import SGDExperimentConfig
 from repro.models.base import Model
 
-__all__ = ["run_experiment", "compare_aggregators"]
-
-# Attack registry kept local to the runner: attacks whose constructors
-# need runtime objects (models, shards) are built in the benches instead.
-def _make_attack(name: str | None, kwargs: dict) -> Attack | None:
-    if name is None:
-        return None
-    from repro.attacks import (
-        BenignAttack,
-        CollusionAttack,
-        CrashAttack,
-        GaussianAttack,
-        InnerProductAttack,
-        LittleIsEnoughAttack,
-        OmniscientAttack,
-        SignFlipAttack,
-        StragglerAttack,
-    )
-
-    factories = {
-        "benign": BenignAttack,
-        "gaussian": GaussianAttack,
-        "sign-flip": SignFlipAttack,
-        "crash": CrashAttack,
-        "straggler": StragglerAttack,
-        "collusion": CollusionAttack,
-        "omniscient": OmniscientAttack,
-        "little-is-enough": LittleIsEnoughAttack,
-        "inner-product": InnerProductAttack,
-    }
-    if name not in factories:
-        from repro.exceptions import ConfigurationError
-
-        raise ConfigurationError(
-            f"unknown attack {name!r}; available: {sorted(factories)}"
-        )
-    return factories[name](**kwargs)
+__all__ = [
+    "build_experiment_simulation",
+    "run_experiment",
+    "compare_aggregators",
+]
 
 
-def run_experiment(
+def build_experiment_simulation(
     config: SGDExperimentConfig,
     model: Model,
     train: Dataset,
     *,
     eval_dataset: Dataset | None = None,
-) -> TrainingHistory:
-    """Run one dataset experiment described by ``config``."""
+) -> TrainingSimulation:
+    """Materialize one dataset experiment described by ``config``."""
     aggregator = make_aggregator(config.aggregator, **config.aggregator_kwargs)
-    attack = _make_attack(config.attack, config.attack_kwargs)
-    simulation = build_dataset_simulation(
+    attack = make_attack(config.attack, config.attack_kwargs)
+    return build_dataset_simulation(
         model,
         train,
         aggregator=aggregator,
@@ -75,6 +44,19 @@ def run_experiment(
         byzantine_slots=config.byzantine_slots,
         seed=config.seed,
     )
+
+
+def run_experiment(
+    config: SGDExperimentConfig,
+    model: Model,
+    train: Dataset,
+    *,
+    eval_dataset: Dataset | None = None,
+) -> TrainingHistory:
+    """Run one dataset experiment described by ``config``."""
+    simulation = build_experiment_simulation(
+        config, model, train, eval_dataset=eval_dataset
+    )
     return simulation.run(config.num_rounds, eval_every=config.eval_every)
 
 
@@ -85,6 +67,7 @@ def compare_aggregators(
     train: Dataset,
     *,
     eval_dataset: Dataset | None = None,
+    engine: str = "batched",
 ) -> dict[str, TrainingHistory]:
     """Run the same workload under several choice functions.
 
@@ -93,10 +76,20 @@ def compare_aggregators(
     per run (model instances hold scratch network state).  All runs share
     the config's seed, so honest gradients are identical across rules —
     differences in the histories are attributable to the rules alone.
+
+    ``engine`` selects the executor: ``"batched"`` (default) stacks every
+    arm into one :class:`~repro.engine.BatchedSimulation` round loop so
+    the rules aggregate through batched kernels; ``"loop"`` runs each arm
+    on its own.  Both produce identical histories — the batched executor
+    is trajectory-preserving by construction.
     """
-    results: dict[str, TrainingHistory] = {}
+    if engine not in ("batched", "loop"):
+        raise ConfigurationError(
+            f"engine must be 'batched' or 'loop', got {engine!r}"
+        )
+    configs: dict[str, SGDExperimentConfig] = {}
     for label, (name, kwargs) in aggregator_specs.items():
-        config = SGDExperimentConfig(
+        configs[label] = SGDExperimentConfig(
             num_workers=base_config.num_workers,
             num_byzantine=base_config.num_byzantine,
             num_rounds=base_config.num_rounds,
@@ -111,7 +104,21 @@ def compare_aggregators(
             seed=base_config.seed,
             byzantine_slots=base_config.byzantine_slots,
         )
-        results[label] = run_experiment(
+    simulations = {
+        label: build_experiment_simulation(
             config, model_factory(), train, eval_dataset=eval_dataset
         )
-    return results
+        for label, config in configs.items()
+    }
+    if engine == "loop":
+        return {
+            label: sim.run(
+                base_config.num_rounds, eval_every=base_config.eval_every
+            )
+            for label, sim in simulations.items()
+        }
+    batched = BatchedSimulation(list(simulations.values()))
+    histories = batched.run(
+        base_config.num_rounds, eval_every=base_config.eval_every
+    )
+    return dict(zip(simulations.keys(), histories))

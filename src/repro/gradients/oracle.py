@@ -39,11 +39,29 @@ class GaussianOracleEstimator(GradientEstimator):
     def dimension(self) -> int:
         return self._dimension
 
+    @property
+    def gradient_fn(self) -> Callable[[np.ndarray], np.ndarray]:
+        """The wrapped exact-gradient callable (shared across workers when
+        several estimators are built from the same model)."""
+        return self._gradient_fn
+
     def estimate(self, params: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         grad = np.asarray(self._gradient_fn(params), dtype=np.float64)
+        return self.sample_about(grad, rng)
+
+    def sample_about(
+        self, expected: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one estimate given the precomputed expected gradient.
+
+        Bit-for-bit equivalent to :meth:`estimate` when ``expected`` is
+        ``gradient_fn(params)``; the batched engine uses this to evaluate
+        the (deterministic) gradient once per scenario instead of once
+        per worker.
+        """
         if self.sigma == 0.0:
-            return grad.copy()
-        return grad + rng.normal(0.0, self.sigma, size=self._dimension)
+            return expected.copy()
+        return expected + rng.normal(0.0, self.sigma, size=self._dimension)
 
     def expected(self, params: np.ndarray) -> np.ndarray:
         return np.asarray(self._gradient_fn(params), dtype=np.float64).copy()

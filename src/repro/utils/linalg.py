@@ -16,6 +16,7 @@ from repro.exceptions import DimensionMismatchError
 
 __all__ = [
     "pairwise_sq_distances",
+    "batched_pairwise_sq_distances",
     "stack_vectors",
     "flatten_arrays",
     "unflatten_array",
@@ -51,6 +52,62 @@ def pairwise_sq_distances(
         distances[~np.isfinite(distances)] = np.inf
     np.fill_diagonal(distances, 0.0)
     return distances
+
+
+def batched_pairwise_sq_distances(
+    vectors: np.ndarray,
+    *,
+    nonfinite_as_inf: bool = False,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """``(B, n, n)`` squared-distance matrices for a ``(B, n, d)`` batch.
+
+    The batched analogue of :func:`pairwise_sq_distances`: every scenario
+    in the batch gets the same GEMM expansion, computed with one stacked
+    matrix product per chunk instead of B separate Python calls.  Each
+    batch slice is numerically *identical* (bit-for-bit) to what the
+    unbatched function returns for that slice — the engine's differential
+    test harness relies on this.
+
+    ``chunk_size`` bounds how many scenarios are expanded at once, so
+    the *intermediates* (Gram-matrix GEMM workspace, non-finite masks)
+    stay at ``chunk_size × n²`` floats.  The returned array itself is
+    necessarily ``B × n²`` — consumers that only need a per-chunk view
+    (e.g. :func:`repro.core.batched.batched_krum_scores`) should call
+    this per chunk instead of materializing the full result.  ``None``
+    processes the whole batch in one chunk.  The result is invariant to
+    the chunk size because chunking only partitions the independent
+    batch axis.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 3:
+        raise DimensionMismatchError(
+            f"vectors must have shape (B, n, d), got {vectors.shape}"
+        )
+    batch, n, _d = vectors.shape
+    if chunk_size is None:
+        chunk_size = max(batch, 1)
+    if chunk_size < 1:
+        raise DimensionMismatchError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
+    out = np.empty((batch, n, n))
+    diagonal = np.arange(n)
+    for start in range(0, batch, chunk_size):
+        chunk = vectors[start : start + chunk_size]
+        with np.errstate(invalid="ignore", over="ignore"):
+            sq_norms = np.einsum("bij,bij->bi", chunk, chunk)
+            distances = (
+                sq_norms[:, :, None]
+                + sq_norms[:, None, :]
+                - 2.0 * (chunk @ chunk.transpose(0, 2, 1))
+            )
+            np.maximum(distances, 0.0, out=distances)
+        if nonfinite_as_inf:
+            distances[~np.isfinite(distances)] = np.inf
+        distances[:, diagonal, diagonal] = 0.0
+        out[start : start + chunk_size] = distances
+    return out
 
 
 def stack_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:

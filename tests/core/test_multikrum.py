@@ -64,6 +64,30 @@ class TestMultiKrum:
         result = MultiKrum(f=2, m=3).aggregate_detailed(vectors)
         np.testing.assert_array_equal(result.selected, [0, 1, 2])
 
+    def test_stable_tie_break_across_duplicate_groups(self):
+        """Regression: within each tied score group the stable sort must
+        select the smallest worker identifiers, and groups must be
+        ordered by score — the deterministic selection the engine's
+        batched kernel replicates."""
+        n, f = 10, 2  # num_neighbors = 6
+        a_ids = [1, 3, 4, 6, 8, 9]  # 6 copies of proposal A
+        b_ids = [0, 2, 5, 7]  # 4 copies of proposal B
+        vectors = np.empty((n, 2))
+        vectors[a_ids] = [1.0, 0.0]
+        vectors[b_ids] = [5.0, 0.0]
+        scores = krum_scores(vectors, f)
+        # Every A row ties (5 zero distances + 1 cross distance) and every
+        # B row ties at a strictly larger score (3 zeros + 3 cross).
+        assert len(np.unique(scores[a_ids])) == 1
+        assert len(np.unique(scores[b_ids])) == 1
+        assert scores[a_ids][0] < scores[b_ids][0]
+
+        result = MultiKrum(f=f, m=8, strict=False).aggregate_detailed(vectors)
+        np.testing.assert_array_equal(result.selected, a_ids + b_ids[:2])
+        np.testing.assert_allclose(
+            result.vector, vectors[result.selected].mean(axis=0)
+        )
+
     def test_variance_reduction_over_krum(self, rng):
         # With no Byzantine workers, Multi-Krum's average of m vectors has
         # lower deviation from the true mean than single-vector Krum.

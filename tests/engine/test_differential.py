@@ -1,0 +1,313 @@
+"""Differential harness: batched kernels vs the per-scenario path.
+
+Every batched kernel must match the existing per-scenario implementation
+**bit-for-bit** — not approximately — on randomized grids, including the
+adversarial corners: f = 0, tie-heavy duplicate proposals, and NaN/Inf
+Byzantine inputs.  This identity is what makes the engine a safe
+substitute for the seed code's loop execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.average import Average
+from repro.baselines.distance_based import ClosestToAll
+from repro.baselines.medians import (
+    CoordinateWiseMedian,
+    GeometricMedian,
+    TrimmedMean,
+)
+from repro.core.batched import (
+    batched_average,
+    batched_coordinate_median,
+    batched_krum_scores,
+    batched_trimmed_mean,
+    has_batched_kernel,
+    make_batched_aggregator,
+)
+from repro.core.bulyan import Bulyan
+from repro.core.krum import Krum, MultiKrum, krum_scores, krum_scores_reference
+from repro.engine import ScenarioGrid, run_grid
+from repro.utils.linalg import (
+    batched_pairwise_sq_distances,
+    pairwise_sq_distances,
+)
+
+
+def bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact equality including NaN payloads and signed zeros."""
+    a, b = np.asarray(a), np.asarray(b)
+    return a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+def float_bitwise_equal(a: float | None, b: float | None) -> bool:
+    if a is None or b is None:
+        return a is b
+    return np.float64(a).tobytes() == np.float64(b).tobytes()
+
+
+def records_equal(ra, rb) -> bool:
+    """RoundRecord equality with bitwise float semantics (NaN == NaN)."""
+    scalar_fields = (
+        "learning_rate",
+        "aggregate_norm",
+        "params_norm",
+        "loss",
+        "accuracy",
+        "grad_norm",
+    )
+    return (
+        ra.round_index == rb.round_index
+        and ra.selected == rb.selected
+        and ra.byzantine_selected == rb.byzantine_selected
+        and all(
+            float_bitwise_equal(getattr(ra, name), getattr(rb, name))
+            for name in scalar_fields
+        )
+        and ra.extras.keys() == rb.extras.keys()
+        and all(
+            float_bitwise_equal(ra.extras[k], rb.extras[k]) for k in ra.extras
+        )
+    )
+
+
+def make_batches(seed: int = 0) -> list[np.ndarray]:
+    """Randomized (B, n, d) batches covering the adversarial corners."""
+    rng = np.random.default_rng(seed)
+    batches = []
+
+    # Plain random clouds at several scales.
+    batches.append(rng.standard_normal((6, 9, 5)))
+    batches.append(1e4 * rng.standard_normal((4, 13, 3)))
+
+    # Tie-heavy: duplicated proposals (identical rows → equal distances
+    # and equal Krum scores, exercising the smallest-identifier
+    # tie-break in every kernel).
+    tied = np.repeat(rng.standard_normal((5, 3, 4)), 3, axis=1)  # n = 9
+    batches.append(tied)
+    batches.append(np.zeros((3, 8, 4)))  # all proposals identical
+
+    # NaN/Inf Byzantine rows mixed into honest clouds.
+    poisoned = rng.standard_normal((4, 10, 6))
+    poisoned[0, 0] = np.nan
+    poisoned[1, -1] = np.inf
+    poisoned[2, 3] = -np.inf
+    poisoned[3, 1, ::2] = np.nan
+    batches.append(poisoned)
+    return batches
+
+
+def valid_f_values(n: int) -> list[int]:
+    """f values valid for Krum scoring (n − f − 2 ≥ 1), always incl. 0."""
+    return sorted({0, 1, (n - 3) // 2} & set(range(0, n - 2)))
+
+
+class TestBatchedDistanceKernel:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_per_scenario_bitwise(self, seed):
+        for batch in make_batches(seed):
+            for nonfinite_as_inf in (False, True):
+                got = batched_pairwise_sq_distances(
+                    batch, nonfinite_as_inf=nonfinite_as_inf
+                )
+                for b in range(batch.shape[0]):
+                    want = pairwise_sq_distances(
+                        batch[b], nonfinite_as_inf=nonfinite_as_inf
+                    )
+                    assert bitwise_equal(got[b], want)
+
+    def test_chunking_matches_unchunked(self):
+        batch = make_batches(3)[0]
+        whole = batched_pairwise_sq_distances(batch)
+        for chunk_size in (1, 2, 3, batch.shape[0], batch.shape[0] + 7):
+            chunked = batched_pairwise_sq_distances(batch, chunk_size=chunk_size)
+            assert bitwise_equal(whole, chunked)
+
+
+class TestBatchedKrumScores:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_three_way_agreement(self, seed):
+        """batched == fast (bit-for-bit) and both ≈ the naive reference."""
+        for batch in make_batches(seed):
+            n = batch.shape[1]
+            for f in valid_f_values(n):
+                got = batched_krum_scores(batch, f)
+                for b in range(batch.shape[0]):
+                    fast = krum_scores(batch[b], f)
+                    assert bitwise_equal(got[b], fast)
+                    if np.all(np.isfinite(batch[b])):
+                        reference = krum_scores_reference(batch[b], f)
+                        scale = max(1.0, float(np.max(np.abs(batch[b]))) ** 2)
+                        np.testing.assert_allclose(
+                            fast,
+                            reference,
+                            rtol=1e-7,
+                            atol=1e-10 * scale * n,
+                        )
+
+    def test_chunk_size_does_not_change_scores(self):
+        batch = make_batches(4)[0]
+        whole = batched_krum_scores(batch, 1)
+        for chunk_size in (1, 2, 5):
+            assert bitwise_equal(
+                whole, batched_krum_scores(batch, 1, chunk_size=chunk_size)
+            )
+
+
+def _rules_for(n: int) -> list:
+    f = max(1, min((n - 3) // 2, (n - 1) // 2))
+    rules = [
+        Average(),
+        CoordinateWiseMedian(),
+        TrimmedMean(f=min(f, (n - 1) // 2)),
+        ClosestToAll(),
+    ]
+    if n - f - 2 >= 1:
+        rules.append(Krum(f=f, strict=False))
+        m = min(3, n - f - 2)
+        rules.append(MultiKrum(f=f, m=m, strict=False))
+    return rules
+
+
+class TestBatchedAdapters:
+    """Every adapter (native or fallback) replicates aggregate_detailed."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_native_kernels_bitwise(self, seed):
+        for batch in make_batches(seed):
+            n = batch.shape[1]
+            for rule in _rules_for(n):
+                assert has_batched_kernel(rule), rule.name
+                adapter = make_batched_aggregator(rule)
+                result = adapter.aggregate_batch(batch)
+                for b in range(batch.shape[0]):
+                    want = rule.aggregate_detailed(batch[b])
+                    assert bitwise_equal(result.vectors[b], want.vector), (
+                        f"{rule.name} diverged on slice {b}"
+                    )
+                    np.testing.assert_array_equal(
+                        result.selected[b], want.selected
+                    )
+                    if want.scores is not None:
+                        assert bitwise_equal(result.scores[b], want.scores)
+
+    def test_loop_fallback_bitwise(self, rng):
+        batch = rng.standard_normal((5, 11, 4))
+        for rule in (GeometricMedian(), Bulyan(f=2)):
+            assert not has_batched_kernel(rule)
+            adapter = make_batched_aggregator(rule)
+            assert not adapter.is_native
+            result = adapter.aggregate_batch(batch)
+            for b in range(batch.shape[0]):
+                want = rule.aggregate_detailed(batch[b])
+                assert bitwise_equal(result.vectors[b], want.vector)
+                np.testing.assert_array_equal(result.selected[b], want.selected)
+
+
+class TestGridTrajectories:
+    """Full-trajectory identity: run_grid(loop) vs run_grid(batched)."""
+
+    @staticmethod
+    def _assert_identical(grid: ScenarioGrid, **kwargs) -> None:
+        loop = run_grid(grid, mode="loop", eval_every=5)
+        batched = run_grid(grid, mode="batched", eval_every=5, **kwargs)
+        assert set(loop.histories) == set(batched.histories)
+        for label in loop.histories:
+            assert bitwise_equal(
+                loop.final_params[label], batched.final_params[label]
+            ), f"final params diverged for {label}"
+            loop_records = loop.histories[label].records
+            batched_records = batched.histories[label].records
+            assert len(loop_records) == len(batched_records)
+            assert all(
+                records_equal(a, b)
+                for a, b in zip(loop_records, batched_records)
+            ), f"history diverged for {label}"
+
+    @pytest.mark.parametrize("seed", [0, 17])
+    def test_randomized_grid(self, seed):
+        grid = ScenarioGrid(
+            seeds=(seed, seed + 1),
+            attacks=(
+                ("gaussian", {"sigma": 100.0}),
+                ("omniscient", {"scale": 5.0}),
+            ),
+            aggregators=(
+                ("krum", {}),
+                ("multi-krum", {"m": 3}),
+                ("average", {}),
+                ("trimmed-mean", {}),
+            ),
+            f_values=(0, 3),  # f = 0 cells run attack-free
+            num_workers=13,
+            dimension=9,
+            sigma=0.4,
+            num_rounds=12,
+        )
+        self._assert_identical(grid, chunk_size=3)
+
+    def test_nonfinite_byzantine_inputs(self):
+        """NaN proposals flow through both executors identically."""
+        grid = ScenarioGrid(
+            seeds=(2,),
+            attacks=(("non-finite", {}),),
+            aggregators=(("krum", {}), ("coordinate-median", {})),
+            f_values=(2,),
+            num_workers=9,
+            dimension=6,
+            sigma=0.3,
+            num_rounds=8,
+        )
+        self._assert_identical(grid)
+
+    def test_loop_fallback_rules_in_grid(self):
+        """Grids mixing kernel-backed and fallback rules stay identical."""
+        grid = ScenarioGrid(
+            seeds=(5,),
+            attacks=(("sign-flip", {"scale": 3.0}),),
+            aggregators=(("krum", {}), ("geometric-median", {})),
+            f_values=(2,),
+            num_workers=11,
+            dimension=7,
+            sigma=0.2,
+            num_rounds=10,
+        )
+        self._assert_identical(grid)
+
+
+class TestCompareAggregatorsEngine:
+    """The rewired compare_aggregators: batched == loop on dataset SGD."""
+
+    def test_engines_agree(self):
+        from repro.data.synthetic import make_blobs
+        from repro.experiments.config import SGDExperimentConfig
+        from repro.experiments.runner import compare_aggregators
+        from repro.models.softmax import SoftmaxRegressionModel
+
+        blobs = make_blobs(120, num_classes=3, num_features=4, spread=0.5, seed=0)
+        base = SGDExperimentConfig(
+            num_workers=9,
+            num_byzantine=2,
+            num_rounds=15,
+            aggregator="krum",
+            aggregator_kwargs={"f": 2},
+            attack="gaussian",
+            attack_kwargs={"sigma": 50.0},
+            learning_rate=0.3,
+            batch_size=16,
+            eval_every=5,
+            seed=0,
+        )
+        specs = {
+            "krum": ("krum", {"f": 2}),
+            "average": ("average", {}),
+            "geom-median": ("geometric-median", {}),
+        }
+        factory = lambda: SoftmaxRegressionModel(4, 3)  # noqa: E731
+        batched = compare_aggregators(base, specs, factory, blobs, engine="batched")
+        loop = compare_aggregators(base, specs, factory, blobs, engine="loop")
+        assert set(batched) == set(loop)
+        for label in specs:
+            assert batched[label].records == loop[label].records, label

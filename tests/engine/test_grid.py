@@ -1,0 +1,224 @@
+"""Unit tests for the ScenarioGrid spec and the engine executors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.engine import (
+    BatchedSimulation,
+    ScenarioGrid,
+    build_scenario_simulation,
+    run_grid,
+)
+from repro.exceptions import ConfigurationError
+from repro.experiments.builders import build_quadratic_simulation
+from repro.models.quadratic import QuadraticBowl
+
+
+def small_grid(**overrides):
+    defaults = dict(
+        seeds=(0, 1),
+        attacks=(("gaussian", {"sigma": 50.0}),),
+        aggregators=(("krum", {}), ("average", {})),
+        f_values=(0, 2),
+        num_workers=9,
+        dimension=5,
+        sigma=0.3,
+        num_rounds=6,
+    )
+    defaults.update(overrides)
+    return ScenarioGrid(**defaults)
+
+
+class TestScenarioGrid:
+    def test_cartesian_expansion_and_len(self):
+        grid = small_grid()
+        cells = grid.scenarios()
+        # 2 seeds × (2 rules × 1 attack at f=2  +  2 rules attack-free at f=0)
+        assert len(cells) == 8
+        assert len(grid) == len(cells)
+
+    def test_f_zero_collapses_attack_axis(self):
+        grid = small_grid(
+            attacks=(
+                ("gaussian", {"sigma": 50.0}),
+                ("omniscient", {"scale": 2.0}),
+            )
+        )
+        cells = grid.scenarios()
+        f0 = [c for c in cells if c.num_byzantine == 0]
+        assert all(c.attack is None for c in f0)
+        # one attack-free cell per (seed, rule), not per attack
+        assert len(f0) == 2 * 2
+
+    def test_f_injected_only_where_accepted(self):
+        cells = small_grid().scenarios()
+        krum_cells = [c for c in cells if c.aggregator == "krum"]
+        average_cells = [c for c in cells if c.aggregator == "average"]
+        assert all(c.aggregator_kwargs.get("f") == c.num_byzantine for c in krum_cells)
+        assert all("f" not in c.aggregator_kwargs for c in average_cells)
+
+    def test_explicit_f_kwarg_wins(self):
+        grid = small_grid(aggregators=(("krum", {"f": 1}),), f_values=(2,))
+        cells = grid.scenarios()
+        assert all(c.aggregator_kwargs["f"] == 1 for c in cells)
+
+    def test_labels_unique(self):
+        labels = [c.label for c in small_grid().scenarios()]
+        assert len(set(labels)) == len(labels)
+
+    def test_specs_are_hashable(self):
+        cells = small_grid().scenarios()
+        assert len(set(cells)) == len(cells)  # dedup via set must work
+
+    def test_attack_parameter_sweep_labels_distinct(self):
+        """Regression: sweeping the same attack at different strengths
+        must produce distinct cell labels (attack kwargs are encoded)."""
+        grid = small_grid(
+            attacks=(
+                ("gaussian", {"sigma": 1.0}),
+                ("gaussian", {"sigma": 200.0}),
+            ),
+            f_values=(2,),
+        )
+        labels = [c.label for c in grid.scenarios()]
+        assert len(set(labels)) == len(labels)
+        result = run_grid(grid, mode="batched", eval_every=3)
+        assert len(result.histories) == len(grid)
+
+    def test_invalid_f_rejected(self):
+        with pytest.raises(ConfigurationError, match="0 <= f < n"):
+            small_grid(f_values=(9,))
+
+    def test_positive_f_requires_attacks(self):
+        with pytest.raises(ConfigurationError, match="no attacks"):
+            small_grid(attacks=(), f_values=(2,))
+
+    def test_validate_surfaces_preconditions(self):
+        # f = 4 violates Krum's 2f + 2 < n for n = 9.
+        grid = small_grid(f_values=(4,))
+        with pytest.raises(Exception, match="n"):
+            grid.validate()
+
+    def test_build_scenario_simulation(self):
+        spec = small_grid().scenarios()[0]
+        sim = build_scenario_simulation(spec)
+        assert sim.num_workers == spec.num_workers
+        assert sim.server.dimension == spec.dimension
+
+
+class TestRunGrid:
+    def test_result_shape(self):
+        grid = small_grid()
+        result = run_grid(grid, mode="batched", eval_every=3)
+        assert len(result) == len(grid)
+        for label, history in result.histories.items():
+            assert len(history) == grid.num_rounds
+            assert result.final_params[label].shape == (grid.dimension,)
+        assert result.wall_time > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            run_grid(small_grid(), mode="warp")
+
+
+class TestBatchedSimulation:
+    def _sims(self, count=3, n=9, d=5):
+        bowl = QuadraticBowl(d)
+        return [
+            build_quadratic_simulation(
+                bowl,
+                aggregator=Krum(f=2) if i % 2 else Average(),
+                num_workers=n,
+                num_byzantine=0,
+                sigma=0.2,
+                seed=i,
+            )
+            for i in range(count)
+        ]
+
+    def test_histories_in_input_order(self):
+        sims = self._sims()
+        batched = BatchedSimulation(sims)
+        histories = batched.run(4, eval_every=2)
+        assert len(histories) == len(sims)
+        # Scenario order must survive the internal group reordering:
+        # seeds differ, so the final params must match per-seed solo runs.
+        solo = [s.run(4, eval_every=2) for s in self._sims()]
+        for batched_history, solo_history in zip(histories, solo):
+            assert batched_history.records == solo_history.records
+
+    def test_params_property_in_input_order(self):
+        sims = self._sims()
+        batched = BatchedSimulation(sims)
+        batched.run(3, eval_every=2)
+        params = batched.params
+        for i, solo in enumerate(self._sims()):
+            solo.run(3, eval_every=2)
+            np.testing.assert_array_equal(params[i], solo.params)
+
+    def test_native_fraction(self):
+        batched = BatchedSimulation(self._sims())
+        assert batched.native_fraction == 1.0
+
+    def test_mismatched_shapes_rejected(self):
+        bowl5, bowl7 = QuadraticBowl(5), QuadraticBowl(7)
+        sims = [
+            build_quadratic_simulation(
+                bowl, aggregator=Average(), num_workers=9,
+                num_byzantine=0, sigma=0.1, seed=0,
+            )
+            for bowl in (bowl5, bowl7)
+        ]
+        with pytest.raises(ConfigurationError, match="share d"):
+            BatchedSimulation(sims)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            BatchedSimulation([])
+
+    def test_partially_run_simulation_rejected(self):
+        """Regression: a warm sim would silently restart schedules and
+        attack round counters at t = 0; the constructor must refuse it."""
+        sims = self._sims(count=2)
+        sims[0].run_round()
+        with pytest.raises(ConfigurationError, match="freshly built"):
+            BatchedSimulation(sims)
+
+    def test_consumed_simulations_rejected_on_reuse(self):
+        """Regression: a batched run consumes its sims' RNG streams, so
+        feeding them to a second BatchedSimulation (or running them
+        directly) must trip the freshness guard, not silently diverge."""
+        sims = self._sims(count=2)
+        BatchedSimulation(sims).run(3, eval_every=2)
+        with pytest.raises(ConfigurationError, match="freshly built"):
+            BatchedSimulation(sims)
+
+    def test_halt_on_nonfinite_guard_enforced(self):
+        """Regression: the batched executor advances parameters outside
+        ParameterServer.step, so it must enforce the server's
+        halt_on_nonfinite guard itself — same error as the loop path."""
+        from repro.attacks.simple import NonFiniteAttack
+        from repro.exceptions import SimulationError
+
+        def build():
+            return build_quadratic_simulation(
+                QuadraticBowl(4),
+                aggregator=Average(),
+                num_workers=7,
+                num_byzantine=2,
+                sigma=0.1,
+                attack=NonFiniteAttack(),
+                seed=0,
+            )
+
+        loop_sim, batched_sim = build(), build()
+        loop_sim.server.halt_on_nonfinite = True
+        batched_sim.server.halt_on_nonfinite = True
+        with pytest.raises(SimulationError, match="non-finite") as loop_err:
+            loop_sim.run(5)
+        batched = BatchedSimulation([batched_sim])
+        with pytest.raises(SimulationError, match="non-finite") as batched_err:
+            batched.run(5)
+        assert str(loop_err.value) == str(batched_err.value)

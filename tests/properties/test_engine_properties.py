@@ -1,0 +1,109 @@
+"""Hypothesis property tests for the batched engine kernels.
+
+Two structural invariants of batching:
+
+* **Batch-axis permutation equivariance** — scenarios in a batch are
+  independent, so permuting the batch axis must permute the outputs and
+  nothing else (bit-for-bit; any cross-scenario leakage would break it).
+* **Chunk-size invariance** — chunking only partitions the batch axis,
+  so every chunk size must produce the identical result.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.average import Average
+from repro.baselines.medians import CoordinateWiseMedian, TrimmedMean
+from repro.core.batched import (
+    batched_krum_scores,
+    make_batched_aggregator,
+)
+from repro.core.krum import Krum, MultiKrum
+from repro.utils.linalg import batched_pairwise_sq_distances
+
+
+def batches(min_b=2, max_b=6, min_n=5, max_n=10, min_d=1, max_d=6):
+    """Strategy producing (batch, f) with valid Krum parameters."""
+
+    @st.composite
+    def build(draw):
+        b = draw(st.integers(min_b, max_b))
+        n = draw(st.integers(min_n, max_n))
+        d = draw(st.integers(min_d, max_d))
+        f_max = n - 3
+        f = draw(st.integers(0, max(0, min(f_max, (n - 1) // 2))))
+        batch = draw(
+            hnp.arrays(
+                dtype=np.float64,
+                shape=(b, n, d),
+                elements=st.floats(
+                    min_value=-1e6, max_value=1e6, allow_nan=False
+                ),
+            )
+        )
+        return batch, f
+
+    return build()
+
+
+def bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    return a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+class TestBatchPermutationEquivariance:
+    @given(batches(), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_krum_scores(self, case, pyrandom):
+        batch, f = case
+        perm = list(range(batch.shape[0]))
+        pyrandom.shuffle(perm)
+        perm = np.asarray(perm)
+        scores = batched_krum_scores(batch, f)
+        permuted_scores = batched_krum_scores(batch[perm], f)
+        assert bitwise_equal(permuted_scores, scores[perm])
+
+    @given(batches(), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_adapters(self, case, pyrandom):
+        batch, f = case
+        n = batch.shape[1]
+        perm = list(range(batch.shape[0]))
+        pyrandom.shuffle(perm)
+        perm = np.asarray(perm)
+        rules = [Average(), CoordinateWiseMedian(), TrimmedMean(f=f)]
+        if n - f - 2 >= 1:
+            rules.append(Krum(f=f, strict=False))
+            rules.append(
+                MultiKrum(f=f, m=min(2, n - f - 2), strict=False)
+            )
+        for rule in rules:
+            adapter = make_batched_aggregator(rule)
+            straight = adapter.aggregate_batch(batch)
+            shuffled = adapter.aggregate_batch(batch[perm])
+            assert bitwise_equal(shuffled.vectors, straight.vectors[perm]), (
+                rule.name
+            )
+            for out_slot, in_slot in enumerate(perm):
+                np.testing.assert_array_equal(
+                    shuffled.selected[out_slot], straight.selected[in_slot]
+                )
+
+
+class TestChunkInvariance:
+    @given(batches(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_distances_invariant_to_chunk_size(self, case, chunk_size):
+        batch, _f = case
+        whole = batched_pairwise_sq_distances(batch)
+        chunked = batched_pairwise_sq_distances(batch, chunk_size=chunk_size)
+        assert bitwise_equal(whole, chunked)
+
+    @given(batches(), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_krum_scores_invariant_to_chunk_size(self, case, chunk_size):
+        batch, f = case
+        whole = batched_krum_scores(batch, f)
+        chunked = batched_krum_scores(batch, f, chunk_size=chunk_size)
+        assert bitwise_equal(whole, chunked)
