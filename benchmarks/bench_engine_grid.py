@@ -1,6 +1,6 @@
 """Engine bench — batched scenario-grid vs per-scenario loop.
 
-Runs the same 64-cell grid (4 seeds × 2 attacks × 4 aggregators × 2 f
+Runs the same 128-cell grid (4 seeds × 2 attacks × 8 aggregators × 2 f
 values; n = 20 workers, d = 1000, 100 rounds — the scale of the paper's
 figure grids) through both executors:
 
@@ -9,14 +9,23 @@ figure grids) through both executors:
 * ``batched`` — all cells stacked into ``(B, n, d)`` tensors by
   :class:`~repro.engine.BatchedSimulation`.
 
-Asserts the batched engine is ≥ 3× faster AND trajectory-identical
+The aggregator axis covers every rule with a vectorized kernel,
+including the two that used to take the per-scenario loop fallback
+inside the engine: Bulyan (iterated committee selection) and the
+geometric median (batched Weiszfeld).  The f sweep is (3, 4) because
+Bulyan requires ``n >= 4f + 3`` and the grid runs n = 20.
+
+Asserts the batched engine is ≥ 3× faster, trajectory-identical
 (bit-for-bit final parameters and per-round records for every cell),
+and fully native (no cell silently regressed to the loop fallback),
 then writes the measurement to ``BENCH_engine.json`` at the repo root.
 
 Standalone usage (CI smoke / regenerating the JSON)::
 
     PYTHONPATH=src python benchmarks/bench_engine_grid.py          # full grid
     PYTHONPATH=src python benchmarks/bench_engine_grid.py --smoke  # tiny grid
+    PYTHONPATH=src python benchmarks/bench_engine_grid.py --smoke \\
+        --output BENCH_engine.smoke.json   # CI artifact
 """
 
 from __future__ import annotations
@@ -51,10 +60,14 @@ def _grid(
         aggregators=(
             ("krum", {}),
             ("multi-krum", {"m": 5}),
+            ("average", {}),
+            ("closest-to-all", {}),
             ("coordinate-median", {}),
             ("trimmed-mean", {}),
+            ("bulyan", {}),
+            ("geometric-median", {}),
         ),
-        f_values=(3, 6),
+        f_values=(3, 4),  # bulyan needs n >= 4f + 3 with n = 20
         num_workers=20,
         dimension=dimension,
         sigma=0.5,
@@ -80,6 +93,23 @@ def _identical_trajectories(loop_result, batched_result) -> bool:
     return True
 
 
+def _native_kernels(grid: ScenarioGrid) -> dict[str, bool]:
+    """Whether each aggregator axis entry runs through a vectorized
+    kernel — the reference grid is expected to be fully native, so any
+    ``False`` here is a batched-path regression.  Rules are rebuilt from
+    the grid's resolved cells, so every (rule, f) configuration the grid
+    actually runs is checked."""
+    from repro.core.batched import make_batched_aggregator
+    from repro.core.registry import make_aggregator
+
+    out: dict[str, bool] = {}
+    for spec in grid.scenarios():
+        rule = make_aggregator(spec.aggregator, **spec.aggregator_kwargs)
+        native = make_batched_aggregator(rule).is_native
+        out[spec.aggregator] = out.get(spec.aggregator, True) and native
+    return out
+
+
 def run_comparison(grid: ScenarioGrid) -> dict:
     """Execute the grid in both modes and summarize the comparison."""
     loop_result = run_grid(grid, mode="loop", eval_every=25)
@@ -102,6 +132,8 @@ def run_comparison(grid: ScenarioGrid) -> dict:
         "trajectories_identical": _identical_trajectories(
             loop_result, batched_result
         ),
+        "native_fraction": batched_result.native_fraction,
+        "native_kernels": _native_kernels(grid),
         "python": platform.python_version(),
     }
 
@@ -109,7 +141,10 @@ def run_comparison(grid: ScenarioGrid) -> dict:
 def _emit_summary(summary: dict) -> None:
     emit(
         format_table(
-            ["cells", "n", "d", "rounds", "loop s", "batched s", "speedup", "identical"],
+            [
+                "cells", "n", "d", "rounds", "loop s", "batched s",
+                "speedup", "identical", "native",
+            ],
             [
                 [
                     summary["grid"]["cells"],
@@ -120,6 +155,7 @@ def _emit_summary(summary: dict) -> None:
                     summary["batched_seconds"],
                     f"{summary['speedup']}x",
                     summary["trajectories_identical"],
+                    summary["native_fraction"],
                 ]
             ],
             title="Engine — batched grid vs per-scenario loop",
@@ -135,6 +171,10 @@ def bench_engine_batched_vs_loop(benchmark):
     assert summary["trajectories_identical"], (
         "batched engine diverged from the per-scenario loop"
     )
+    assert summary["native_fraction"] == 1.0, (
+        f"reference grid regressed to the loop fallback: "
+        f"{summary['native_kernels']}"
+    )
     assert summary["speedup"] >= MIN_SPEEDUP, (
         f"expected >= {MIN_SPEEDUP}x speedup, got {summary['speedup']}x"
     )
@@ -147,8 +187,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run a small grid (16 cells, 10 rounds, d=50) without "
+        help="run a small grid (32 cells, 10 rounds, d=50) without "
         "writing BENCH_engine.json — the CI sanity check",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the summary JSON to this path (used by CI to "
+        "upload the smoke measurement as a workflow artifact)",
     )
     args = parser.parse_args(argv)
 
@@ -158,8 +205,17 @@ def main(argv: list[str] | None = None) -> int:
         grid = _grid()
     summary = run_comparison(grid)
     print(json.dumps(summary, indent=1))
+    if args.output is not None:
+        args.output.write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"wrote {args.output}")
     if not summary["trajectories_identical"]:
         print("FAIL: batched engine diverged from the per-scenario loop")
+        return 1
+    if summary["native_fraction"] != 1.0:
+        print(
+            "FAIL: a reference-grid rule regressed to the loop fallback: "
+            f"{summary['native_kernels']}"
+        )
         return 1
     if not args.smoke:
         if summary["speedup"] < MIN_SPEEDUP:

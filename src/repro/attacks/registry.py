@@ -10,6 +10,7 @@ benches that use them.
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable, Mapping
 
 from repro.attacks.base import Attack
@@ -48,17 +49,41 @@ def attack_factory(name: str) -> Callable[..., Attack]:
     return _REGISTRY[name]
 
 
+def _accepted_parameters(factory: Callable[..., Attack]) -> str:
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        return "unknown"
+    return ", ".join(parameters) or "none"
+
+
 def make_attack(
     name: str | None, kwargs: Mapping[str, object] | None = None
 ) -> Attack | None:
     """Build a strategy by name, e.g. ``make_attack("gaussian", {"sigma": 50})``.
 
     ``name=None`` returns ``None`` (the attack-free arm), so callers can
-    thread an optional attack spec straight through.
+    thread an optional attack spec straight through.  Keyword arguments
+    that do not fit the factory's signature (unknown names, missing
+    required parameters) raise :class:`ConfigurationError` naming the
+    attack and the parameters it accepts, instead of leaking the
+    factory's raw ``TypeError`` — a bad scenario spec is a configuration
+    mistake, and callers catching library errors should see it as one.
     """
     if name is None:
         return None
-    return attack_factory(name)(**dict(kwargs or {}))
+    factory = attack_factory(name)
+    resolved = dict(kwargs or {})
+    try:
+        inspect.signature(factory).bind(**resolved)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"invalid arguments for attack {name!r}: {error}; "
+            f"accepted parameters: {_accepted_parameters(factory)}"
+        ) from error
+    except ValueError:  # signature unavailable; let the call itself check
+        pass
+    return factory(**resolved)
 
 
 def _register_builtins() -> None:

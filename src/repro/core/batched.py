@@ -6,7 +6,9 @@ its round loop.  Executing the choice function once per scenario from
 Python makes benchmark wall-time a function of interpreter overhead
 rather than of the O(n² · d) arithmetic of Lemma 4.1; this module instead
 stacks the scenarios into single numpy kernels (one batched GEMM for all
-Krum distance matrices, one batched sort for all trimmed means, ...).
+Krum distance matrices, one batched sort for all trimmed means, one
+masked committee sweep for all Bulyan selections, one lock-step Weiszfeld
+iteration for all geometric medians, ...).
 
 Every kernel is **bit-for-bit identical** to the per-scenario rule it
 replaces: ``aggregate_batch(stacks)[b]`` equals
@@ -30,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.aggregator import Aggregator
+from repro.core.bulyan import batched_bulyan
 from repro.exceptions import (
     ByzantineToleranceError,
     ConfigurationError,
@@ -71,6 +74,20 @@ def _as_batch(vectors: np.ndarray) -> np.ndarray:
     return vectors
 
 
+def _resolve_chunk_size(chunk_size: int | None, batch: int) -> int:
+    """Validate a batch-axis chunk size (``None`` means one whole-batch
+    chunk).  Mirrors ``batched_pairwise_sq_distances``: a non-positive
+    chunk is a shape-level configuration error, not something to leak as
+    a bare ``ValueError`` out of ``range()``."""
+    if chunk_size is None:
+        return max(batch, 1)
+    if chunk_size < 1:
+        raise DimensionMismatchError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
+    return chunk_size
+
+
 def _chunked_distance_scores(vectors, chunk_size, score_fn) -> np.ndarray:
     """Reduce per-chunk ``(chunk, n, n)`` distance blocks to ``(B, n)``
     scores without ever materializing the full ``(B, n, n)`` tensor.
@@ -80,8 +97,7 @@ def _chunked_distance_scores(vectors, chunk_size, score_fn) -> np.ndarray:
     invariant to ``chunk_size``.
     """
     batch, n, _d = vectors.shape
-    if chunk_size is None:
-        chunk_size = batch
+    chunk_size = _resolve_chunk_size(chunk_size, batch)
     scores = np.empty((batch, n))
     for start in range(0, batch, chunk_size):
         distances = batched_pairwise_sq_distances(
@@ -200,8 +216,9 @@ _EMPTY_SELECTION = np.array([], dtype=np.int64)
 class LoopBatchedAggregator(BatchedAggregator):
     """Fallback adapter: run each scenario through its own rule instance.
 
-    Used for rules without a vectorized kernel (geometric median, Bulyan,
-    minimal-diameter, ...).  Keeping one instance per scenario preserves
+    Used for rules without a vectorized kernel (minimal-diameter,
+    weighted-average, and any externally registered rule; kernels are
+    dispatched by exact type).  Keeping one instance per scenario preserves
     any per-instance configuration exactly as the loop engine would see
     it.  A single instance adapts to any batch size (every slice runs
     through the same rule — the Monte-Carlo trial batching case).
@@ -333,6 +350,65 @@ class _BatchedTrimmedMean(BatchedAggregator):
         )
 
 
+class _BatchedBulyan(BatchedAggregator):
+    """Vectorized Bulyan: iterated batched-Krum committee selection over a
+    shrinking per-scenario candidate mask, then a batched per-coordinate
+    trimmed average around the committee median.  Chunking partitions the
+    batch axis so the ``(chunk, n, n)`` distance blocks stay bounded."""
+
+    def __init__(self, aggregator, *, chunk_size: int | None = None):
+        self.aggregator = aggregator
+        self.chunk_size = chunk_size
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        stacks = self._validated(stacks)
+        batch = stacks.shape[0]
+        chunk_size = _resolve_chunk_size(self.chunk_size, batch)
+        committee_size = stacks.shape[1] - 2 * self.aggregator.f
+        vectors = np.empty((batch, stacks.shape[2]))
+        committees = np.empty((batch, committee_size), dtype=np.int64)
+        for start in range(0, batch, chunk_size):
+            stop = start + chunk_size
+            vectors[start:stop], committees[start:stop] = batched_bulyan(
+                stacks[start:stop], self.aggregator.f
+            )
+        return BatchedAggregationResult(
+            vectors=vectors, selected=tuple(committees)
+        )
+
+
+class _BatchedGeometricMedian(BatchedAggregator):
+    """Vectorized geometric median: one batched Weiszfeld iteration with
+    per-scenario convergence masking instead of B sequential solves.
+    Chunking partitions the batch axis (each lane's iteration is
+    independent, so results are chunk-invariant)."""
+
+    def __init__(self, aggregator, *, chunk_size: int | None = None):
+        self.aggregator = aggregator
+        self.chunk_size = chunk_size
+
+    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+        # Imported lazily to avoid circular imports at package load (the
+        # baselines import repro.core.aggregator).
+        from repro.baselines.medians import batched_weiszfeld
+
+        stacks = self._validated(stacks)
+        batch = stacks.shape[0]
+        chunk_size = _resolve_chunk_size(self.chunk_size, batch)
+        rule = self.aggregator
+        vectors = np.empty((batch, stacks.shape[2]))
+        for start in range(0, batch, chunk_size):
+            stop = start + chunk_size
+            vectors[start:stop] = batched_weiszfeld(
+                stacks[start:stop],
+                tolerance=rule.tolerance,
+                max_iterations=rule.max_iterations,
+            )
+        return BatchedAggregationResult(
+            vectors=vectors, selected=(_EMPTY_SELECTION,) * batch
+        )
+
+
 class _BatchedClosestToAll(BatchedAggregator):
     def __init__(self, aggregator, *, chunk_size: int | None = None):
         self.aggregator = aggregator
@@ -427,7 +503,12 @@ def _register_builtins() -> None:
     # baselines import repro.core.aggregator).
     from repro.baselines.average import Average
     from repro.baselines.distance_based import ClosestToAll
-    from repro.baselines.medians import CoordinateWiseMedian, TrimmedMean
+    from repro.baselines.medians import (
+        CoordinateWiseMedian,
+        GeometricMedian,
+        TrimmedMean,
+    )
+    from repro.core.bulyan import Bulyan
     from repro.core.krum import Krum, MultiKrum
 
     register_batched_kernel(Krum, _BatchedKrum)
@@ -436,6 +517,8 @@ def _register_builtins() -> None:
     register_batched_kernel(CoordinateWiseMedian, _BatchedCoordinateMedian)
     register_batched_kernel(TrimmedMean, _BatchedTrimmedMean)
     register_batched_kernel(ClosestToAll, _BatchedClosestToAll)
+    register_batched_kernel(Bulyan, _BatchedBulyan)
+    register_batched_kernel(GeometricMedian, _BatchedGeometricMedian)
 
 
 _register_builtins()

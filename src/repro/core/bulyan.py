@@ -12,6 +12,14 @@ Bulyan requires ``n >= 4f + 3``: the committee has ``θ = n − 2f``
 members, and each output coordinate averages the ``β = θ − 2f`` values
 closest to the coordinate median.
 
+Both execution paths — the per-scenario :class:`Bulyan` rule and the
+engine's ``_BatchedBulyan`` kernel — run through the same batched
+primitives (:func:`batched_bulyan_committees`,
+:func:`batched_bulyan_aggregate`, built on the masked helpers in
+:mod:`repro.utils.linalg`); the per-scenario rule simply passes a batch
+of one.  Sharing one implementation is what keeps the two paths
+bit-for-bit identical instead of drifting copies.
+
 Included as the paper's natural "future work" extension; the ablation
 benches contrast it with Krum under the post-2017 stealth attacks.
 """
@@ -21,11 +29,131 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.aggregator import AggregationResult, Aggregator
-from repro.core.krum import krum_scores
-from repro.exceptions import ByzantineToleranceError
+from repro.exceptions import ByzantineToleranceError, DimensionMismatchError
+from repro.utils.linalg import (
+    batched_pairwise_sq_distances,
+    masked_coordinate_median,
+    masked_krum_scores,
+)
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Bulyan"]
+__all__ = [
+    "Bulyan",
+    "batched_bulyan",
+    "batched_bulyan_committees",
+    "batched_bulyan_aggregate",
+]
+
+
+def _check_bulyan_batch(stacks: np.ndarray, f: int) -> np.ndarray:
+    stacks = np.asarray(stacks, dtype=np.float64)
+    if stacks.ndim != 3:
+        raise DimensionMismatchError(
+            f"batched Bulyan expects shape (B, n, d), got {stacks.shape}"
+        )
+    n = stacks.shape[1]
+    if n < 4 * f + 3:
+        raise ByzantineToleranceError(
+            f"Bulyan requires n >= 4f + 3; got n={n}, f={f} "
+            f"(need n >= {4 * f + 3})",
+            n=n,
+            f=f,
+        )
+    return stacks
+
+
+def batched_bulyan_committees(
+    stacks: np.ndarray, f: int, *, distances: np.ndarray | None = None
+) -> np.ndarray:
+    """Select every scenario's Bulyan committee: ``(B, n, d) -> (B, θ)``.
+
+    The selection phase: ``θ = n − 2f`` rounds of picking the Krum winner
+    among the remaining candidates of each scenario and removing it from
+    that scenario's pool (a per-scenario shrinking ``active`` mask over a
+    distance batch computed once).  When too few candidates remain for
+    Krum scoring (``m − f − 2 < 1``, reachable only near the tolerance
+    boundary), candidates are ranked by distance to the pool's
+    coordinate-wise median instead — a minority cannot drag that median,
+    and any Byzantine slipping in here is neutralized by the trimmed
+    aggregation phase.  Returned committees are sorted ascending.
+
+    ``distances`` lets callers reuse a precomputed
+    ``batched_pairwise_sq_distances(stacks, nonfinite_as_inf=True)``
+    batch.
+    """
+    stacks = _check_bulyan_batch(stacks, f)
+    batch, n, _d = stacks.shape
+    if distances is None:
+        distances = batched_pairwise_sq_distances(stacks, nonfinite_as_inf=True)
+    committee_size = n - 2 * f
+    active = np.ones((batch, n), dtype=bool)
+    committees = np.empty((batch, committee_size), dtype=np.int64)
+    rows = np.arange(batch)
+    for step in range(committee_size):
+        remaining = n - step
+        if remaining - f - 2 >= 1:
+            scores = masked_krum_scores(distances, active, remaining - f - 2)
+        else:
+            medians = masked_coordinate_median(stacks, active)
+            with np.errstate(invalid="ignore", over="ignore"):
+                deviations = np.linalg.norm(
+                    stacks - medians[:, None, :], axis=2
+                )
+            scores = np.where(active, deviations, np.inf)
+        # First minimal index per scenario — the smallest-identifier
+        # tie-break, matching argmin over the compacted candidate pool.
+        winners = np.argmin(scores, axis=1)
+        # Degenerate all-+inf rows (every remaining candidate non-finite)
+        # make argmin fall on index 0 even when it is already selected;
+        # redirect to the first still-active candidate.
+        invalid = ~active[rows, winners]
+        if np.any(invalid):
+            winners = np.where(invalid, np.argmax(active, axis=1), winners)
+        committees[:, step] = winners
+        active[rows, winners] = False
+    return np.sort(committees, axis=1)
+
+
+def batched_bulyan_aggregate(
+    stacks: np.ndarray, committees: np.ndarray, f: int
+) -> np.ndarray:
+    """Bulyan's aggregation phase: per coordinate, average the
+    ``β = θ − 2f`` committee values closest to the committee median.
+
+    ``stacks`` is ``(B, n, d)``, ``committees`` the ``(B, θ)`` index
+    batch from :func:`batched_bulyan_committees`; returns ``(B, d)``.
+    """
+    stacks = np.asarray(stacks, dtype=np.float64)
+    committees = np.asarray(committees, dtype=np.int64)
+    if committees.ndim != 2 or committees.shape[0] != stacks.shape[0]:
+        raise DimensionMismatchError(
+            f"committees must have shape (B, θ) with B={stacks.shape[0]}, "
+            f"got {committees.shape}"
+        )
+    selected = np.take_along_axis(stacks, committees[:, :, None], axis=1)
+    committee_size = committees.shape[1]
+    beta = max(committee_size - 2 * f, 1)
+    medians = np.median(selected, axis=1)
+    with np.errstate(invalid="ignore", over="ignore"):
+        deviation = np.abs(selected - medians[:, None, :])
+    deviation_order = np.argsort(deviation, axis=1, kind="stable")
+    closest = deviation_order[:, :beta]
+    gathered = np.take_along_axis(selected, closest, axis=1)
+    return gathered.mean(axis=1)
+
+
+def batched_bulyan(
+    stacks: np.ndarray, f: int, *, distances: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full batched Bulyan: returns ``(vectors (B, d), committees (B, θ))``.
+
+    Slice ``b`` is bit-for-bit what ``Bulyan(f).aggregate_detailed``
+    produces for ``stacks[b]`` — the per-scenario rule runs this very
+    function with a batch of one.
+    """
+    stacks = _check_bulyan_batch(stacks, f)
+    committees = batched_bulyan_committees(stacks, f, distances=distances)
+    return batched_bulyan_aggregate(stacks, committees, f), committees
 
 
 class Bulyan(Aggregator):
@@ -46,40 +174,5 @@ class Bulyan(Aggregator):
 
     def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
         vectors = self._validated(vectors)
-        n = vectors.shape[0]
-        committee_size = n - 2 * self.f
-
-        # Selection phase: repeatedly pick the Krum winner among the
-        # remaining proposals and move it to the committee.
-        remaining = list(range(n))
-        committee: list[int] = []
-        for _ in range(committee_size):
-            pool = vectors[remaining]
-            if len(remaining) - self.f - 2 >= 1:
-                scores = krum_scores(pool, self.f)
-            else:
-                # Too few proposals left for Krum scoring (reachable only
-                # near the tolerance boundary); rank by distance to the
-                # pool's coordinate-wise median, which a minority cannot
-                # drag.  Any Byzantine slipping into the committee here is
-                # neutralized by the trimmed aggregation phase below.
-                median = np.median(pool, axis=0)
-                scores = np.linalg.norm(pool - median, axis=1)
-            winner_local = int(np.argmin(scores))
-            committee.append(remaining.pop(winner_local))
-
-        committee_array = np.asarray(sorted(committee), dtype=np.int64)
-        selected = vectors[committee_array]
-
-        # Aggregation phase: per coordinate, average the β = θ − 2f
-        # values closest to the median.
-        beta = max(committee_size - 2 * self.f, 1)
-        medians = np.median(selected, axis=0)
-        deviation_order = np.argsort(
-            np.abs(selected - medians[None, :]), axis=0, kind="stable"
-        )
-        closest = deviation_order[:beta]
-        gathered = np.take_along_axis(selected, closest, axis=0)
-        return AggregationResult(
-            vector=gathered.mean(axis=0), selected=committee_array
-        )
+        vector, committees = batched_bulyan(vectors[None, :, :], self.f)
+        return AggregationResult(vector=vector[0], selected=committees[0])

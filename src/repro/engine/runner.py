@@ -43,6 +43,10 @@ class GridResult:
     :attr:`~repro.engine.grid.ScenarioSpec.label`; ``wall_time`` is the
     execution time of the round loops only (materialization excluded),
     which is what the engine benchmark compares across modes.
+    ``native_fraction`` is the fraction of cells aggregated by vectorized
+    kernels (``None`` in loop mode, where the question does not arise) —
+    the engine benchmark records it so a rule silently regressing to the
+    per-scenario fallback shows up in ``BENCH_engine.json``.
     """
 
     mode: str
@@ -50,6 +54,7 @@ class GridResult:
     histories: dict[str, TrainingHistory]
     final_params: dict[str, np.ndarray]
     wall_time: float
+    native_fraction: float | None = None
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -118,6 +123,7 @@ def run_grid(
             bowls[key] = QuadraticBowl(spec.dimension, curvature=spec.curvature)
         simulations.append(build_scenario_simulation(spec, bowl=bowls[key]))
 
+    native_fraction = None
     start = perf_counter()
     if mode == "loop":
         histories = [
@@ -127,6 +133,7 @@ def run_grid(
         finals = [sim.params for sim in simulations]
     else:
         batched = BatchedSimulation(simulations, chunk_size=chunk_size)
+        native_fraction = batched.native_fraction
         histories = batched.run(grid.num_rounds, eval_every=eval_every)
         params = batched.params
         finals = [params[i] for i in range(len(specs))]
@@ -138,4 +145,5 @@ def run_grid(
         histories=dict(zip(labels, histories)),
         final_params=dict(zip(labels, finals)),
         wall_time=wall_time,
+        native_fraction=native_fraction,
     )

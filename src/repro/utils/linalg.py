@@ -17,6 +17,10 @@ from repro.exceptions import DimensionMismatchError
 __all__ = [
     "pairwise_sq_distances",
     "batched_pairwise_sq_distances",
+    "masked_krum_scores",
+    "masked_coordinate_median",
+    "masked_inverse_distance_weights",
+    "masked_unit_direction_sum",
     "stack_vectors",
     "flatten_arrays",
     "unflatten_array",
@@ -108,6 +112,171 @@ def batched_pairwise_sq_distances(
         distances[:, diagonal, diagonal] = 0.0
         out[start : start + chunk_size] = distances
     return out
+
+
+def _check_batched_mask(
+    values: np.ndarray, active: np.ndarray, name: str
+) -> tuple[np.ndarray, np.ndarray]:
+    values = np.asarray(values, dtype=np.float64)
+    active = np.asarray(active, dtype=bool)
+    if values.ndim != 3:
+        raise DimensionMismatchError(
+            f"{name} expects values of shape (B, n, ...), got {values.shape}"
+        )
+    if active.shape != values.shape[:2]:
+        raise DimensionMismatchError(
+            f"{name} expects an active mask of shape {values.shape[:2]}, "
+            f"got {active.shape}"
+        )
+    return values, active
+
+
+def masked_krum_scores(
+    distances: np.ndarray, active: np.ndarray, num_neighbors: int
+) -> np.ndarray:
+    """Krum scores restricted to an active candidate subset, per scenario.
+
+    ``distances`` is a ``(B, n, n)`` squared-distance batch and ``active``
+    a ``(B, n)`` boolean mask of the candidates still in the pool.  For
+    every active row the score is the sum of its ``num_neighbors``
+    smallest distances to the *other* active rows; inactive rows score
+    ``+inf`` so they never win an argmin.  This is the shared scoring
+    primitive of Bulyan's iterated committee selection: the per-scenario
+    rule runs it with ``B = 1`` and the batched kernel with the whole
+    batch, so both paths are bit-for-bit identical per scenario.
+    """
+    distances, active = _check_batched_mask(
+        distances, active, "masked_krum_scores"
+    )
+    n = distances.shape[1]
+    if distances.shape[2] != n:
+        raise DimensionMismatchError(
+            f"distances must be square per scenario, got {distances.shape}"
+        )
+    if not 1 <= num_neighbors <= n - 1:
+        raise DimensionMismatchError(
+            f"num_neighbors must be in [1, n - 1] = [1, {n - 1}], "
+            f"got {num_neighbors}"
+        )
+    smallest_pool = int(np.count_nonzero(active, axis=1).min(initial=n))
+    if num_neighbors > smallest_pool - 1:
+        # Asking for more neighbours than any active row has would make
+        # the partition sum masked +inf entries — garbage scores, not an
+        # error the caller can see.
+        raise DimensionMismatchError(
+            f"num_neighbors must be <= active_count - 1 = "
+            f"{smallest_pool - 1}, got {num_neighbors}"
+        )
+    masked = np.where(active[:, None, :], distances, np.inf)
+    diagonal = np.arange(n)
+    masked[:, diagonal, diagonal] = np.inf
+    neighbor_part = np.partition(masked, num_neighbors - 1, axis=2)
+    scores = neighbor_part[:, :, :num_neighbors].sum(axis=2)
+    return np.where(active, scores, np.inf)
+
+
+def masked_coordinate_median(values: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Coordinate-wise median over the active rows of every scenario.
+
+    ``values`` is ``(B, n, d)`` and ``active`` a ``(B, n)`` mask that must
+    select the *same number* of rows in every scenario (the Bulyan
+    committee loop removes exactly one candidate per scenario per
+    iteration, so the counts stay uniform).  Inactive rows are pushed to
+    ``+inf`` before a per-coordinate sort, so non-finite active values
+    sort to the high end rather than poisoning the whole median the way
+    ``np.median`` would — the shared semantics both the loop and batched
+    Bulyan paths use.
+    """
+    values, active = _check_batched_mask(
+        values, active, "masked_coordinate_median"
+    )
+    counts = np.count_nonzero(active, axis=1)
+    if counts.size == 0 or not np.all(counts == counts[0]):
+        raise DimensionMismatchError(
+            "active mask must select the same number of rows in every "
+            f"scenario, got counts {sorted(set(counts.tolist()))}"
+        )
+    m = int(counts[0])
+    if m < 1:
+        raise DimensionMismatchError("active mask must select at least one row")
+    filled = np.where(active[:, :, None], values, np.inf)
+    ordered = np.sort(filled, axis=1)
+    if m % 2 == 1:
+        return ordered[:, (m - 1) // 2].copy()
+    return 0.5 * (ordered[:, m // 2 - 1] + ordered[:, m // 2])
+
+
+def masked_inverse_distance_weights(
+    distances: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """``1 / distances`` over active rows, exactly zero elsewhere (zero
+    distances among inactive rows never enter the division).  The weight
+    vector of one Weiszfeld step; callers that need both the step target
+    and the Vardi–Zhang residual reuse one weighted einsum over it."""
+    safe = np.where(active, distances, 1.0)
+    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+        return np.where(active, 1.0 / safe, 0.0)
+
+
+def _check_masked_distances(
+    values: np.ndarray, distances: np.ndarray, active: np.ndarray, name: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    values, active = _check_batched_mask(values, active, name)
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.shape != active.shape:
+        raise DimensionMismatchError(
+            f"{name} expects distances of shape {active.shape}, "
+            f"got {distances.shape}"
+        )
+    return values, distances, active
+
+
+def masked_unit_direction_sum(
+    values: np.ndarray,
+    anchors: np.ndarray,
+    distances: np.ndarray,
+    active: np.ndarray,
+    *,
+    offsets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sum of unit vectors from per-scenario anchors to the active rows.
+
+    The Vardi–Zhang residual ``R = Σ_active (V_i − a) / d_i`` for anchors
+    ``a`` of shape ``(B, d)`` and row distances ``d`` of shape ``(B, n)``.
+    The unit directions are formed by *dividing* actual offsets — never
+    through the rearrangement ``Σ w V − (Σ w) a`` or reciprocal
+    multiplication, whose rounding is enough to push a residual that is
+    exactly equal to the cluster multiplicity (a marginally optimal data
+    point, common in tie-heavy stacks) to the wrong side of the
+    optimality comparison, leaving Weiszfeld crawling sublinearly
+    forever.  The masked reduction is one einsum contraction with a 0/1
+    weight row, which is exact (inactive rows are finite by construction:
+    a row only becomes inactive when its distance is finite and tiny).
+    Both Weiszfeld paths — the per-scenario rule at ``B = 1`` and the
+    batched kernel — share this reduction, keeping its floating-point
+    behavior identical per scenario.
+
+    ``offsets`` lets callers that already materialized
+    ``values - anchors[:, None, :]`` (e.g. to derive ``distances``) pass
+    it in instead of paying the subtraction a second time.
+    """
+    values, distances, active = _check_masked_distances(
+        values, distances, active, "masked_unit_direction_sum"
+    )
+    anchors = np.asarray(anchors, dtype=np.float64)
+    if anchors.shape != (values.shape[0], values.shape[2]):
+        raise DimensionMismatchError(
+            f"anchors must have shape {(values.shape[0], values.shape[2])}, "
+            f"got {anchors.shape}"
+        )
+    safe = np.where(active, distances, 1.0)
+    with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+        if offsets is None:
+            offsets = values - anchors[:, None, :]
+        directions = offsets / safe[:, :, None]
+        return np.einsum(
+            "bn,bnd->bd", active.astype(np.float64), directions
+        )
 
 
 def stack_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:

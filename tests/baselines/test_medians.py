@@ -7,8 +7,13 @@ from repro.baselines.medians import (
     CoordinateWiseMedian,
     GeometricMedian,
     TrimmedMean,
+    batched_weiszfeld,
 )
-from repro.exceptions import ByzantineToleranceError
+from repro.exceptions import (
+    ByzantineToleranceError,
+    ConfigurationError,
+    DimensionMismatchError,
+)
 
 
 class TestCoordinateWiseMedian:
@@ -96,3 +101,87 @@ class TestGeometricMedian:
         norms = np.linalg.norm(diffs, axis=1)
         residual = (diffs / norms[:, None]).sum(axis=0)
         assert np.linalg.norm(residual) < 1e-4
+
+    def test_nonpositive_tolerance_is_configuration_error(self):
+        # Regression: a bad constructor parameter is a configuration
+        # mistake, not a runtime convergence failure.
+        for bad in (0.0, -1e-9, -1.0):
+            with pytest.raises(ConfigurationError, match="tolerance"):
+                GeometricMedian(tolerance=bad)
+
+    def test_name_encodes_nondefault_parameters(self):
+        # The engine groups scenarios by (type, name); differently
+        # configured instances must not share a batched kernel group.
+        assert GeometricMedian().name == "geometric-median"
+        tight = GeometricMedian(tolerance=1e-12, max_iterations=500)
+        assert tight.name != GeometricMedian().name
+        assert "1e-12" in tight.name and "500" in tight.name
+
+    def test_name_distinguishes_nearby_tolerances(self):
+        # The name must round-trip the exact float: two distinct
+        # tolerances collapsing to one name would silently merge their
+        # scenarios into a single batched kernel group.
+        a = GeometricMedian(tolerance=1.00000011e-9)
+        b = GeometricMedian(tolerance=1.00000019e-9)
+        assert a.name != b.name
+
+    def test_translation_invariance_at_large_offset(self, rng):
+        # Regression for the absolute coincidence threshold: detection is
+        # scale-relative, so shifting every input by 1e8 must shift the
+        # median identically.  The majority cluster forces the iterate
+        # through the data-point singularity handling at both scales.
+        cloud = np.vstack(
+            [np.tile([5.0, -3.0, 2.0], (6, 1)), 30.0 * rng.standard_normal((4, 3))]
+        )
+        gm = GeometricMedian()
+        base = gm.aggregate(cloud)
+        shifted = gm.aggregate(cloud + 1e8)
+        np.testing.assert_allclose(shifted - 1e8, base, rtol=0, atol=1e-4)
+        # The breakdown-point property must survive the offset exactly:
+        # the majority location is still the median.
+        np.testing.assert_array_equal(base, [5.0, -3.0, 2.0])
+        np.testing.assert_array_equal(shifted, np.array([5.0, -3.0, 2.0]) + 1e8)
+
+    def test_tiny_scale_cluster_not_spuriously_collapsed(self):
+        # At magnitudes near the old absolute threshold the coincidence
+        # test must not merge genuinely distinct points: a 6-of-8
+        # majority at p still pins the median at p, not at some average.
+        p = np.array([3e-7, -2e-7])
+        cloud = np.vstack([np.tile(p, (6, 1)), [[9e-6, 0.0]], [[0.0, -8e-6]]])
+        out = GeometricMedian().aggregate(cloud)
+        np.testing.assert_allclose(out, p, rtol=0, atol=1e-12)
+
+
+class TestBatchedWeiszfeld:
+    def test_single_scenario_matches_rule(self, rng):
+        vectors = rng.standard_normal((9, 4))
+        rule = GeometricMedian()
+        direct = rule.aggregate(vectors)
+        batched = batched_weiszfeld(vectors[None])[0]
+        assert direct.tobytes() == batched.tobytes()
+
+    def test_n_equals_one(self):
+        out = batched_weiszfeld(np.array([[[3.0, 4.0]], [[-1.0, 2.0]]]))
+        np.testing.assert_array_equal(out, [[3.0, 4.0], [-1.0, 2.0]])
+
+    def test_scenarios_converge_independently(self, rng):
+        # A hard scenario (majority cluster, sublinear approach) batched
+        # with easy ones must not perturb the easy results.
+        easy = rng.standard_normal((2, 7, 3))
+        hard = np.vstack([np.tile([1.0, 1.0, 1.0], (5, 1)), [[50.0, 0.0, 0.0]], [[0.0, -50.0, 0.0]]])
+        batch = np.concatenate([easy, hard[None]], axis=0)
+        together = batched_weiszfeld(batch)
+        for b in range(2):
+            alone = batched_weiszfeld(easy[b : b + 1])[0]
+            assert together[b].tobytes() == alone.tobytes()
+        np.testing.assert_allclose(together[2], [1.0, 1.0, 1.0], atol=1e-8)
+
+    def test_rejects_bad_shapes_and_parameters(self):
+        with pytest.raises(DimensionMismatchError):
+            batched_weiszfeld(np.ones((3, 4)))
+        with pytest.raises(DimensionMismatchError):
+            batched_weiszfeld(np.empty((0, 4, 2)))
+        with pytest.raises(ConfigurationError, match="tolerance"):
+            batched_weiszfeld(np.ones((1, 3, 2)), tolerance=0.0)
+        with pytest.raises(ConfigurationError, match="max_iterations"):
+            batched_weiszfeld(np.ones((1, 3, 2)), max_iterations=0)

@@ -1,0 +1,69 @@
+"""Tests for the batched-kernel registry plumbing and its validation.
+
+The bit-for-bit kernel/loop identity lives in
+``tests/engine/test_differential.py``; this module covers the registry
+surface itself — native-kernel coverage, chunk-size validation, and the
+grouping rules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.medians import GeometricMedian
+from repro.core.batched import (
+    batched_kernel_names,
+    batched_krum_scores,
+    has_batched_kernel,
+    make_batched_aggregator,
+)
+from repro.core.bulyan import Bulyan
+from repro.core.krum import Krum
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+class TestNativeKernelCoverage:
+    def test_bulyan_and_geometric_median_are_native(self):
+        for rule in (Bulyan(f=1), GeometricMedian()):
+            assert has_batched_kernel(rule), rule.name
+            adapter = make_batched_aggregator(rule)
+            assert adapter.is_native, rule.name
+
+    def test_kernel_names_list_new_rules(self):
+        names = batched_kernel_names()
+        assert "Bulyan" in names
+        assert "GeometricMedian" in names
+
+    def test_differently_configured_medians_do_not_group(self):
+        # GeometricMedian's name encodes non-default parameters, so the
+        # (type, name) group key keeps configurations apart.
+        with pytest.raises(ConfigurationError, match="differently-configured"):
+            make_batched_aggregator(
+                [GeometricMedian(), GeometricMedian(tolerance=1e-12)]
+            )
+
+
+class TestChunkSizeValidation:
+    """Regression: a non-positive chunk size used to die with a bare
+    ``ValueError`` from ``range()`` (or silently return garbage for
+    negative values)."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_batched_krum_scores_rejects_nonpositive(self, bad, rng):
+        batch = rng.standard_normal((4, 9, 3))
+        with pytest.raises(DimensionMismatchError, match="chunk_size"):
+            batched_krum_scores(batch, 1, chunk_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    @pytest.mark.parametrize(
+        "rule_factory", [lambda: Krum(f=1), lambda: Bulyan(f=1), GeometricMedian]
+    )
+    def test_kernels_reject_nonpositive_chunk(self, bad, rule_factory, rng):
+        batch = rng.standard_normal((3, 9, 4))
+        adapter = make_batched_aggregator(rule_factory(), chunk_size=bad)
+        with pytest.raises(DimensionMismatchError, match="chunk_size"):
+            adapter.aggregate_batch(batch)
+
+    def test_oversized_chunk_is_fine(self, rng):
+        batch = rng.standard_normal((3, 9, 4))
+        scores = batched_krum_scores(batch, 1, chunk_size=1000)
+        np.testing.assert_array_equal(scores, batched_krum_scores(batch, 1))

@@ -4,10 +4,15 @@ import numpy as np
 import pytest
 
 from repro.attacks.modern import LittleIsEnoughAttack
-from repro.core.bulyan import Bulyan
+from repro.core.bulyan import (
+    Bulyan,
+    batched_bulyan,
+    batched_bulyan_aggregate,
+    batched_bulyan_committees,
+)
 from repro.core.krum import Krum
 from repro.core.registry import make_aggregator
-from repro.exceptions import ByzantineToleranceError
+from repro.exceptions import ByzantineToleranceError, DimensionMismatchError
 from tests.attacks.test_base import make_context
 
 
@@ -58,6 +63,55 @@ class TestBulyanBasics:
     def test_registered(self):
         rule = make_aggregator("bulyan", f=1)
         assert isinstance(rule, Bulyan)
+
+
+class TestBatchedBulyanAPI:
+    """The shared batched pipeline the rule and the engine kernel run."""
+
+    def test_matches_rule_per_slice(self, rng):
+        batch = rng.standard_normal((5, 11, 4))
+        vectors, committees = batched_bulyan(batch, 2)
+        rule = Bulyan(f=2)
+        for b in range(5):
+            want = rule.aggregate_detailed(batch[b])
+            assert vectors[b].tobytes() == want.vector.tobytes()
+            np.testing.assert_array_equal(committees[b], want.selected)
+
+    def test_committees_then_aggregate_compose(self, rng):
+        batch = rng.standard_normal((3, 11, 4))
+        committees = batched_bulyan_committees(batch, 2)
+        vectors = batched_bulyan_aggregate(batch, committees, 2)
+        whole_vectors, whole_committees = batched_bulyan(batch, 2)
+        np.testing.assert_array_equal(committees, whole_committees)
+        np.testing.assert_array_equal(vectors, whole_vectors)
+
+    def test_f_zero_committee_is_everyone(self, rng):
+        batch = rng.standard_normal((2, 5, 3))
+        vectors, committees = batched_bulyan(batch, 0)
+        np.testing.assert_array_equal(committees, np.tile(np.arange(5), (2, 1)))
+        np.testing.assert_allclose(vectors, batch.mean(axis=1))
+
+    def test_near_boundary_fallback_is_reached(self, rng):
+        # f = 1, n = 7: the last committee pick happens with 3 candidates
+        # left, where Krum scoring (m - f - 2 >= 1) is impossible — the
+        # median-distance fallback must fill the committee without error.
+        batch = rng.standard_normal((4, 7, 3))
+        vectors, committees = batched_bulyan(batch, 1)
+        assert committees.shape == (4, 5)
+        for b in range(4):
+            assert len(set(committees[b].tolist())) == 5
+            want = Bulyan(f=1).aggregate_detailed(batch[b])
+            assert vectors[b].tobytes() == want.vector.tobytes()
+
+    def test_validates_shapes_and_tolerance(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            batched_bulyan(rng.standard_normal((5, 3)), 0)
+        with pytest.raises(ByzantineToleranceError, match="4f"):
+            batched_bulyan(rng.standard_normal((2, 10, 3)), 2)
+        with pytest.raises(DimensionMismatchError, match="committees"):
+            batched_bulyan_aggregate(
+                rng.standard_normal((2, 7, 3)), np.zeros((3, 5), dtype=np.int64), 1
+            )
 
 
 class TestBulyanVsStealthAttack:

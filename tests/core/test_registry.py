@@ -89,6 +89,8 @@ class TestRegistryRoundTrip:
         "closest-to-all",
         "coordinate-median",
         "trimmed-mean",
+        "bulyan",
+        "geometric-median",
     }
 
     def test_kwargs_cover_every_registered_name(self):

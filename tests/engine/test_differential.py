@@ -14,6 +14,7 @@ import pytest
 
 from repro.baselines.average import Average
 from repro.baselines.distance_based import ClosestToAll
+from repro.baselines.majority import MinimalDiameterSubset
 from repro.baselines.medians import (
     CoordinateWiseMedian,
     GeometricMedian,
@@ -30,6 +31,7 @@ from repro.core.batched import (
 from repro.core.bulyan import Bulyan
 from repro.core.krum import Krum, MultiKrum, krum_scores, krum_scores_reference
 from repro.engine import ScenarioGrid, run_grid
+from repro.exceptions import ConvergenceError
 from repro.utils.linalg import (
     batched_pairwise_sq_distances,
     pairwise_sq_distances,
@@ -195,15 +197,125 @@ class TestBatchedAdapters:
 
     def test_loop_fallback_bitwise(self, rng):
         batch = rng.standard_normal((5, 11, 4))
-        for rule in (GeometricMedian(), Bulyan(f=2)):
-            assert not has_batched_kernel(rule)
-            adapter = make_batched_aggregator(rule)
-            assert not adapter.is_native
+        rule = MinimalDiameterSubset(f=2)
+        assert not has_batched_kernel(rule)
+        adapter = make_batched_aggregator(rule)
+        assert not adapter.is_native
+        result = adapter.aggregate_batch(batch)
+        for b in range(batch.shape[0]):
+            want = rule.aggregate_detailed(batch[b])
+            assert bitwise_equal(result.vectors[b], want.vector)
+            np.testing.assert_array_equal(result.selected[b], want.selected)
+
+
+def bulyan_f_values(n: int) -> list[int]:
+    """f values valid for Bulyan (n >= 4f + 3), always including 0."""
+    return sorted({0, 1, (n - 3) // 4} & {f for f in range(n) if n >= 4 * f + 3})
+
+
+class TestBatchedBulyan:
+    """The Bulyan kernel: iterated committee selection, bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_per_scenario_bitwise(self, seed):
+        """All corners: f = 0, tie-heavy duplicates, NaN/Inf rows."""
+        for batch in make_batches(seed):
+            n = batch.shape[1]
+            for f in bulyan_f_values(n):
+                rule = Bulyan(f=f)
+                assert has_batched_kernel(rule)
+                adapter = make_batched_aggregator(rule)
+                assert adapter.is_native
+                result = adapter.aggregate_batch(batch)
+                for b in range(batch.shape[0]):
+                    want = rule.aggregate_detailed(batch[b])
+                    assert bitwise_equal(result.vectors[b], want.vector), (
+                        f"bulyan(f={f}) diverged on slice {b}"
+                    )
+                    np.testing.assert_array_equal(
+                        result.selected[b], want.selected
+                    )
+
+    def test_committee_is_sorted_and_sized(self, rng):
+        batch = rng.standard_normal((4, 11, 5))
+        result = make_batched_aggregator(Bulyan(f=2)).aggregate_batch(batch)
+        for committee in result.selected:
+            assert committee.shape == (11 - 2 * 2,)
+            assert np.all(np.diff(committee) > 0)  # sorted, no duplicates
+
+    def test_chunking_matches_unchunked(self, rng):
+        batch = rng.standard_normal((7, 9, 4))
+        whole = make_batched_aggregator(Bulyan(f=1)).aggregate_batch(batch)
+        for chunk_size in (1, 2, 3, 7, 19):
+            chunked = make_batched_aggregator(
+                Bulyan(f=1), chunk_size=chunk_size
+            ).aggregate_batch(batch)
+            assert bitwise_equal(chunked.vectors, whole.vectors)
+            for a, b in zip(chunked.selected, whole.selected):
+                np.testing.assert_array_equal(a, b)
+
+
+class TestBatchedGeometricMedian:
+    """The Weiszfeld kernel: per-scenario convergence masking, bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_per_scenario_bitwise(self, seed):
+        rule = GeometricMedian()
+        assert has_batched_kernel(rule)
+        adapter = make_batched_aggregator(rule)
+        assert adapter.is_native
+        for batch in make_batches(seed):
+            if not np.all(np.isfinite(batch)):
+                continue  # non-finite parity covered separately below
             result = adapter.aggregate_batch(batch)
             for b in range(batch.shape[0]):
                 want = rule.aggregate_detailed(batch[b])
-                assert bitwise_equal(result.vectors[b], want.vector)
-                np.testing.assert_array_equal(result.selected[b], want.selected)
+                assert bitwise_equal(result.vectors[b], want.vector), (
+                    f"geometric median diverged on slice {b}"
+                )
+                assert result.selected[b].size == 0
+
+    def test_tight_tolerance_matches(self, rng):
+        """Non-default configuration flows through the kernel."""
+        rule = GeometricMedian(tolerance=1e-12, max_iterations=5000)
+        batch = rng.standard_normal((5, 12, 6))
+        result = make_batched_aggregator(rule).aggregate_batch(batch)
+        for b in range(batch.shape[0]):
+            want = rule.aggregate_detailed(batch[b])
+            assert bitwise_equal(result.vectors[b], want.vector)
+
+    def test_nonfinite_scenarios_raise_consistently(self):
+        """NaN proposals never satisfy a convergence predicate; the loop
+        path raises for such a scenario, so the batched path must raise
+        for any batch containing one — and slices that do converge must
+        still match bit-for-bit."""
+        rule = GeometricMedian(max_iterations=60)
+        adapter = make_batched_aggregator(rule)
+        batch = make_batches(0)[-1]  # the NaN/Inf-poisoned batch
+        loop_outcomes: list[np.ndarray | None] = []
+        for b in range(batch.shape[0]):
+            try:
+                loop_outcomes.append(rule.aggregate_detailed(batch[b]).vector)
+            except ConvergenceError:
+                loop_outcomes.append(None)
+        assert any(v is None for v in loop_outcomes)
+        with pytest.raises(ConvergenceError, match="did not converge"):
+            adapter.aggregate_batch(batch)
+        converging = [b for b, v in enumerate(loop_outcomes) if v is not None]
+        if converging:
+            result = adapter.aggregate_batch(batch[converging])
+            for i, b in enumerate(converging):
+                assert bitwise_equal(result.vectors[i], loop_outcomes[b])
+
+    def test_chunking_matches_unchunked(self, rng):
+        batch = rng.standard_normal((6, 10, 3))
+        rule = GeometricMedian()
+        whole = make_batched_aggregator(rule).aggregate_batch(batch)
+        for chunk_size in (1, 2, 4, 6, 11):
+            chunked = make_batched_aggregator(
+                rule, chunk_size=chunk_size
+            ).aggregate_batch(batch)
+            assert bitwise_equal(chunked.vectors, whole.vectors)
 
 
 class TestGridTrajectories:
@@ -267,7 +379,7 @@ class TestGridTrajectories:
         grid = ScenarioGrid(
             seeds=(5,),
             attacks=(("sign-flip", {"scale": 3.0}),),
-            aggregators=(("krum", {}), ("geometric-median", {})),
+            aggregators=(("krum", {}), ("minimal-diameter", {})),
             f_values=(2,),
             num_workers=11,
             dimension=7,
@@ -275,6 +387,25 @@ class TestGridTrajectories:
             num_rounds=10,
         )
         self._assert_identical(grid)
+
+    def test_bulyan_and_geometric_median_kernels_in_grid(self):
+        """The two rules that used to take the loop fallback now run
+        native — and must stay trajectory-identical through full runs."""
+        grid = ScenarioGrid(
+            seeds=(3, 4),
+            attacks=(("gaussian", {"sigma": 80.0}),),
+            aggregators=(
+                ("bulyan", {}),
+                ("geometric-median", {}),
+                ("krum", {}),
+            ),
+            f_values=(0, 2),  # bulyan needs n >= 4f + 3 = 11
+            num_workers=11,
+            dimension=6,
+            sigma=0.3,
+            num_rounds=10,
+        )
+        self._assert_identical(grid, chunk_size=2)
 
 
 class TestCompareAggregatorsEngine:

@@ -10,17 +10,25 @@ Two structural invariants of batching:
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.baselines.average import Average
-from repro.baselines.medians import CoordinateWiseMedian, TrimmedMean
+from repro.baselines.medians import (
+    CoordinateWiseMedian,
+    GeometricMedian,
+    TrimmedMean,
+    batched_weiszfeld,
+)
 from repro.core.batched import (
     batched_krum_scores,
     make_batched_aggregator,
 )
+from repro.core.bulyan import Bulyan, batched_bulyan
 from repro.core.krum import Krum, MultiKrum
+from repro.exceptions import ConvergenceError
 from repro.utils.linalg import batched_pairwise_sq_distances
 
 
@@ -91,6 +99,41 @@ class TestBatchPermutationEquivariance:
                 )
 
 
+    @given(batches(min_n=7), st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_bulyan(self, case, pyrandom):
+        batch, _f = case
+        n = batch.shape[1]
+        f = (n - 3) // 4  # largest f with n >= 4f + 3
+        perm = list(range(batch.shape[0]))
+        pyrandom.shuffle(perm)
+        perm = np.asarray(perm)
+        vectors, committees = batched_bulyan(batch, f)
+        shuffled_vectors, shuffled_committees = batched_bulyan(batch[perm], f)
+        assert bitwise_equal(shuffled_vectors, vectors[perm])
+        assert bitwise_equal(shuffled_committees, committees[perm])
+
+    @given(batches(), st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_geometric_median(self, case, pyrandom):
+        # Adversarially tied configurations can legitimately exhaust the
+        # iteration budget (a pre-existing Weiszfeld limitation, identical
+        # in the loop path); the property is that the *outcome* — result
+        # or raise — is equivariant under batch permutation.
+        batch, _f = case
+        perm = list(range(batch.shape[0]))
+        pyrandom.shuffle(perm)
+        perm = np.asarray(perm)
+        try:
+            straight = batched_weiszfeld(batch)
+        except ConvergenceError:
+            with pytest.raises(ConvergenceError):
+                batched_weiszfeld(batch[perm])
+            return
+        shuffled = batched_weiszfeld(batch[perm])
+        assert bitwise_equal(shuffled, straight[perm])
+
+
 class TestChunkInvariance:
     @given(batches(), st.integers(1, 8))
     @settings(max_examples=40, deadline=None)
@@ -107,3 +150,34 @@ class TestChunkInvariance:
         whole = batched_krum_scores(batch, f)
         chunked = batched_krum_scores(batch, f, chunk_size=chunk_size)
         assert bitwise_equal(whole, chunked)
+
+    @given(batches(min_n=7), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_bulyan_invariant_to_chunk_size(self, case, chunk_size):
+        batch, _f = case
+        f = (batch.shape[1] - 3) // 4
+        whole = make_batched_aggregator(Bulyan(f=f)).aggregate_batch(batch)
+        chunked = make_batched_aggregator(
+            Bulyan(f=f), chunk_size=chunk_size
+        ).aggregate_batch(batch)
+        assert bitwise_equal(whole.vectors, chunked.vectors)
+        for a, b in zip(whole.selected, chunked.selected):
+            assert bitwise_equal(a, b)
+
+    @given(batches(), st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_geometric_median_invariant_to_chunk_size(self, case, chunk_size):
+        batch, _f = case
+        rule = GeometricMedian()
+        try:
+            whole = make_batched_aggregator(rule).aggregate_batch(batch)
+        except ConvergenceError:
+            with pytest.raises(ConvergenceError):
+                make_batched_aggregator(
+                    rule, chunk_size=chunk_size
+                ).aggregate_batch(batch)
+            return
+        chunked = make_batched_aggregator(
+            rule, chunk_size=chunk_size
+        ).aggregate_batch(batch)
+        assert bitwise_equal(whole.vectors, chunked.vectors)

@@ -1,7 +1,7 @@
 """Hypothesis property tests for Krum (the paper's core invariants)."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -29,6 +29,17 @@ def stacks(min_n=5, max_n=14, min_d=1, max_d=8):
         return vectors, f
 
     return build()
+
+
+def _winner_gap(vectors: np.ndarray, f: int) -> float:
+    """Gap between the two best Krum scores (inf for a single row)."""
+    ordered = np.sort(krum_scores(vectors, f))
+    return float(ordered[1] - ordered[0]) if len(ordered) > 1 else np.inf
+
+
+def _score_scale(vectors: np.ndarray) -> float:
+    """Magnitude scale of Krum scores — squared input magnitude."""
+    return max(1.0, float(np.max(np.abs(vectors))) ** 2)
 
 
 class TestKrumInvariants:
@@ -75,6 +86,10 @@ class TestKrumInvariants:
     def test_translation_equivariance(self, case):
         """Kr(V + c) = Kr(V) + c — scores depend only on differences."""
         vectors, f = case
+        # Near-tied winners: the GEMM distance expansion carries rounding
+        # of order eps·‖V‖² per entry, so a top-2 score gap inside that
+        # band can legitimately flip the argmin under the shift.
+        assume(_winner_gap(vectors, f) > 1e-9 * _score_scale(vectors))
         shift = np.full(vectors.shape[1], 17.5)
         original = Krum(f=f, strict=False).aggregate(vectors)
         shifted = Krum(f=f, strict=False).aggregate(vectors + shift)
@@ -85,6 +100,8 @@ class TestKrumInvariants:
     def test_scale_equivariance(self, case):
         """Kr(c·V) = c·Kr(V) for c > 0."""
         vectors, f = case
+        # Near-tied winners: see test_translation_equivariance.
+        assume(_winner_gap(vectors, f) > 1e-9 * _score_scale(vectors))
         original = Krum(f=f, strict=False).aggregate(vectors)
         scaled = Krum(f=f, strict=False).aggregate(2.5 * vectors)
         np.testing.assert_allclose(scaled, 2.5 * original, rtol=1e-9, atol=1e-6)

@@ -5,7 +5,12 @@ import pytest
 
 from repro.exceptions import DimensionMismatchError
 from repro.utils.linalg import (
+    batched_pairwise_sq_distances,
     flatten_arrays,
+    masked_coordinate_median,
+    masked_inverse_distance_weights,
+    masked_krum_scores,
+    masked_unit_direction_sum,
     pairwise_sq_distances,
     stack_vectors,
     unflatten_array,
@@ -54,6 +59,127 @@ class TestPairwiseSqDistances:
         vectors = np.array([[0.0, 0.0], [3.0, 4.0]])
         distances = pairwise_sq_distances(vectors)
         assert distances[0, 1] == pytest.approx(25.0)
+
+
+class TestMaskedKrumScores:
+    def test_full_mask_matches_krum_scores(self, rng):
+        from repro.core.krum import krum_scores
+
+        batch = rng.standard_normal((3, 9, 4))
+        distances = batched_pairwise_sq_distances(batch, nonfinite_as_inf=True)
+        active = np.ones((3, 9), dtype=bool)
+        f = 2
+        scores = masked_krum_scores(distances, active, 9 - f - 2)
+        for b in range(3):
+            np.testing.assert_array_equal(scores[b], krum_scores(batch[b], f))
+
+    def test_subset_matches_compacted_pool(self, rng):
+        # Scoring the masked pool must rank candidates like scoring the
+        # compacted pool (same neighbour multisets per candidate).
+        batch = rng.standard_normal((1, 10, 3))
+        distances = batched_pairwise_sq_distances(batch)
+        active = np.ones((1, 10), dtype=bool)
+        active[0, [2, 5, 7]] = False
+        pool = [i for i in range(10) if active[0, i]]
+        scores = masked_krum_scores(distances, active, 3)
+        assert np.all(np.isinf(scores[0, [2, 5, 7]]))
+        for i in pool:
+            neighbour = sorted(distances[0, i, j] for j in pool if j != i)
+            np.testing.assert_allclose(scores[0, i], np.sum(neighbour[:3]))
+
+    def test_rejects_bad_num_neighbors(self, rng):
+        distances = batched_pairwise_sq_distances(rng.standard_normal((2, 5, 3)))
+        active = np.ones((2, 5), dtype=bool)
+        for bad in (0, -1, 5):
+            with pytest.raises(DimensionMismatchError, match="num_neighbors"):
+                masked_krum_scores(distances, active, bad)
+
+    def test_rejects_num_neighbors_exceeding_active_pool(self, rng):
+        # More neighbours than any active row has would sum masked +inf
+        # entries into every score — an error, not garbage output.
+        distances = batched_pairwise_sq_distances(rng.standard_normal((1, 6, 3)))
+        active = np.ones((1, 6), dtype=bool)
+        active[0, :3] = False  # 3 active rows -> at most 2 neighbours
+        with pytest.raises(DimensionMismatchError, match="active_count"):
+            masked_krum_scores(distances, active, 4)
+        assert np.all(np.isfinite(masked_krum_scores(distances, active, 2)[0, 3:]))
+
+
+class TestMaskedCoordinateMedian:
+    def test_full_mask_matches_numpy(self, rng):
+        batch = rng.standard_normal((4, 7, 5))
+        active = np.ones((4, 7), dtype=bool)
+        np.testing.assert_array_equal(
+            masked_coordinate_median(batch, active), np.median(batch, axis=1)
+        )
+
+    @pytest.mark.parametrize("drop", [1, 2, 3])
+    def test_subset_matches_numpy_on_subset(self, rng, drop):
+        batch = rng.standard_normal((3, 8, 4))
+        active = np.ones((3, 8), dtype=bool)
+        active[:, :drop] = False  # uniform count per scenario
+        got = masked_coordinate_median(batch, active)
+        for b in range(3):
+            np.testing.assert_allclose(got[b], np.median(batch[b, drop:], axis=0))
+
+    def test_rejects_nonuniform_counts(self, rng):
+        batch = rng.standard_normal((2, 5, 3))
+        active = np.ones((2, 5), dtype=bool)
+        active[0, 0] = False
+        with pytest.raises(DimensionMismatchError, match="same number"):
+            masked_coordinate_median(batch, active)
+
+
+class TestMaskedWeiszfeldPrimitives:
+    def test_unit_direction_sum_matches_compacted(self, rng):
+        values = rng.standard_normal((2, 6, 3))
+        anchors = rng.standard_normal((2, 3))
+        offsets = values - anchors[:, None, :]
+        distances = np.linalg.norm(offsets, axis=2)
+        active = np.ones((2, 6), dtype=bool)
+        active[:, 0] = False
+        got = masked_unit_direction_sum(values, anchors, distances, active)
+        for b in range(2):
+            manual = (offsets[b, 1:] / distances[b, 1:, None]).sum(axis=0)
+            np.testing.assert_allclose(got[b], manual, rtol=1e-12, atol=1e-12)
+
+    def test_inactive_zero_distances_are_safe(self, rng):
+        values = rng.standard_normal((1, 4, 2))
+        anchors = values[:, 0].copy()
+        distances = np.array([[0.0, 1.0, 2.0, 3.0]])
+        active = np.array([[False, True, True, True]])
+        out = masked_unit_direction_sum(values, anchors, distances, active)
+        assert np.all(np.isfinite(out))
+
+    def test_inverse_distance_weights(self, rng):
+        distances = np.array([[0.5, 2.0, 0.0, 4.0]])
+        active = np.array([[True, True, False, True]])
+        got = masked_inverse_distance_weights(distances, active)
+        np.testing.assert_array_equal(got, [[2.0, 0.5, 0.0, 0.25]])
+
+    def test_precomputed_offsets_match(self, rng):
+        values = rng.standard_normal((2, 6, 3))
+        anchors = rng.standard_normal((2, 3))
+        offsets = values - anchors[:, None, :]
+        distances = np.linalg.norm(offsets, axis=2)
+        active = np.ones((2, 6), dtype=bool)
+        plain = masked_unit_direction_sum(values, anchors, distances, active)
+        reused = masked_unit_direction_sum(
+            values, anchors, distances, active, offsets=offsets
+        )
+        np.testing.assert_array_equal(plain, reused)
+
+    def test_shape_validation(self, rng):
+        values = rng.standard_normal((2, 5, 3))
+        anchors = rng.standard_normal((2, 3))
+        with pytest.raises(DimensionMismatchError):
+            masked_unit_direction_sum(
+                values, anchors, np.ones((2, 4)), np.ones((2, 5), bool)
+            )
+        with pytest.raises(DimensionMismatchError):
+            masked_unit_direction_sum(
+                values, np.ones((2, 4)), np.ones((2, 5)), np.ones((2, 5), bool)
+            )
 
 
 class TestStackVectors:
