@@ -1,0 +1,240 @@
+"""Engine workload bench — batched vs loop, per registered workload.
+
+The workload registry (``repro.engine.workloads``) opened the grid
+engine to dataset-backed tasks.  This bench runs one small reference
+grid per workload — and one mixed-workload grid exercising the
+per-dimension batch grouping — through both executors:
+
+* ``loop``    — one :class:`~repro.distributed.TrainingSimulation` per
+  cell (the seed code's execution model);
+* ``batched`` — cells stacked into ``(B, n, d)`` tensors by
+  :class:`~repro.engine.BatchedSimulation`, grouped by parameter
+  dimension.
+
+For every grid it asserts trajectory identity (bit-for-bit final
+parameters and per-round records — the differential guarantee must hold
+on *every* workload, not just the Gaussian-oracle fast path) and records
+loop/batched wall times to ``BENCH_engine_workloads.json``.  Only the
+quadratic workload carries a speedup floor: dataset workloads spend
+their rounds in per-worker model gradients, which both executors
+compute identically, so their batching gain is bounded by the
+aggregation share of the round.
+
+Standalone usage (CI smoke / regenerating the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_workloads.py          # full
+    PYTHONPATH=src python benchmarks/bench_engine_workloads.py --smoke  # tiny
+    PYTHONPATH=src python benchmarks/bench_engine_workloads.py --smoke \\
+        --output BENCH_engine_workloads.smoke.json   # CI artifact
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.engine import ScenarioGrid, run_grid
+from repro.experiments.reporting import format_table
+
+try:
+    from benchmarks.conftest import emit, run_once
+except ImportError:  # executed as a script
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import emit, run_once
+
+MIN_QUADRATIC_SPEEDUP = 2.0
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_engine_workloads.json"
+)
+
+_AGGREGATORS = (("krum", {}), ("average", {}), ("coordinate-median", {}))
+_ATTACKS = (("sign-flip", {"scale": 5.0}),)
+
+
+def _grids(*, smoke: bool) -> dict[str, ScenarioGrid]:
+    """One reference grid per workload, plus the mixed-dimension grid."""
+    seeds = (0,) if smoke else (0, 1)
+    common = dict(
+        seeds=seeds,
+        attacks=_ATTACKS,
+        aggregators=_AGGREGATORS,
+        f_values=(0, 3),
+        num_workers=15,
+        learning_rate=0.05,
+        lr_timescale=None,
+    )
+    quadratic = {"dimension": 100 if smoke else 1000, "sigma": 0.5}
+    spambase = {
+        "num_train": 128 if smoke else 1024,
+        "num_eval": 64 if smoke else 256,
+        "batch_size": 16,
+    }
+    mnist = {
+        "num_train": 96 if smoke else 512,
+        "num_eval": 48 if smoke else 128,
+        "batch_size": 16,
+    }
+    mlp = dict(mnist, hidden_sizes=(16,) if smoke else (32,))
+    rounds = dict(
+        quadratic=8 if smoke else 60,
+        spambase=8 if smoke else 60,
+        softmax=6 if smoke else 40,
+        mlp=4 if smoke else 30,
+        mixed=6 if smoke else 30,
+    )
+    return {
+        "quadratic": ScenarioGrid(
+            workload="quadratic", workload_kwargs=quadratic,
+            num_rounds=rounds["quadratic"], **common,
+        ),
+        "logistic-spambase": ScenarioGrid(
+            workload="logistic-spambase", workload_kwargs=spambase,
+            num_rounds=rounds["spambase"], **common,
+        ),
+        "softmax-mnist": ScenarioGrid(
+            workload="softmax-mnist", workload_kwargs=mnist,
+            num_rounds=rounds["softmax"], **common,
+        ),
+        "mlp-mnist": ScenarioGrid(
+            workload="mlp-mnist", workload_kwargs=mlp,
+            num_rounds=rounds["mlp"], **common,
+        ),
+        "mixed": ScenarioGrid(
+            workloads=(
+                ("quadratic", quadratic),
+                ("logistic-spambase", spambase),
+                ("softmax-mnist", mnist),
+            ),
+            num_rounds=rounds["mixed"], **common,
+        ),
+    }
+
+
+def _identical_trajectories(loop_result, batched_result) -> bool:
+    for label in loop_result.histories:
+        if (
+            loop_result.final_params[label].tobytes()
+            != batched_result.final_params[label].tobytes()
+        ):
+            return False
+        loop_history = loop_result.histories[label]
+        batched_history = batched_result.histories[label]
+        if len(loop_history) != len(batched_history):
+            return False
+        if any(a != b for a, b in zip(loop_history, batched_history)):
+            return False
+    return True
+
+
+def run_comparison(grids: dict[str, ScenarioGrid]) -> dict:
+    """Execute every grid in both modes and summarize the comparison."""
+    workloads = {}
+    for name, grid in grids.items():
+        loop_result = run_grid(grid, mode="loop", eval_every=10)
+        batched_result = run_grid(grid, mode="batched", eval_every=10)
+        workloads[name] = {
+            "cells": len(grid),
+            "num_rounds": grid.num_rounds,
+            "loop_seconds": round(loop_result.wall_time, 4),
+            "batched_seconds": round(batched_result.wall_time, 4),
+            "speedup": round(
+                loop_result.wall_time
+                / max(batched_result.wall_time, 1e-12),
+                2,
+            ),
+            "trajectories_identical": _identical_trajectories(
+                loop_result, batched_result
+            ),
+            "native_fraction": batched_result.native_fraction,
+        }
+    return {
+        "num_workers": 15,
+        "aggregators": [name for name, _ in _AGGREGATORS],
+        "workloads": workloads,
+        "python": platform.python_version(),
+    }
+
+
+def _emit_summary(summary: dict) -> None:
+    emit(
+        format_table(
+            ["workload", "cells", "rounds", "loop s", "batched s",
+             "speedup", "identical"],
+            [
+                [
+                    name,
+                    row["cells"],
+                    row["num_rounds"],
+                    row["loop_seconds"],
+                    row["batched_seconds"],
+                    f"{row['speedup']}x",
+                    row["trajectories_identical"],
+                ]
+                for name, row in summary["workloads"].items()
+            ],
+            title="Engine workloads — batched vs loop",
+        )
+    )
+
+
+def _failures(summary: dict, *, smoke: bool) -> list[str]:
+    failures = []
+    for name, row in summary["workloads"].items():
+        if not row["trajectories_identical"]:
+            failures.append(f"{name}: batched diverged from the loop path")
+    quadratic = summary["workloads"]["quadratic"]
+    if not smoke and quadratic["speedup"] < MIN_QUADRATIC_SPEEDUP:
+        failures.append(
+            f"quadratic speedup {quadratic['speedup']}x < "
+            f"{MIN_QUADRATIC_SPEEDUP}x"
+        )
+    return failures
+
+
+def bench_engine_workloads(benchmark):
+    summary = run_once(benchmark, lambda: run_comparison(_grids(smoke=False)))
+    _emit_summary(summary)
+    RESULT_PATH.write_text(json.dumps(summary, indent=1) + "\n")
+    failures = _failures(summary, smoke=False)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run tiny grids without writing BENCH_engine_workloads.json "
+        "— the CI sanity check",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the summary JSON to this path (used by CI to "
+        "upload the smoke measurement as a workflow artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    summary = run_comparison(_grids(smoke=args.smoke))
+    print(json.dumps(summary, indent=1))
+    if args.output is not None:
+        args.output.write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"wrote {args.output}")
+    failures = _failures(summary, smoke=args.smoke)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    if not args.smoke:
+        RESULT_PATH.write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

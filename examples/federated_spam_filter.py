@@ -7,100 +7,75 @@ organizations where 5 slots misbehave in different ways at once:
 
   * 2 crashed collectors that send zero vectors,
   * 1 straggler replaying stale gradients,
-  * 2 poisoned silos computing *boosted* gradients on label-flipped data
-    (the "model replacement" escalation from the federated-learning
-    literature: the attacker scales its update to outweigh the honest
-    mass).
+  * 2 hostile silos sending *boosted* negated gradients (the "model
+    replacement" escalation from the federated-learning literature:
+    the attacker scales its update to outweigh the honest mass).
 
-Compares plain federated averaging against Krum and Multi-Krum.
+The whole comparison — federated averaging vs Krum vs Multi-Krum — is
+one ``ScenarioGrid`` on the ``logistic-spambase`` workload, with the
+mixed failure mode expressed declaratively as a ``composite`` attack
+spec, and runs as one batched round loop via ``run_grid``.
 
 Run:  python examples/federated_spam_filter.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import (
-    Average,
-    CompositeAttack,
-    CrashAttack,
-    Krum,
-    LabelFlipAttack,
-    MultiKrum,
-    StragglerAttack,
-)
-from repro.data import make_spambase_like
-from repro.experiments import build_dataset_simulation, format_table
-from repro.models import LogisticRegressionModel
+from repro.engine import ScenarioGrid, run_grid
+from repro.experiments import format_table
 
 NUM_WORKERS = 16
 NUM_BYZANTINE = 5
 ROUNDS = 400
 
-
-def build_attack(model: LogisticRegressionModel, train) -> CompositeAttack:
-    rng = np.random.default_rng(99)
-    poisoned_indices = rng.choice(len(train), size=400, replace=False)
-    poisoned_shards = [
-        (
-            train.inputs[poisoned_indices[:200]],
-            train.targets[poisoned_indices[:200]],
-        ),
-        (
-            train.inputs[poisoned_indices[200:]],
-            train.targets[poisoned_indices[200:]],
-        ),
-    ]
-    return CompositeAttack(
-        [
-            (CrashAttack(), 2),
-            (StragglerAttack(delay=10), 1),
-            (
-                LabelFlipAttack(
-                    model,
-                    poisoned_shards,
-                    num_classes=2,
-                    batch_size=32,
-                    boost=8.0,
-                ),
-                2,
-            ),
-        ]
-    )
+# 2 crashes + 1 straggler + 2 boosted sign-flips, assigned to the
+# Byzantine slots in order (the hostile silos take the two highest ids).
+FAILURE_MIX = (
+    ("crash", {}, 2),
+    ("straggler", {"delay": 10}, 1),
+    ("sign-flip", {"scale": 8.0}, 2),
+)
 
 
 def main() -> None:
-    train = make_spambase_like(3000, seed=0)
-    test = make_spambase_like(800, seed=1)
+    grid = ScenarioGrid(
+        seeds=(3,),
+        workload="logistic-spambase",
+        workload_kwargs={
+            "num_train": 3000,
+            "num_eval": 800,
+            "batch_size": 32,
+            "data_seed": 0,
+        },
+        attacks=(("composite", {"parts": FAILURE_MIX}),),
+        aggregators=(
+            ("average", {}),
+            ("krum", {}),
+            ("multi-krum", {"m": 6}),
+        ),
+        f_values=(NUM_BYZANTINE,),
+        num_workers=NUM_WORKERS,
+        num_rounds=ROUNDS,
+        learning_rate=0.05,
+        lr_timescale=None,
+    )
+    print(f"training {len(grid)} spam-filter arms in one batched loop ...")
+    result = run_grid(grid, mode="batched", eval_every=50)
 
     rows = []
-    for label, rule_factory in {
-        "federated averaging": lambda: Average(),
-        "krum": lambda: Krum(f=NUM_BYZANTINE),
-        "multi-krum m=6": lambda: MultiKrum(f=NUM_BYZANTINE, m=6),
-    }.items():
-        model = LogisticRegressionModel(57)
-        simulation = build_dataset_simulation(
-            model,
-            train,
-            aggregator=rule_factory(),
-            num_workers=NUM_WORKERS,
-            num_byzantine=NUM_BYZANTINE,
-            attack=build_attack(model, train),
-            batch_size=32,
-            learning_rate=0.05,
-            eval_dataset=test,
-            seed=3,
-        )
-        print(f"training spam filter with {label} ...")
-        history = simulation.run(ROUNDS, eval_every=50)
-        # The poisoned silos hold the two highest worker ids (composite
+    for spec in result.specs:
+        label = {
+            "average": "federated averaging",
+            "krum": "krum",
+            "multi-krum": "multi-krum m=6",
+        }[spec.aggregator]
+        history = result.histories[spec.label]
+        # The hostile silos hold the two highest worker ids (composite
         # parts are assigned to Byzantine slots in order).
-        poisoned_slots = {NUM_WORKERS - 2, NUM_WORKERS - 1}
+        hostile_slots = {NUM_WORKERS - 2, NUM_WORKERS - 1}
         selecting = [r for r in history.records if r.selected]
-        poisoned_rate = (
-            sum(1 for r in selecting if set(r.selected) & poisoned_slots)
+        hostile_rate = (
+            sum(1 for r in selecting if set(r.selected) & hostile_slots)
             / len(selecting)
             if selecting
             else 0.0
@@ -110,26 +85,26 @@ def main() -> None:
                 label,
                 f"{100 * history.final_accuracy:.1f}%",
                 history.final_loss,
-                f"{100 * poisoned_rate:.1f}%",
+                f"{100 * hostile_rate:.1f}%",
             ]
         )
 
     print()
     print(
         format_table(
-            ["rule", "test accuracy", "test loss", "poisoned silo selected"],
+            ["rule", "test accuracy", "test loss", "hostile silo selected"],
             rows,
             title=(
                 f"spam filter across {NUM_WORKERS} orgs — "
-                "2 crashed + 1 straggler + 2 boosted label-flip silos"
+                "2 crashed + 1 straggler + 2 boosted hostile silos"
             ),
         )
     )
     print(
         "\nThe crash/straggler slots merely slow averaging down, but the"
-        "\nboosted label-flip silos drag the linear aggregate toward a"
-        "\nflipped decision boundary — averaging collapses.  Krum scores"
-        "\nthe boosted gradients as far outliers and never selects them."
+        "\nboosted hostile silos drag the linear aggregate away from the"
+        "\ndecision boundary — averaging collapses.  Krum scores the"
+        "\nboosted gradients as far outliers and never selects them."
     )
 
 

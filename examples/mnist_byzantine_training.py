@@ -2,22 +2,18 @@
 
 Reproduces the full paper's MNIST experiment on the procedural digit
 dataset: 20 workers, 6 controlled by an omniscient adversary that sends
-the negated gradient scaled up.  Compares averaging, Krum and Multi-Krum
-and prints the error-vs-round series.
+the negated gradient scaled up.  Declares the whole comparison as one
+``ScenarioGrid`` on the ``mlp-mnist`` workload — the aggregator axis
+carries averaging, Krum and Multi-Krum — and executes every arm in one
+batched round loop via ``run_grid``.
 
 Run:  python examples/mnist_byzantine_training.py
 """
 
 from __future__ import annotations
 
-from repro import Average, Krum, MultiKrum, OmniscientAttack
-from repro.data import make_mnist_like
-from repro.experiments import (
-    build_dataset_simulation,
-    format_series,
-    format_table,
-)
-from repro.models import MLPClassifier
+from repro.engine import ScenarioGrid, run_grid
+from repro.experiments import format_series, format_table
 
 NUM_WORKERS = 20
 NUM_BYZANTINE = 6  # 30 % of the cluster
@@ -25,30 +21,37 @@ ROUNDS = 300
 
 
 def main() -> None:
-    train = make_mnist_like(1500, seed=0)
-    test = make_mnist_like(400, seed=1)
+    grid = ScenarioGrid(
+        seeds=(7,),
+        workload="mlp-mnist",
+        workload_kwargs={
+            "num_train": 1500,
+            "num_eval": 400,
+            "batch_size": 32,
+            "hidden_sizes": (32,),
+            "data_seed": 0,
+        },
+        attacks=(("omniscient", {"scale": 10.0}),),
+        aggregators=(
+            ("average", {}),
+            ("krum", {}),
+            ("multi-krum", {"m": 8}),
+        ),
+        f_values=(NUM_BYZANTINE,),
+        num_workers=NUM_WORKERS,
+        num_rounds=ROUNDS,
+        learning_rate=0.3,
+        lr_timescale=None,
+    )
+    print(f"training {len(grid)} arms in one batched round loop ...")
+    result = run_grid(grid, mode="batched", eval_every=25)
 
     histories = {}
-    for label, rule in {
-        "average": Average(),
-        "krum": Krum(f=NUM_BYZANTINE),
-        "multi-krum m=8": MultiKrum(f=NUM_BYZANTINE, m=8),
-    }.items():
-        model = MLPClassifier(784, 10, hidden_sizes=(32,), init_seed=0)
-        simulation = build_dataset_simulation(
-            model,
-            train,
-            aggregator=rule,
-            num_workers=NUM_WORKERS,
-            num_byzantine=NUM_BYZANTINE,
-            attack=OmniscientAttack(scale=10.0),
-            batch_size=32,
-            learning_rate=0.3,
-            eval_dataset=test,
-            seed=7,
-        )
-        print(f"training with {label} ...")
-        histories[label] = simulation.run(ROUNDS, eval_every=25)
+    for spec in result.specs:
+        name = spec.aggregator
+        if name == "multi-krum":
+            name = f"multi-krum m={spec.aggregator_kwargs['m']}"
+        histories[name] = result.histories[spec.label]
 
     rounds, _ = next(iter(histories.values())).series("accuracy")
     print()

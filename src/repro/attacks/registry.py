@@ -3,18 +3,19 @@
 Mirrors :mod:`repro.core.registry` for attacks: a scenario names a
 strategy ("gaussian", "omniscient", ...) plus keyword arguments, and the
 registry builds the :class:`~repro.attacks.base.Attack`.  Only attacks
-whose constructors take plain scalars are registered — strategies that
-need runtime objects (models, data shards) are built directly by the
-benches that use them.
+expressible from plain data are registered — scalars, or for
+``"composite"`` a sequence of ``(name, kwargs, count)`` triples resolved
+recursively — while strategies that need runtime objects (models, data
+shards) are built directly by the benches that use them.
 """
 
 from __future__ import annotations
 
-import inspect
 from collections.abc import Callable, Mapping
 
 from repro.attacks.base import Attack
 from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_factory_kwargs
 
 __all__ = [
     "register_attack",
@@ -49,14 +50,6 @@ def attack_factory(name: str) -> Callable[..., Attack]:
     return _REGISTRY[name]
 
 
-def _accepted_parameters(factory: Callable[..., Attack]) -> str:
-    try:
-        parameters = inspect.signature(factory).parameters
-    except (TypeError, ValueError):  # builtins without introspectable sigs
-        return "unknown"
-    return ", ".join(parameters) or "none"
-
-
 def make_attack(
     name: str | None, kwargs: Mapping[str, object] | None = None
 ) -> Attack | None:
@@ -74,16 +67,50 @@ def make_attack(
         return None
     factory = attack_factory(name)
     resolved = dict(kwargs or {})
+    check_factory_kwargs("attack", name, factory, resolved)
+    return factory(**resolved)
+
+
+def _composite_attack(parts) -> Attack:
+    """Registry adapter for :class:`~repro.attacks.composite.CompositeAttack`.
+
+    ``parts`` is a sequence of ``(attack_name, kwargs, count)`` triples,
+    each resolved through this registry — so declarative scenario specs
+    can express mixed failure modes, e.g.::
+
+        ("composite", {"parts": (("crash", {}, 2),
+                                 ("sign-flip", {"scale": 8.0}, 2))})
+    """
+    from repro.attacks.composite import CompositeAttack
+
     try:
-        inspect.signature(factory).bind(**resolved)
+        part_list = list(parts)
     except TypeError as error:
         raise ConfigurationError(
-            f"invalid arguments for attack {name!r}: {error}; "
-            f"accepted parameters: {_accepted_parameters(factory)}"
+            f"composite parts must be a sequence of (name, kwargs, count) "
+            f"triples, got {parts!r}"
         ) from error
-    except ValueError:  # signature unavailable; let the call itself check
-        pass
-    return factory(**resolved)
+    built: list[tuple[Attack, int]] = []
+    for part in part_list:
+        try:
+            part_name, part_kwargs, count = part
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"composite parts must be (name, kwargs, count) triples, "
+                f"got {part!r}"
+            ) from error
+        attack = make_attack(part_name, part_kwargs)
+        if attack is None:
+            raise ConfigurationError(
+                "composite parts cannot use the attack-free arm (None)"
+            )
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise ConfigurationError(
+                f"composite part counts must be integers, got {count!r} "
+                f"for {part_name!r}"
+            )
+        built.append((attack, count))
+    return CompositeAttack(built)
 
 
 def _register_builtins() -> None:
@@ -101,6 +128,7 @@ def _register_builtins() -> None:
     )
 
     register_attack("benign", BenignAttack)
+    register_attack("composite", _composite_attack)
     register_attack("gaussian", GaussianAttack)
     register_attack("sign-flip", SignFlipAttack)
     register_attack("crash", CrashAttack)

@@ -14,7 +14,16 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["iid_partition", "label_shard_partition", "dirichlet_partition"]
+__all__ = [
+    "PARTITION_PROTOCOLS",
+    "iid_partition",
+    "label_shard_partition",
+    "dirichlet_partition",
+]
+
+#: The canonical names of the sharding protocols below, as accepted by
+#: every ``partition=...`` knob (builders, workloads, config, CLI).
+PARTITION_PROTOCOLS = ("iid", "label-shard", "dirichlet")
 
 
 def iid_partition(

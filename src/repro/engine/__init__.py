@@ -1,12 +1,19 @@
 """Scenario-grid engine: declarative grids, batched execution.
 
-The paper's experiments are grids — seeds × attacks × aggregators × f —
-and the seed code ran every cell as an independent Python round loop.
-This package batches B replica cells into ``(B, n, d)`` proposal tensors
-so the benchmark wall-time tracks the O(n² · d) aggregation arithmetic
-(Lemma 4.1) instead of interpreter overhead, while staying bit-for-bit
-identical to the per-cell loop (the differential test harness in
-``tests/engine/`` proves it).
+The paper's experiments are grids — seeds × workloads × attacks ×
+aggregators × f — and the seed code ran every cell as an independent
+Python round loop.  This package batches B replica cells into
+``(B, n, d)`` proposal tensors so the benchmark wall-time tracks the
+O(n² · d) aggregation arithmetic (Lemma 4.1) instead of interpreter
+overhead, while staying bit-for-bit identical to the per-cell loop (the
+differential test harness in ``tests/engine/`` proves it).
+
+What a cell trains on is a *workload* — a registry entry exactly like
+aggregators and attacks.  ``"quadratic"`` (the paper's Section-4
+analytic setting) is the default; dataset-backed workloads
+(``"logistic-spambase"``, ``"softmax-mnist"``, ``"mlp-mnist"``) train
+real models on sharded data, and a grid may sweep several workloads at
+once — the executor batches cells per parameter dimension.
 
 Quickstart::
 
@@ -14,10 +21,14 @@ Quickstart::
 
     grid = ScenarioGrid(
         seeds=(0, 1, 2),
+        workloads=(
+            ("quadratic", {"dimension": 50, "sigma": 0.2}),
+            ("logistic-spambase", {"num_train": 256, "batch_size": 16}),
+        ),
         attacks=(("gaussian", {"sigma": 200.0}), ("omniscient", {})),
         aggregators=(("krum", {}), ("average", {})),
         f_values=(0, 3),
-        num_workers=15, dimension=50, sigma=0.2, num_rounds=40,
+        num_workers=15, num_rounds=40,
     )
     result = run_grid(grid, mode="batched")
     for label, history in result.histories.items():
@@ -25,13 +36,26 @@ Quickstart::
 
 ``run_grid(grid, mode="loop")`` executes the same cells through the
 classic one-simulation-at-a-time path — same histories, more wall time —
-which is what the engine benchmark (``benchmarks/bench_engine_grid.py``)
-measures and ``BENCH_engine.json`` records.
+which is what the engine benchmarks (``benchmarks/bench_engine_grid.py``
+and ``benchmarks/bench_engine_workloads.py``) measure and the
+``BENCH_engine*.json`` files record.
 """
 
 from repro.engine.grid import ScenarioGrid, ScenarioSpec
 from repro.engine.runner import GridResult, build_scenario_simulation, run_grid
 from repro.engine.simulation import BatchedSimulation
+from repro.engine.workloads import (
+    DatasetWorkload,
+    LogisticSpambaseWorkload,
+    MlpMnistWorkload,
+    QuadraticWorkload,
+    SoftmaxMnistWorkload,
+    Workload,
+    available_workloads,
+    make_workload,
+    register_workload,
+    workload_factory,
+)
 
 __all__ = [
     "ScenarioGrid",
@@ -40,4 +64,14 @@ __all__ = [
     "GridResult",
     "build_scenario_simulation",
     "run_grid",
+    "Workload",
+    "QuadraticWorkload",
+    "DatasetWorkload",
+    "LogisticSpambaseWorkload",
+    "SoftmaxMnistWorkload",
+    "MlpMnistWorkload",
+    "register_workload",
+    "available_workloads",
+    "workload_factory",
+    "make_workload",
 ]

@@ -1,19 +1,29 @@
 """Declarative scenario grids — the cartesian experiment spec.
 
-The paper's figures are grids: seeds × attacks × aggregators × f (plus
-workload knobs).  :class:`ScenarioGrid` declares such a grid once;
+The paper's figures are grids: seeds × workloads × attacks ×
+aggregators × f.  :class:`ScenarioGrid` declares such a grid once;
 :meth:`ScenarioGrid.scenarios` expands it into concrete
 :class:`ScenarioSpec` cells that the engine materializes and runs —
 either one-by-one through :class:`~repro.distributed.TrainingSimulation`
 (the loop executor) or stacked into ``(B, n, d)`` tensors by
 :class:`~repro.engine.simulation.BatchedSimulation`.
 
-Aggregator specs are registry names plus kwargs; ``f`` is injected into
+Workload, aggregator and attack specs are all registry names plus
+kwargs.  The workload axis defaults to the paper's analytic setting
+(``"quadratic"``); dataset-backed workloads from
+:mod:`repro.engine.workloads` slot in the same way, and a grid may sweep
+several workloads at once via ``workloads=...``.  ``f`` is injected into
 any rule whose factory accepts an ``f`` parameter (Krum, trimmed mean,
 ...), while f-free rules (averaging, coordinate median) ride through
 unchanged.  Cells with ``f = 0`` are attack-free by definition, so the
 grid collapses the attack axis there to a single ``attack=None`` cell
 instead of emitting one duplicate per attack.
+
+Backwards compatibility: the pre-workload API spelled the quadratic
+knobs as scalar grid/spec fields (``dimension``, ``sigma``,
+``curvature``).  Those fields survive as a deprecation shim — when
+given, they are folded into the quadratic workload's kwargs, so old
+call sites construct the equivalent grid unchanged.
 """
 
 from __future__ import annotations
@@ -23,9 +33,68 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.registry import aggregator_factory, make_aggregator
+from repro.engine.workloads import (
+    QUADRATIC_DEFAULTS,
+    make_workload,
+    workload_key,
+)
 from repro.exceptions import ConfigurationError
 
 __all__ = ["ScenarioSpec", "ScenarioGrid"]
+
+# The deprecated scalar knobs and the quadratic workload kwargs they
+# map onto (the shim below).
+_QUADRATIC_SHIM_FIELDS = ("dimension", "sigma", "curvature")
+
+
+def _resolve_quadratic_shim(
+    owner: str,
+    workload: str,
+    workload_kwargs: Mapping,
+    scalars: Mapping[str, object],
+) -> dict:
+    """Fold deprecated scalar quadratic knobs into workload kwargs.
+
+    Returns the resolved kwargs dict (with quadratic defaults filled in
+    so equal configurations compare equal however they were spelled).
+    Raises when a scalar knob is combined with a non-quadratic workload
+    or contradicts an explicit workload kwarg.
+    """
+    given = {k: v for k, v in scalars.items() if v is not None}
+    if workload != "quadratic":
+        if given:
+            raise ConfigurationError(
+                f"{owner} fields {sorted(given)} are quadratic-workload "
+                f"knobs; move them into workload_kwargs of workload "
+                f"{workload!r} (or drop them)"
+            )
+        return dict(workload_kwargs)
+    resolved = dict(workload_kwargs)
+    for key, value in given.items():
+        if key in resolved and resolved[key] != value:
+            raise ConfigurationError(
+                f"{owner} got {key}={value!r} and "
+                f"workload_kwargs[{key!r}]={resolved[key]!r}; pick one"
+            )
+        resolved[key] = value
+    for key, default in QUADRATIC_DEFAULTS.items():
+        resolved.setdefault(key, default)
+    return resolved
+
+
+def _encode_kwargs(name: str, kwargs: Mapping) -> str:
+    """Collision-safe ``name(k=v, ...)`` encoding for cell labels.
+
+    Values are rendered with ``repr`` so strings containing the label's
+    structural characters (``,``, ``=``, ``|``) stay quoted and two
+    distinct kwargs dicts can never produce the same encoding — e.g.
+    ``{"a": "1,b=2"}`` renders as ``a='1,b=2'``, distinguishable from
+    ``{"a": 1, "b": 2}`` → ``a=1,b=2``.
+    """
+    if not kwargs:
+        return name
+    inner = ",".join(f"{k}={v!r}" for k, v in sorted(kwargs.items()))
+    return f"{name}({inner})"
 
 
 @dataclass(frozen=True)
@@ -33,10 +102,15 @@ class ScenarioSpec:
     """One fully-resolved cell of a scenario grid.
 
     Carries everything needed to build the cell's simulation: the
-    workload knobs (dimension, sigma, curvature, learning-rate schedule),
-    the cast (n workers, f Byzantine, slot placement), and the registry
+    workload (registry name + kwargs), the cast (n workers, f Byzantine,
+    slot placement), the learning-rate schedule knobs, and the registry
     names + kwargs of the choice function and the attack.  ``attack`` is
     ``None`` for attack-free (f = 0) cells.
+
+    The ``dimension``/``sigma``/``curvature`` fields are a deprecation
+    shim for the pre-workload API: when given they configure the
+    ``quadratic`` workload, and for quadratic cells they read back as
+    the resolved knob values.
     """
 
     seed: int
@@ -46,45 +120,74 @@ class ScenarioSpec:
     attack_kwargs: dict = field(default_factory=dict)
     num_workers: int = 20
     num_byzantine: int = 0
-    dimension: int = 10
-    sigma: float = 0.1
+    workload: str = "quadratic"
+    workload_kwargs: dict = field(default_factory=dict)
+    dimension: int | None = None
+    sigma: float | None = None
+    curvature: float | None = None
     learning_rate: float = 0.1
     lr_timescale: float | None = 100.0
-    curvature: float = 1.0
     byzantine_slots: str = "last"
+
+    def __post_init__(self) -> None:
+        resolved = _resolve_quadratic_shim(
+            "ScenarioSpec",
+            self.workload,
+            self.workload_kwargs,
+            {name: getattr(self, name) for name in _QUADRATIC_SHIM_FIELDS},
+        )
+        object.__setattr__(self, "workload_kwargs", resolved)
+        if self.workload == "quadratic":
+            for name in _QUADRATIC_SHIM_FIELDS:
+                object.__setattr__(self, name, resolved[name])
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would raise on the kwargs
-        # dicts; hash the scalar identity instead (equal specs have equal
-        # labels, so the eq/hash contract holds — treat the kwargs dicts
-        # as read-only).
+        # dicts; hash the label (which encodes workload, attack and rule
+        # kwargs) plus the remaining scalars instead.  Equal specs have
+        # equal labels, so the eq/hash contract holds — treat the kwargs
+        # dicts as read-only.
         return hash(
-            (self.label, self.dimension, self.sigma, self.learning_rate,
-             self.lr_timescale, self.curvature, self.byzantine_slots)
+            (self.label, self.learning_rate, self.lr_timescale,
+             self.byzantine_slots)
         )
 
-    @staticmethod
-    def _with_kwargs(name: str, kwargs: dict) -> str:
-        if not kwargs:
-            return name
-        inner = ",".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
-        return f"{name}({inner})"
+    @property
+    def workload_label(self) -> str:
+        """The label segment identifying this cell's workload.
+
+        Quadratic kwargs equal to their defaults are omitted so the
+        default workload reads as plain ``quadratic`` (omission is
+        value-determined per key, so the encoding stays collision-safe).
+        """
+        kwargs = self.workload_kwargs
+        if self.workload == "quadratic":
+            kwargs = {
+                k: v
+                for k, v in kwargs.items()
+                if QUADRATIC_DEFAULTS.get(k, object()) != v
+            }
+        return _encode_kwargs(self.workload, kwargs)
 
     @property
     def label(self) -> str:
         """Unique human-readable cell identifier used in result dicts.
 
-        Encodes the kwargs of both the rule and the attack so grids can
-        sweep rule *and* attack parameters (e.g. two Gaussian sigmas)
-        without label collisions.
+        Encodes the workload and the kwargs of the rule and the attack
+        (collision-safely — see :func:`_encode_kwargs`) so grids can
+        sweep workload, rule *and* attack parameters without label
+        collisions.
         """
-        agg = self._with_kwargs(self.aggregator, self.aggregator_kwargs)
+        agg = _encode_kwargs(self.aggregator, self.aggregator_kwargs)
         attack = (
-            self._with_kwargs(self.attack, self.attack_kwargs)
+            _encode_kwargs(self.attack, self.attack_kwargs)
             if self.attack is not None
             else "no-attack"
         )
-        return f"seed={self.seed}|{attack}|{agg}|f={self.num_byzantine}"
+        return (
+            f"seed={self.seed}|{self.workload_label}|{attack}|{agg}"
+            f"|f={self.num_byzantine}"
+        )
 
 
 def _accepts_f(factory: object) -> bool:
@@ -99,23 +202,27 @@ def _accepts_f(factory: object) -> bool:
 
 @dataclass(frozen=True)
 class ScenarioGrid:
-    """Cartesian product of seeds × attacks × aggregators × f × knobs.
+    """Cartesian product of seeds × workloads × attacks × aggregators × f.
 
-    ``aggregators`` and ``attacks`` are sequences of
+    ``aggregators``, ``attacks`` and ``workloads`` are sequences of
     ``(registry_name, kwargs)`` pairs; ``f_values`` the Byzantine counts
-    to sweep.  The workload is the paper's analytic setting: a quadratic
-    bowl of the given ``dimension``/``curvature`` with the Gaussian
-    gradient oracle of noise ``sigma`` (Section 4's estimator model).
+    to sweep.  The workload axis defaults to one entry — the singular
+    ``workload``/``workload_kwargs`` pair, which itself defaults to the
+    paper's analytic quadratic setting.  Mixed-dimension grids are fine:
+    the batched executor groups cells by parameter dimension.
 
     Example::
 
         grid = ScenarioGrid(
-            seeds=(0, 1), num_rounds=50, num_workers=15, dimension=100,
+            seeds=(0, 1), num_rounds=50, num_workers=15,
+            workloads=(
+                ("quadratic", {"dimension": 100}),
+                ("logistic-spambase", {"num_train": 256}),
+            ),
             attacks=(("gaussian", {"sigma": 200.0}),),
             aggregators=(("krum", {}), ("average", {})),
             f_values=(0, 3),
         )
-        len(grid)          # 2 seeds × (1 attack × 2 rules × f=3  +  2 rules × f=0)
         grid.scenarios()   # the resolved ScenarioSpec cells
     """
 
@@ -125,11 +232,14 @@ class ScenarioGrid:
     f_values: Sequence[int] = (0,)
     num_workers: int = 20
     num_rounds: int = 50
-    dimension: int = 10
-    sigma: float = 0.1
+    workload: str = "quadratic"
+    workload_kwargs: Mapping = field(default_factory=dict)
+    workloads: Sequence[tuple[str, Mapping]] | None = None
+    dimension: int | None = None
+    sigma: float | None = None
+    curvature: float | None = None
     learning_rate: float = 0.1
     lr_timescale: float | None = 100.0
-    curvature: float = 1.0
     byzantine_slots: str = "last"
 
     def __post_init__(self) -> None:
@@ -147,12 +257,6 @@ class ScenarioGrid:
             raise ConfigurationError(
                 f"num_rounds must be >= 1, got {self.num_rounds}"
             )
-        if self.dimension < 1:
-            raise ConfigurationError(
-                f"dimension must be >= 1, got {self.dimension}"
-            )
-        if self.sigma < 0:
-            raise ConfigurationError(f"sigma must be >= 0, got {self.sigma}")
         for f in self.f_values:
             if not 0 <= f < self.num_workers:
                 raise ConfigurationError(
@@ -163,6 +267,54 @@ class ScenarioGrid:
             raise ConfigurationError(
                 "grid sweeps f > 0 but declares no attacks"
             )
+        # Resolve the workload axis once.  The deprecated scalar knobs
+        # apply to the singular quadratic pair only; combining them (or
+        # the singular pair) with an explicit `workloads` axis would be
+        # ambiguous.
+        if self.workloads is not None:
+            if self.workload != "quadratic" or self.workload_kwargs:
+                raise ConfigurationError(
+                    "pass either workload/workload_kwargs or a workloads "
+                    "axis, not both"
+                )
+            if any(
+                getattr(self, name) is not None
+                for name in _QUADRATIC_SHIM_FIELDS
+            ):
+                raise ConfigurationError(
+                    "deprecated quadratic knobs (dimension/sigma/curvature) "
+                    "cannot be combined with a workloads axis; put them in "
+                    "the quadratic entry's kwargs"
+                )
+            if not self.workloads:
+                raise ConfigurationError(
+                    "grid needs at least one workload spec"
+                )
+            axis = tuple(
+                (name, dict(kwargs)) for name, kwargs in self.workloads
+            )
+        else:
+            resolved = _resolve_quadratic_shim(
+                "ScenarioGrid",
+                self.workload,
+                self.workload_kwargs,
+                {
+                    name: getattr(self, name)
+                    for name in _QUADRATIC_SHIM_FIELDS
+                },
+            )
+            object.__setattr__(self, "workload_kwargs", resolved)
+            if self.workload == "quadratic":
+                for name in _QUADRATIC_SHIM_FIELDS:
+                    object.__setattr__(self, name, resolved[name])
+            axis = ((self.workload, dict(resolved)),)
+        object.__setattr__(self, "workloads", axis)
+        # Eagerly validate every workload spec (cheap — workloads
+        # materialize datasets lazily), so a typo'd name or a bad knob
+        # (e.g. dimension=0) fails at declaration time, as the
+        # pre-workload scalar fields did.
+        for name, kwargs in axis:
+            make_workload(name, kwargs)
 
     def _aggregator_kwargs(self, name: str, kwargs: Mapping, f: int) -> dict:
         """Resolve a rule's kwargs for a cell, injecting the cell's f
@@ -176,53 +328,88 @@ class ScenarioGrid:
         """Expand the grid into its concrete cells.
 
         For ``f = 0`` the attack axis collapses (there is no Byzantine
-        slot to feed), so each (seed, aggregator) pair contributes one
-        attack-free cell instead of one per attack.
+        slot to feed), so each (seed, workload, aggregator) triple
+        contributes one attack-free cell instead of one per attack.
         """
         cells: list[ScenarioSpec] = []
         attack_specs: Iterable[tuple[str, Mapping] | None]
         for seed in self.seeds:
-            for f in self.f_values:
-                attack_specs = self.attacks if f > 0 else (None,)
-                for attack_spec in attack_specs:
-                    for agg_name, agg_kwargs in self.aggregators:
-                        attack_name = None
-                        attack_kwargs: dict = {}
-                        if attack_spec is not None:
-                            attack_name, raw = attack_spec
-                            attack_kwargs = dict(raw)
-                        cells.append(
-                            ScenarioSpec(
-                                seed=int(seed),
-                                aggregator=agg_name,
-                                aggregator_kwargs=self._aggregator_kwargs(
-                                    agg_name, agg_kwargs, f
-                                ),
-                                attack=attack_name,
-                                attack_kwargs=attack_kwargs,
-                                num_workers=self.num_workers,
-                                num_byzantine=int(f),
-                                dimension=self.dimension,
-                                sigma=self.sigma,
-                                learning_rate=self.learning_rate,
-                                lr_timescale=self.lr_timescale,
-                                curvature=self.curvature,
-                                byzantine_slots=self.byzantine_slots,
+            for workload_name, workload_kwargs in self.workloads:
+                for f in self.f_values:
+                    attack_specs = self.attacks if f > 0 else (None,)
+                    for attack_spec in attack_specs:
+                        for agg_name, agg_kwargs in self.aggregators:
+                            attack_name = None
+                            attack_kwargs: dict = {}
+                            if attack_spec is not None:
+                                attack_name, raw = attack_spec
+                                attack_kwargs = dict(raw)
+                            cells.append(
+                                ScenarioSpec(
+                                    seed=int(seed),
+                                    aggregator=agg_name,
+                                    aggregator_kwargs=self._aggregator_kwargs(
+                                        agg_name, agg_kwargs, f
+                                    ),
+                                    attack=attack_name,
+                                    attack_kwargs=attack_kwargs,
+                                    num_workers=self.num_workers,
+                                    num_byzantine=int(f),
+                                    workload=workload_name,
+                                    workload_kwargs=dict(workload_kwargs),
+                                    learning_rate=self.learning_rate,
+                                    lr_timescale=self.lr_timescale,
+                                    byzantine_slots=self.byzantine_slots,
+                                )
                             )
-                        )
         return cells
 
     def __len__(self) -> int:
         f_zero = sum(1 for f in self.f_values if f == 0)
         f_pos = len(self.f_values) - f_zero
-        per_seed = len(self.aggregators) * (
+        per_workload = len(self.aggregators) * (
             f_zero + f_pos * len(self.attacks)
         )
-        return len(self.seeds) * per_seed
+        return len(self.seeds) * len(self.workloads) * per_workload
 
     def validate(self) -> None:
-        """Eagerly build every cell's aggregator, surfacing bad registry
-        names or (n, f) precondition violations before a long run."""
+        """Eagerly resolve every registry reference the grid names,
+        surfacing bad workload/aggregator names, bad kwargs or (n, f)
+        precondition violations before a long run.
+
+        Deduplicated: each distinct workload spec and each distinct
+        ``(rule, kwargs, n)`` combination is built exactly once, so
+        validating a large grid costs O(distinct specs), not O(cells).
+        """
+        for name, kwargs in self.workloads:
+            make_workload(name, kwargs)
+        checked: set[tuple] = set()
         for spec in self.scenarios():
+            key = (
+                spec.aggregator,
+                tuple(sorted(
+                    (k, repr(v)) for k, v in spec.aggregator_kwargs.items()
+                )),
+                spec.num_workers,
+            )
+            if key in checked:
+                continue
+            checked.add(key)
             rule = make_aggregator(spec.aggregator, **spec.aggregator_kwargs)
             rule.check_tolerance(spec.num_workers)
+
+    def workload_specs(self) -> tuple[tuple[str, dict], ...]:
+        """The resolved workload axis: ``(name, kwargs)`` per entry."""
+        return tuple((name, dict(kwargs)) for name, kwargs in self.workloads)
+
+    def distinct_workloads(self) -> list[tuple[str, dict]]:
+        """The workload axis with duplicate specs removed (keyed by
+        :func:`~repro.engine.workloads.workload_key`)."""
+        seen: set[tuple] = set()
+        out: list[tuple[str, dict]] = []
+        for name, kwargs in self.workloads:
+            key = workload_key(name, kwargs)
+            if key not in seen:
+                seen.add(key)
+                out.append((name, dict(kwargs)))
+        return out

@@ -1,18 +1,22 @@
 """Materialize and execute scenario grids.
 
 ``run_grid(grid, mode="batched")`` expands a
-:class:`~repro.engine.grid.ScenarioGrid` into simulations on the
-paper's Gaussian-oracle quadratic workload and executes them either
+:class:`~repro.engine.grid.ScenarioGrid` into simulations — each cell's
+workload is resolved through the registry of
+:mod:`repro.engine.workloads` — and executes them either
 
 * ``mode="loop"`` — each cell through its own
   :class:`~repro.distributed.TrainingSimulation` round loop (the seed
   code's execution model), or
-* ``mode="batched"`` — all cells together through
-  :class:`~repro.engine.simulation.BatchedSimulation`.
+* ``mode="batched"`` — cells stacked into ``(B, n, d)`` tensors by
+  :class:`~repro.engine.simulation.BatchedSimulation`, one batch per
+  parameter dimension (so a grid mixing, say, the quadratic bowl with
+  an MNIST MLP still batches — per workload dimension).
 
 Both modes produce identical :class:`~repro.distributed.TrainingHistory`
 objects (bit-for-bit — see ``tests/engine/test_differential.py``); the
-batched mode is simply faster, which ``BENCH_engine.json`` records.
+batched mode is simply faster, which ``BENCH_engine.json`` and
+``BENCH_engine_workloads.json`` record.
 """
 
 from __future__ import annotations
@@ -28,9 +32,8 @@ from repro.distributed.metrics import TrainingHistory
 from repro.distributed.simulator import TrainingSimulation
 from repro.engine.grid import ScenarioGrid, ScenarioSpec
 from repro.engine.simulation import BatchedSimulation
+from repro.engine.workloads import Workload, make_workload, workload_key
 from repro.exceptions import ConfigurationError
-from repro.experiments.builders import build_quadratic_simulation
-from repro.models.quadratic import QuadraticBowl
 
 __all__ = ["GridResult", "build_scenario_simulation", "run_grid"]
 
@@ -64,24 +67,22 @@ class GridResult:
 
 
 def build_scenario_simulation(
-    spec: ScenarioSpec, *, bowl: QuadraticBowl | None = None
+    spec: ScenarioSpec, *, workload: Workload | None = None
 ) -> TrainingSimulation:
-    """Build one cell's simulation on the quadratic-bowl workload.
+    """Build one cell's simulation on its workload.
 
-    ``bowl`` lets callers share one workload object across cells (the
-    bowl is stateless; sharing avoids materializing one ``d × d``
-    curvature matrix per cell).
+    ``workload`` lets callers share one workload object across cells
+    (datasets and models are materialized once per workload instance);
+    when omitted, the spec's workload is resolved through the registry.
     """
-    if bowl is None:
-        bowl = QuadraticBowl(spec.dimension, curvature=spec.curvature)
+    if workload is None:
+        workload = make_workload(spec.workload, spec.workload_kwargs)
     aggregator = make_aggregator(spec.aggregator, **spec.aggregator_kwargs)
     attack = make_attack(spec.attack, spec.attack_kwargs)
-    return build_quadratic_simulation(
-        bowl,
+    return workload.build(
         aggregator=aggregator,
         num_workers=spec.num_workers,
         num_byzantine=spec.num_byzantine,
-        sigma=spec.sigma,
         attack=attack,
         learning_rate=spec.learning_rate,
         lr_timescale=spec.lr_timescale,
@@ -111,33 +112,66 @@ def run_grid(
     labels = [spec.label for spec in specs]
     if len(set(labels)) != len(labels):
         raise ConfigurationError(
-            "grid produced duplicate cell labels; make aggregator/attack "
-            "specs distinguishable"
+            "grid produced duplicate cell labels; make workload/aggregator/"
+            "attack specs distinguishable"
         )
 
-    bowls: dict[tuple[int, float], QuadraticBowl] = {}
-    simulations = []
-    for spec in specs:
-        key = (spec.dimension, spec.curvature)
-        if key not in bowls:
-            bowls[key] = QuadraticBowl(spec.dimension, curvature=spec.curvature)
-        simulations.append(build_scenario_simulation(spec, bowl=bowls[key]))
+    # One workload object per distinct (name, kwargs) spec: datasets and
+    # models materialize once and are shared by every cell that names
+    # them — in both execution modes, so the trajectories stay identical.
+    workloads: dict[tuple, Workload] = {}
+
+    def cell_workload(spec: ScenarioSpec) -> Workload:
+        key = workload_key(spec.workload, spec.workload_kwargs)
+        if key not in workloads:
+            workloads[key] = make_workload(spec.workload, spec.workload_kwargs)
+        return workloads[key]
 
     native_fraction = None
-    start = perf_counter()
     if mode == "loop":
-        histories = [
-            sim.run(grid.num_rounds, eval_every=eval_every)
-            for sim in simulations
-        ]
-        finals = [sim.params for sim in simulations]
+        # Cells run one at a time, so materialize them one at a time —
+        # a dataset-backed grid then holds one cell's shard copies at
+        # once instead of all cells'.  Only the round loops are timed,
+        # matching the batched branch's wall_time semantics.
+        histories = []
+        finals = []
+        wall_time = 0.0
+        for spec in specs:
+            sim = build_scenario_simulation(spec, workload=cell_workload(spec))
+            start = perf_counter()
+            histories.append(sim.run(grid.num_rounds, eval_every=eval_every))
+            wall_time += perf_counter() - start
+            finals.append(sim.params)
     else:
-        batched = BatchedSimulation(simulations, chunk_size=chunk_size)
-        native_fraction = batched.native_fraction
-        histories = batched.run(grid.num_rounds, eval_every=eval_every)
-        params = batched.params
-        finals = [params[i] for i in range(len(specs))]
-    wall_time = perf_counter() - start
+        simulations = [
+            build_scenario_simulation(spec, workload=cell_workload(spec))
+            for spec in specs
+        ]
+        dimensions = [cell_workload(spec).dimension for spec in specs]
+        # Cells sharing a parameter dimension batch together (the
+        # executor requires a rectangular (B, n, d) tensor); a
+        # mixed-workload grid runs one batch per dimension group.
+        groups: dict[int, list[int]] = {}
+        for index, dim in enumerate(dimensions):
+            groups.setdefault(dim, []).append(index)
+        histories = [None] * len(specs)  # type: ignore[list-item]
+        finals = [None] * len(specs)  # type: ignore[list-item]
+        native_cells = 0.0
+        start = perf_counter()
+        for indices in groups.values():
+            batched = BatchedSimulation(
+                [simulations[i] for i in indices], chunk_size=chunk_size
+            )
+            native_cells += batched.native_fraction * len(indices)
+            group_histories = batched.run(
+                grid.num_rounds, eval_every=eval_every
+            )
+            group_params = batched.params
+            for offset, index in enumerate(indices):
+                histories[index] = group_histories[offset]
+                finals[index] = group_params[offset]
+        native_fraction = native_cells / len(specs)
+        wall_time = perf_counter() - start
 
     return GridResult(
         mode=mode,

@@ -29,6 +29,15 @@ What makes it faster than B independent loops:
   same expected vector either way;
 * no per-round message objects or server bookkeeping.
 
+Minibatch (dataset-backed) workloads take a per-worker batched path
+instead of the shared-gradient fast path: each round, the engine first
+draws every worker's mini-batch indices in worker loop order — consuming
+each private RNG stream exactly as the loop executor's interleaved
+``estimate`` calls would — and then computes the per-worker model
+gradients.  The index draw is the only stream-consuming step, so the
+differential bit-for-bit guarantee extends to every registered workload
+(see ``tests/engine/test_workloads.py``).
+
 The input simulations are *consumed*: their worker and attack RNG
 streams advance exactly as if each had run individually, so do not reuse
 them afterwards.
@@ -50,6 +59,7 @@ from repro.core.batched import (
 from repro.distributed.metrics import RoundRecord, TrainingHistory
 from repro.distributed.simulator import TrainingSimulation
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.gradients.minibatch import MinibatchEstimator
 from repro.gradients.oracle import GaussianOracleEstimator
 
 __all__ = ["BatchedSimulation"]
@@ -63,6 +73,7 @@ class _Scenario:
     simulation: TrainingSimulation
     params: np.ndarray  # (d,) current x_t — row view into the batch matrix
     shared_gradient_fn: object | None  # fast path: one ∇Q call per round
+    minibatch: bool  # all honest estimators are MinibatchEstimators
     honest_ids: np.ndarray  # ascending honest worker ids
     byzantine_ids: np.ndarray  # ascending Byzantine worker ids
     byzantine_set: frozenset[int]
@@ -156,6 +167,17 @@ class BatchedSimulation:
                     simulation=sim,
                     params=self._params[slot],
                     shared_gradient_fn=_shared_gradient_fn(sim),
+                    minibatch=all(
+                        isinstance(w.estimator, MinibatchEstimator)
+                        # A subclass overriding estimate() may not
+                        # decompose into draw_indices + gradient_at;
+                        # route it through the generic per-worker
+                        # estimate() path so the loop/batched identity
+                        # holds regardless.
+                        and type(w.estimator).estimate
+                        is MinibatchEstimator.estimate
+                        for w in sim.honest_workers
+                    ),
                     honest_ids=np.asarray(
                         [w.worker_id for w in sim.honest_workers],
                         dtype=np.int64,
@@ -236,6 +258,21 @@ class BatchedSimulation:
                     expected, worker.rng
                 )
             return expected
+        if scenario.minibatch:
+            # Per-worker batched path for dataset workloads: draw every
+            # worker's mini-batch indices first, in worker loop order —
+            # the only RNG-consuming step, so the streams advance exactly
+            # as the loop executor's interleaved estimate() calls — then
+            # compute the per-worker model gradients.
+            draws = [
+                (worker, worker.estimator.draw_indices(worker.rng))
+                for worker in sim.honest_workers
+            ]
+            for worker, indices in draws:
+                row[worker.worker_id] = worker.estimator.gradient_at(
+                    params, indices
+                )
+            return None
         for worker in sim.honest_workers:
             row[worker.worker_id] = worker.estimator.estimate(
                 params, worker.rng

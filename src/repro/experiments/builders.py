@@ -10,6 +10,7 @@ from repro.attacks.base import Attack
 from repro.core.aggregator import Aggregator
 from repro.data.dataset import Dataset
 from repro.data.partition import (
+    PARTITION_PROTOCOLS,
     dirichlet_partition,
     iid_partition,
     label_shard_partition,
@@ -163,7 +164,7 @@ def build_dataset_simulation(
         )
     else:
         raise ConfigurationError(
-            f"partition must be 'iid', 'label-shard' or 'dirichlet', "
+            f"partition must be one of {PARTITION_PROTOCOLS}, "
             f"got {partition!r}"
         )
     estimators = [

@@ -6,10 +6,15 @@ Usage examples::
         --workers 20 --byzantine 6 --attack omniscient --rounds 200
 
     python -m repro.experiments.cli --dataset spambase-like \
-        --aggregator average --workers 16 --byzantine 5 --attack gaussian
+        --aggregator average --workers 16 --byzantine 5 --attack gaussian \
+        --partition dirichlet --dirichlet-alpha 0.3
 
-Prints the error/loss series and a summary table; exits non-zero on
-configuration errors with a readable message.
+The named datasets resolve through the engine's workload registry
+(``mnist-like`` → the ``mlp-mnist`` workload, ``spambase-like`` →
+``logistic-spambase``; ``blobs`` is a CLI-local softmax task), so the
+CLI runs exactly the simulations a :class:`~repro.engine.ScenarioGrid`
+cell would.  Prints the error/loss series and a summary table; exits
+non-zero on configuration errors with a readable message.
 """
 
 from __future__ import annotations
@@ -18,16 +23,14 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.core.registry import available_aggregators, make_aggregator
-from repro.data.mnist_like import make_mnist_like
-from repro.data.spambase_like import make_spambase_like
-from repro.data.synthetic import make_blobs
-from repro.exceptions import ReproError
 from repro.attacks.registry import make_attack
+from repro.core.registry import available_aggregators, make_aggregator
+from repro.data.partition import PARTITION_PROTOCOLS
+from repro.data.synthetic import make_blobs
+from repro.engine.workloads import make_workload
+from repro.exceptions import ReproError
 from repro.experiments.builders import build_dataset_simulation
 from repro.experiments.reporting import format_series, format_table
-from repro.models.logistic import LogisticRegressionModel
-from repro.models.mlp import MLPClassifier
 from repro.models.softmax import SoftmaxRegressionModel
 
 __all__ = ["main", "build_parser"]
@@ -44,6 +47,12 @@ _ATTACKS = (
     "little-is-enough",
     "benign",
 )
+
+# Which registered workload realizes each named dataset choice.
+_DATASET_WORKLOADS = {
+    "mnist-like": "mlp-mnist",
+    "spambase-like": "logistic-spambase",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,29 +77,66 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rounds", type=int, default=200)
     parser.add_argument("--batch-size", type=int, default=32)
     parser.add_argument("--learning-rate", type=float, default=0.3)
+    parser.add_argument(
+        "--partition",
+        choices=PARTITION_PROTOCOLS,
+        default="iid",
+        help="how the train set is sharded across honest workers",
+    )
+    parser.add_argument(
+        "--dirichlet-alpha",
+        type=float,
+        default=0.5,
+        help="skew of the dirichlet partition (smaller = more skewed)",
+    )
     parser.add_argument("--eval-every", type=int, default=25)
     parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
-def _build_dataset(args: argparse.Namespace):
-    if args.dataset == "mnist-like":
-        train = make_mnist_like(args.train_size, seed=args.seed)
-        test = make_mnist_like(args.test_size, seed=args.seed + 1)
-        model = MLPClassifier(784, 10, hidden_sizes=(32,), init_seed=args.seed)
-    elif args.dataset == "spambase-like":
-        train = make_spambase_like(args.train_size, seed=args.seed)
-        test = make_spambase_like(args.test_size, seed=args.seed + 1)
-        model = LogisticRegressionModel(57)
-    else:
-        train = make_blobs(
-            args.train_size, num_classes=3, num_features=8, seed=args.seed
+def _build_simulation(args: argparse.Namespace, aggregator, attack):
+    if args.dataset in _DATASET_WORKLOADS:
+        workload = make_workload(
+            _DATASET_WORKLOADS[args.dataset],
+            {
+                "num_train": args.train_size,
+                "num_eval": args.test_size,
+                "batch_size": args.batch_size,
+                "partition": args.partition,
+                "dirichlet_alpha": args.dirichlet_alpha,
+                "data_seed": args.seed,
+            },
         )
-        test = make_blobs(
-            args.test_size, num_classes=3, num_features=8, seed=args.seed + 1
+        return workload.build(
+            aggregator=aggregator,
+            num_workers=args.workers,
+            num_byzantine=args.byzantine,
+            attack=attack,
+            learning_rate=args.learning_rate,
+            lr_timescale=None,
+            byzantine_slots="last",
+            seed=args.seed,
         )
-        model = SoftmaxRegressionModel(8, 3)
-    return model, train, test
+    train = make_blobs(
+        args.train_size, num_classes=3, num_features=8, seed=args.seed
+    )
+    test = make_blobs(
+        args.test_size, num_classes=3, num_features=8, seed=args.seed + 1
+    )
+    return build_dataset_simulation(
+        SoftmaxRegressionModel(8, 3),
+        train,
+        aggregator=aggregator,
+        num_workers=args.workers,
+        num_byzantine=args.byzantine,
+        attack=attack,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        eval_dataset=test,
+        partition=args.partition,
+        dirichlet_alpha=args.dirichlet_alpha,
+        seed=args.seed,
+    )
 
 
 def _build_aggregator(args: argparse.Namespace):
@@ -108,7 +154,6 @@ def _build_aggregator(args: argparse.Namespace):
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        model, train, test = _build_dataset(args)
         aggregator = _build_aggregator(args)
         attack = make_attack(args.attack, {})
         if args.byzantine > 0 and attack is None:
@@ -116,18 +161,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "error: --byzantine > 0 requires --attack", file=sys.stderr
             )
             return 2
-        simulation = build_dataset_simulation(
-            model,
-            train,
-            aggregator=aggregator,
-            num_workers=args.workers,
-            num_byzantine=args.byzantine,
-            attack=attack,
-            batch_size=args.batch_size,
-            learning_rate=args.learning_rate,
-            eval_dataset=test,
-            seed=args.seed,
-        )
+        simulation = _build_simulation(args, aggregator, attack)
         history = simulation.run(args.rounds, eval_every=args.eval_every)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

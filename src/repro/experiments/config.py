@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.data.partition import PARTITION_PROTOCOLS
 from repro.exceptions import ConfigurationError
 
 __all__ = ["SGDExperimentConfig"]
@@ -32,6 +33,8 @@ class SGDExperimentConfig:
     eval_every: int = 10
     seed: int = 0
     byzantine_slots: str = "last"
+    partition: str = "iid"
+    dirichlet_alpha: float = 0.5
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -56,6 +59,15 @@ class SGDExperimentConfig:
         if self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.partition not in PARTITION_PROTOCOLS:
+            raise ConfigurationError(
+                f"partition must be one of {PARTITION_PROTOCOLS}, "
+                f"got {self.partition!r}"
+            )
+        if self.dirichlet_alpha <= 0:
+            raise ConfigurationError(
+                f"dirichlet_alpha must be positive, got {self.dirichlet_alpha}"
             )
 
     @property

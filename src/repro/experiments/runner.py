@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.attacks.registry import make_attack
 from repro.core.registry import make_aggregator
 from repro.data.dataset import Dataset
@@ -42,6 +44,8 @@ def build_experiment_simulation(
         lr_timescale=config.lr_timescale,
         eval_dataset=eval_dataset,
         byzantine_slots=config.byzantine_slots,
+        partition=config.partition,
+        dirichlet_alpha=config.dirichlet_alpha,
         seed=config.seed,
     )
 
@@ -87,23 +91,12 @@ def compare_aggregators(
         raise ConfigurationError(
             f"engine must be 'batched' or 'loop', got {engine!r}"
         )
-    configs: dict[str, SGDExperimentConfig] = {}
-    for label, (name, kwargs) in aggregator_specs.items():
-        configs[label] = SGDExperimentConfig(
-            num_workers=base_config.num_workers,
-            num_byzantine=base_config.num_byzantine,
-            num_rounds=base_config.num_rounds,
-            aggregator=name,
-            aggregator_kwargs=kwargs,
-            attack=base_config.attack,
-            attack_kwargs=base_config.attack_kwargs,
-            learning_rate=base_config.learning_rate,
-            lr_timescale=base_config.lr_timescale,
-            batch_size=base_config.batch_size,
-            eval_every=base_config.eval_every,
-            seed=base_config.seed,
-            byzantine_slots=base_config.byzantine_slots,
+    configs: dict[str, SGDExperimentConfig] = {
+        label: replace(
+            base_config, aggregator=name, aggregator_kwargs=kwargs
         )
+        for label, (name, kwargs) in aggregator_specs.items()
+    }
     simulations = {
         label: build_experiment_simulation(
             config, model_factory(), train, eval_dataset=eval_dataset

@@ -56,9 +56,25 @@ class MinibatchEstimator(GradientEstimator):
     def shard_size(self) -> int:
         return len(self.inputs)
 
+    def draw_indices(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one mini-batch worth of shard indices from ``rng``.
+
+        Split out from :meth:`estimate` so the batched engine executor
+        can consume every worker's RNG stream in loop order first and
+        compute the gradients afterwards — the draw is the only
+        stream-consuming step, so the two-phase schedule is bit-for-bit
+        identical to interleaved ``estimate`` calls.
+        """
+        return rng.integers(0, self.shard_size, size=self.batch_size)
+
+    def gradient_at(self, params: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """The model gradient on the mini-batch at ``indices``."""
+        return self.model.gradient(
+            params, self.inputs[indices], self.targets[indices]
+        )
+
     def estimate(self, params: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        indices = rng.integers(0, self.shard_size, size=self.batch_size)
-        return self.model.gradient(params, self.inputs[indices], self.targets[indices])
+        return self.gradient_at(params, self.draw_indices(rng))
 
     def expected(self, params: np.ndarray) -> np.ndarray:
         return self.model.gradient(params, self.inputs, self.targets)

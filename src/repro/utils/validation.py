@@ -19,6 +19,7 @@ __all__ = [
     "check_probability",
     "check_finite",
     "check_vector_stack",
+    "check_factory_kwargs",
 ]
 
 
@@ -75,3 +76,31 @@ def check_vector_stack(
     if require_finite:
         check_finite(array, name)
     return array
+
+
+def check_factory_kwargs(
+    kind: str, name: str, factory, kwargs: dict
+) -> None:
+    """Validate ``kwargs`` against ``factory``'s signature before calling.
+
+    Shared by the name-based registries (attacks, workloads): arguments
+    that do not bind — unknown names, missing required parameters —
+    raise :class:`ConfigurationError` naming the entry and the
+    parameters its factory accepts, instead of leaking the factory's raw
+    ``TypeError``.  Factories without an introspectable signature are
+    let through for the call itself to check.
+    """
+    import inspect
+
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return
+    try:
+        signature.bind(**kwargs)
+    except TypeError as error:
+        accepted = ", ".join(signature.parameters) or "none"
+        raise ConfigurationError(
+            f"invalid arguments for {kind} {name!r}: {error}; "
+            f"accepted parameters: {accepted}"
+        ) from error

@@ -76,3 +76,38 @@ class TestMakeAttackErrorTaxonomy:
         with pytest.raises(ConfigurationError) as excinfo:
             make_attack("benign", {"unexpected": True})
         assert isinstance(excinfo.value.__cause__, TypeError)
+
+
+class TestCompositeRegistryEntry:
+    """The "composite" entry builds mixed failure modes from plain data,
+    resolving each (name, kwargs, count) part through the registry."""
+
+    def test_builds_composite_from_part_triples(self):
+        attack = make_attack(
+            "composite",
+            {
+                "parts": (
+                    ("crash", {}, 2),
+                    ("sign-flip", {"scale": 8.0}, 1),
+                )
+            },
+        )
+        assert attack.name == "composite(2xcrash+1xsign-flip(scale=8))"
+
+    def test_unknown_part_name_surfaces(self):
+        with pytest.raises(ConfigurationError, match="unknown attack"):
+            make_attack("composite", {"parts": (("quantum", {}, 1),)})
+
+    def test_malformed_part_rejected(self):
+        with pytest.raises(ConfigurationError, match="triples"):
+            make_attack("composite", {"parts": (("crash", {}),)})
+
+    def test_noninteger_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="integers"):
+            make_attack("composite", {"parts": (("crash", {}, "two"),)})
+        with pytest.raises(ConfigurationError, match="integers"):
+            make_attack("composite", {"parts": (("crash", {}, 2.5),)})
+
+    def test_noniterable_parts_rejected(self):
+        with pytest.raises(ConfigurationError, match="sequence"):
+            make_attack("composite", {"parts": 5})

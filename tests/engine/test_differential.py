@@ -388,6 +388,35 @@ class TestGridTrajectories:
         )
         self._assert_identical(grid)
 
+    def test_mixed_workload_grid(self):
+        """Acceptance criterion of the workload redesign: a grid mixing
+        the quadratic bowl with two dataset-backed workloads stays
+        bit-for-bit identical between the loop and batched executors
+        (the batched mode groups cells per parameter dimension)."""
+        grid = ScenarioGrid(
+            seeds=(0, 1),
+            workloads=(
+                ("quadratic", {"dimension": 8, "sigma": 0.3}),
+                (
+                    "logistic-spambase",
+                    {"num_train": 96, "num_eval": 48, "batch_size": 8},
+                ),
+                (
+                    "softmax-mnist",
+                    {"num_train": 64, "num_eval": 32, "batch_size": 8},
+                ),
+            ),
+            attacks=(("sign-flip", {"scale": 4.0}),),
+            aggregators=(("krum", {}), ("average", {})),
+            f_values=(0, 2),
+            num_workers=9,
+            num_rounds=6,
+            learning_rate=0.1,
+            lr_timescale=None,
+        )
+        assert len(grid) == 2 * 3 * 2 * 2
+        self._assert_identical(grid, chunk_size=2)
+
     def test_bulyan_and_geometric_median_kernels_in_grid(self):
         """The two rules that used to take the loop fallback now run
         native — and must stay trajectory-identical through full runs."""

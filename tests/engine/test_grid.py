@@ -8,6 +8,7 @@ from repro.core.krum import Krum
 from repro.engine import (
     BatchedSimulation,
     ScenarioGrid,
+    ScenarioSpec,
     build_scenario_simulation,
     run_grid,
 )
@@ -86,6 +87,61 @@ class TestScenarioGrid:
         assert len(set(labels)) == len(labels)
         result = run_grid(grid, mode="batched", eval_every=3)
         assert len(result.histories) == len(grid)
+
+    def test_structural_character_kwargs_labels_distinct(self):
+        """Regression: kwargs values containing the label's structural
+        characters (',', '=', '|') used to be able to collide — e.g.
+        {"a": "1,b=2"} and {"a": 1, "b": 2} both encoded as "a=1,b=2".
+        The repr-based encoding keeps them distinct."""
+        colliding_pairs = [
+            ({"a": "1,b=2"}, {"a": 1, "b": 2}),
+            ({"a": "x|f=3"}, {"a": "x", "f": 3}),
+            ({"scale": "2"}, {"scale": 2}),
+            ({"parts": (("crash", 2),)}, {"parts": "(('crash', 2),)"}),
+        ]
+        for kwargs_a, kwargs_b in colliding_pairs:
+            spec_a = ScenarioSpec(
+                seed=0, aggregator="average", attack="gaussian",
+                attack_kwargs=kwargs_a, num_byzantine=2,
+            )
+            spec_b = ScenarioSpec(
+                seed=0, aggregator="average", attack="gaussian",
+                attack_kwargs=kwargs_b, num_byzantine=2,
+            )
+            assert spec_a.label != spec_b.label, (kwargs_a, kwargs_b)
+
+    def test_workload_kwargs_labels_distinct(self):
+        """Workload kwargs are encoded into the label too, so a grid can
+        sweep one workload at several configurations."""
+        specs = [
+            ScenarioSpec(
+                seed=0, aggregator="average",
+                workload="logistic-spambase",
+                workload_kwargs={"partition": partition},
+            )
+            for partition in ("iid", "dirichlet")
+        ]
+        assert specs[0].label != specs[1].label
+
+    def test_validate_builds_each_distinct_rule_once(self, monkeypatch):
+        """Regression: validate() used to build one aggregator per cell;
+        it must build each distinct (rule, kwargs, n) combination once."""
+        import repro.engine.grid as grid_module
+
+        calls = []
+        real = grid_module.make_aggregator
+
+        def counting(name, **kwargs):
+            calls.append((name, tuple(sorted(kwargs.items()))))
+            return real(name, **kwargs)
+
+        monkeypatch.setattr(grid_module, "make_aggregator", counting)
+        grid = small_grid(seeds=tuple(range(10)))
+        grid.validate()
+        # 2 rules × 2 f values (krum resolves f per cell; average is
+        # f-free so both f cells share one combination) = 2 + 1 distinct.
+        assert len(calls) == len(set(calls)) == 3
+        assert len(calls) < len(grid)
 
     def test_invalid_f_rejected(self):
         with pytest.raises(ConfigurationError, match="0 <= f < n"):

@@ -101,3 +101,51 @@ class TestMain:
         )
         assert code == 0
         assert "multi-krum" in capsys.readouterr().out
+
+
+class TestPartitionFlags:
+    def test_partition_flag_parses(self):
+        args = build_parser().parse_args(
+            ["--partition", "dirichlet", "--dirichlet-alpha", "0.3"]
+        )
+        assert args.partition == "dirichlet"
+        assert args.dirichlet_alpha == 0.3
+
+    def test_rejects_unknown_partition(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--partition", "striped"])
+
+    def test_dirichlet_run_succeeds(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--aggregator", "average",
+                "--workers", "5",
+                "--rounds", "10",
+                "--train-size", "150",
+                "--test-size", "60",
+                "--partition", "dirichlet",
+                "--dirichlet-alpha", "0.4",
+                "--eval-every", "5",
+            ]
+        )
+        assert code == 0
+        assert "summary" in capsys.readouterr().out
+
+    def test_spambase_routes_through_workload_registry(self, capsys):
+        code = main(
+            [
+                "--dataset", "spambase-like",
+                "--aggregator", "krum",
+                "--workers", "6",
+                "--byzantine", "1",
+                "--attack", "gaussian",
+                "--rounds", "8",
+                "--train-size", "120",
+                "--test-size", "40",
+                "--eval-every", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spambase-like" in out

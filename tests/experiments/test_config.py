@@ -52,3 +52,18 @@ class TestSGDExperimentConfig:
         config = _config()
         with pytest.raises(AttributeError):
             config.num_workers = 5
+
+
+class TestPartitionKnobs:
+    def test_defaults(self):
+        config = _config()
+        assert config.partition == "iid"
+        assert config.dirichlet_alpha == 0.5
+
+    def test_rejects_unknown_partition(self):
+        with pytest.raises(ConfigurationError, match="partition"):
+            _config(partition="striped")
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ConfigurationError, match="dirichlet_alpha"):
+            _config(dirichlet_alpha=0.0)
