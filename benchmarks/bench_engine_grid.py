@@ -110,11 +110,45 @@ def _native_kernels(grid: ScenarioGrid) -> dict[str, bool]:
     return out
 
 
+def _torch_column(grid: ScenarioGrid, loop_result) -> dict | None:
+    """Run the batched grid on the torch backend when it is importable.
+
+    Returns ``None`` on a torch-less install — the JSON then simply has
+    no torch column.  Parity is reported as the max final-parameter
+    deviation from the loop trajectories (the torch backend promises
+    float64-tolerance agreement, not bit-for-bit identity).
+    """
+    from repro.backend import backend_installed
+
+    if not backend_installed("torch"):
+        return None
+    torch_result = run_grid(grid, mode="batched", eval_every=25, backend="torch")
+    deviation = max(
+        float(
+            abs(
+                loop_result.final_params[label]
+                - torch_result.final_params[label]
+            ).max()
+        )
+        for label in loop_result.histories
+    )
+    return {
+        "backend": torch_result.backend,
+        "batched_seconds": round(torch_result.wall_time, 4),
+        "speedup_vs_loop": round(
+            loop_result.wall_time / max(torch_result.wall_time, 1e-12), 2
+        ),
+        "native_fraction": torch_result.native_fraction,
+        "max_final_param_deviation": deviation,
+    }
+
+
 def run_comparison(grid: ScenarioGrid) -> dict:
     """Execute the grid in both modes and summarize the comparison."""
     loop_result = run_grid(grid, mode="loop", eval_every=25)
     batched_result = run_grid(grid, mode="batched", eval_every=25)
     speedup = loop_result.wall_time / max(batched_result.wall_time, 1e-12)
+    torch_column = _torch_column(grid, loop_result)
     return {
         "grid": {
             "cells": len(grid),
@@ -126,6 +160,10 @@ def run_comparison(grid: ScenarioGrid) -> dict:
             "attacks": [name for name, _ in grid.attacks],
             "aggregators": [name for name, _ in grid.aggregators],
         },
+        # The resolved array backend (name[dtype]) the batched kernels
+        # computed through — "numpy[float64]" is the bit-for-bit
+        # reference configuration.
+        "backend": batched_result.backend,
         "loop_seconds": round(loop_result.wall_time, 4),
         "batched_seconds": round(batched_result.wall_time, 4),
         "speedup": round(speedup, 2),
@@ -134,6 +172,9 @@ def run_comparison(grid: ScenarioGrid) -> dict:
         ),
         "native_fraction": batched_result.native_fraction,
         "native_kernels": _native_kernels(grid),
+        # Present only when torch is importable in the benchmarking
+        # environment; absent otherwise.
+        **({"torch": torch_column} if torch_column is not None else {}),
         "python": platform.python_version(),
     }
 
@@ -142,8 +183,8 @@ def _emit_summary(summary: dict) -> None:
     emit(
         format_table(
             [
-                "cells", "n", "d", "rounds", "loop s", "batched s",
-                "speedup", "identical", "native",
+                "cells", "n", "d", "rounds", "backend", "loop s",
+                "batched s", "speedup", "identical", "native",
             ],
             [
                 [
@@ -151,6 +192,7 @@ def _emit_summary(summary: dict) -> None:
                     summary["grid"]["num_workers"],
                     summary["grid"]["dimension"],
                     summary["grid"]["num_rounds"],
+                    summary["backend"],
                     summary["loop_seconds"],
                     summary["batched_seconds"],
                     f"{summary['speedup']}x",

@@ -130,10 +130,15 @@ def _identical_trajectories(loop_result, batched_result) -> bool:
 
 def run_comparison(grids: dict[str, ScenarioGrid]) -> dict:
     """Execute every grid in both modes and summarize the comparison."""
+    from repro.backend import backend_installed
+
+    torch_available = backend_installed("torch")
+    backend = None
     workloads = {}
     for name, grid in grids.items():
         loop_result = run_grid(grid, mode="loop", eval_every=10)
         batched_result = run_grid(grid, mode="batched", eval_every=10)
+        backend = batched_result.backend
         workloads[name] = {
             "cells": len(grid),
             "num_rounds": grid.num_rounds,
@@ -149,9 +154,30 @@ def run_comparison(grids: dict[str, ScenarioGrid]) -> dict:
             ),
             "native_fraction": batched_result.native_fraction,
         }
+        if torch_available:
+            # Torch column: per-workload batched wall time on the torch
+            # backend, emitted only when torch is importable.
+            torch_result = run_grid(
+                grid, mode="batched", eval_every=10, backend="torch"
+            )
+            workloads[name]["torch_batched_seconds"] = round(
+                torch_result.wall_time, 4
+            )
+            workloads[name]["torch_max_final_param_deviation"] = max(
+                float(
+                    abs(
+                        loop_result.final_params[label]
+                        - torch_result.final_params[label]
+                    ).max()
+                )
+                for label in loop_result.histories
+            )
     return {
         "num_workers": 15,
         "aggregators": [name for name, _ in _AGGREGATORS],
+        # Resolved array backend (name[dtype]) of the reference batched
+        # runs; the torch columns, when present, ran on "torch[float64]".
+        "backend": backend,
         "workloads": workloads,
         "python": platform.python_version(),
     }

@@ -42,6 +42,13 @@ from repro.attacks import (
     SignFlipAttack,
     StragglerAttack,
 )
+from repro.backend import (
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from repro.baselines import (
     Average,
     ClosestToAll,
@@ -125,6 +132,12 @@ __all__ = [
     "ParameterServer",
     "TrainingSimulation",
     "TrainingHistory",
+    # array backends
+    "ArrayBackend",
+    "NumpyBackend",
+    "register_backend",
+    "available_backends",
+    "make_backend",
     # exceptions
     "ReproError",
     "ConfigurationError",

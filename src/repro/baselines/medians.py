@@ -14,6 +14,7 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.aggregator import AggregationResult, Aggregator
 from repro.exceptions import (
     ByzantineToleranceError,
@@ -102,13 +103,13 @@ _DEFAULT_MAX_ITERATIONS = 1000
 _VZ_SLACK = 1e-12
 
 
-def _row_norms(vectors: np.ndarray) -> np.ndarray:
+def _row_norms(vectors, xp: ArrayBackend):
     """Per-row euclidean norms along the last axis, NaN/Inf passed through."""
-    with np.errstate(invalid="ignore", over="ignore"):
-        return np.sqrt(np.einsum("...d,...d->...", vectors, vectors))
+    with xp.errstate():
+        return xp.sqrt(xp.einsum("...d,...d->...", vectors, vectors))
 
 
-def _point_optimality(values: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+def _point_optimality(values, anchors, xp: ArrayBackend):
     """Vardi–Zhang verdict for per-scenario anchor data points.
 
     ``optimal[b]`` certifies ``anchors[b]`` as scenario b's geometric
@@ -122,22 +123,23 @@ def _point_optimality(values: np.ndarray, anchors: np.ndarray) -> np.ndarray:
     GEMM expansion — its cancellation error at large offsets would
     corrupt the scale-relative coincidence test).
     """
-    with np.errstate(invalid="ignore", over="ignore"):
+    with xp.errstate():
         offsets = values - anchors[:, None, :]
-        point_distances = np.sqrt(np.einsum("bnd,bnd->bn", offsets, offsets))
+        point_distances = xp.sqrt(xp.einsum("bnd,bnd->bn", offsets, offsets))
     r_norm, multiplicity, others = _vardi_zhang_residual(
-        values, anchors, point_distances, offsets=offsets
+        values, anchors, point_distances, xp, offsets=offsets
     )
-    return ~others.any(axis=1) | (r_norm <= multiplicity * (1.0 + _VZ_SLACK))
+    return ~xp.any(others, axis=1) | (r_norm <= multiplicity * (1.0 + _VZ_SLACK))
 
 
 def _vardi_zhang_residual(
-    values: np.ndarray,
-    anchors: np.ndarray,
-    distances: np.ndarray,
+    values,
+    anchors,
+    distances,
+    xp: ArrayBackend,
     *,
-    offsets: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    offsets=None,
+):
     """Vardi–Zhang residual around per-scenario anchor points.
 
     Rows within ``_COINCIDENCE_RTOL`` of the anchor (relative to the
@@ -146,14 +148,16 @@ def _vardi_zhang_residual(
     (``offsets`` forwards a precomputed ``values - anchors`` tensor).
     Returns ``(r_norm (B,), multiplicity (B,), others (B, n))``.
     """
-    scale = np.fmax(1.0, np.max(distances, axis=1))
+    scale = xp.fmax(1.0, xp.max(distances, axis=1))
     coincident = distances <= _COINCIDENCE_RTOL * scale[:, None]
     others = ~coincident
     residual = masked_unit_direction_sum(
-        values, anchors, distances, others, offsets=offsets
+        values, anchors, distances, others, offsets=offsets, backend=xp
     )
-    r_norm = _row_norms(residual)
-    multiplicity = np.count_nonzero(coincident, axis=1).astype(np.float64)
+    r_norm = _row_norms(residual, xp)
+    multiplicity = xp.astype(
+        xp.count_nonzero(coincident, axis=1), xp.float_dtype
+    )
     return r_norm, multiplicity, others
 
 
@@ -184,11 +188,12 @@ class _LaneState:
 
 
 def batched_weiszfeld(
-    stacks: np.ndarray,
+    stacks,
     *,
     tolerance: float = _DEFAULT_TOLERANCE,
     max_iterations: int = _DEFAULT_MAX_ITERATIONS,
-) -> np.ndarray:
+    backend: ArrayBackend | str | None = None,
+):
     """Geometric medians of a ``(B, n, d)`` batch via Weiszfeld iteration.
 
     Runs every scenario's fixed-point iteration in lock-step with
@@ -197,7 +202,10 @@ def batched_weiszfeld(
     keep iterating.  Every arithmetic step is a per-scenario (lane-wise)
     tensor operation, so slice ``b`` of the result is bit-for-bit what a
     batch of the single scenario ``stacks[b]`` produces — which is
-    exactly how :class:`GeometricMedian` runs it (``B = 1``).
+    exactly how :class:`GeometricMedian` runs it (``B = 1``).  The
+    whole solve speaks the :class:`~repro.backend.ArrayBackend`
+    namespace (``backend=`` selects it; numpy by default, where results
+    are bit-for-bit what the pre-seam implementation produced).
 
     A scenario terminates when (in priority order per iteration):
 
@@ -219,14 +227,16 @@ def batched_weiszfeld(
     exhausts ``max_iterations`` (e.g. NaN proposals, which never satisfy
     any convergence predicate).
     """
-    stacks = np.asarray(stacks, dtype=np.float64)
+    xp = resolve_backend(backend)
+    stacks = xp.asarray(stacks)
     if stacks.ndim != 3:
         raise DimensionMismatchError(
-            f"batched Weiszfeld expects shape (B, n, d), got {stacks.shape}"
+            f"batched Weiszfeld expects shape (B, n, d), "
+            f"got {tuple(stacks.shape)}"
         )
-    if 0 in stacks.shape:
+    if 0 in tuple(stacks.shape):
         raise DimensionMismatchError(
-            f"batch must be non-empty in every axis, got {stacks.shape}"
+            f"batch must be non-empty in every axis, got {tuple(stacks.shape)}"
         )
     if tolerance <= 0:
         raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
@@ -235,24 +245,24 @@ def batched_weiszfeld(
             f"max_iterations must be >= 1, got {max_iterations}"
         )
     batch, n, dimension = stacks.shape
-    results = np.empty((batch, dimension))
+    results = xp.empty((batch, dimension))
     if n == 1:
         results[:] = stacks[:, 0]
         return results
 
     lanes = _LaneState(
-        indices=np.arange(batch),  # output slots of still-active lanes
+        indices=xp.arange(batch),  # output slots of still-active lanes
         values=stacks,
-        estimates=stacks.mean(axis=1),
+        estimates=xp.mean(stacks, axis=1),
         # Lazy per-lane cache of the nearest point's optimality verdict:
         # the verdict is estimate-independent, and the nearest point
         # rarely changes once the iterate homes in, so most iterations
         # reuse it.
-        cached_nearest=np.full(batch, -1, dtype=np.int64),
-        cached_optimal=np.zeros(batch, dtype=bool),
-        objectives=np.empty(batch),
-        strikes=np.zeros(batch, dtype=np.int64),
-        shifts=np.full(batch, np.nan),
+        cached_nearest=xp.full((batch,), -1, dtype=xp.int_dtype),
+        cached_optimal=xp.zeros((batch,), dtype=xp.bool_dtype),
+        objectives=xp.empty((batch,)),
+        strikes=xp.zeros((batch,), dtype=xp.int_dtype),
+        shifts=xp.full((batch,), float("nan")),
     )
 
     # The loop runs max_iterations Weiszfeld steps; the shift/stall
@@ -262,28 +272,28 @@ def batched_weiszfeld(
     # values and the check order (previous step's shift/stall, then the
     # optimality test, then cluster certification) are unchanged.
     for pass_index in range(max_iterations + 1):
-        with np.errstate(invalid="ignore", over="ignore"):
+        with xp.errstate():
             diffs = lanes.values - lanes.estimates[:, None, :]
-        distances = _row_norms(diffs)
-        current_objectives = distances.sum(axis=1)
+        distances = _row_norms(diffs, xp)
+        current_objectives = xp.sum(distances, axis=1)
 
         if pass_index > 0:
             # 3. Stall strikes and the shift tolerance for the previous
             #    step (``lanes.estimates`` is that step's result).
             stalled = (
                 current_objectives
-                >= lanes.objectives - _STALL_RTOL * np.fmax(1.0, lanes.objectives)
+                >= lanes.objectives - _STALL_RTOL * xp.fmax(1.0, lanes.objectives)
             )
-            lanes.strikes = np.where(stalled, lanes.strikes + 1, 0)
-            converged = lanes.shifts <= tolerance * np.fmax(
-                1.0, _row_norms(lanes.estimates)
+            lanes.strikes = xp.where(stalled, lanes.strikes + 1, 0)
+            converged = lanes.shifts <= tolerance * xp.fmax(
+                1.0, _row_norms(lanes.estimates, xp)
             )
             finished = converged | (lanes.strikes >= 3)
-            lanes.objectives = np.minimum(lanes.objectives, current_objectives)
-            if np.any(finished):
+            lanes.objectives = xp.minimum(lanes.objectives, current_objectives)
+            if xp.any(finished):
                 results[lanes.indices[finished]] = lanes.estimates[finished]
                 keep = ~finished
-                if not np.any(keep):
+                if not xp.any(keep):
                     return results
                 lanes.compact(keep)
                 diffs = diffs[keep]
@@ -294,19 +304,19 @@ def batched_weiszfeld(
         if pass_index == max_iterations:
             break  # final pass only settles the last step's verdict
 
-        rows = np.arange(lanes.values.shape[0])
+        rows = xp.arange(lanes.values.shape[0])
 
         # 1. Optimality test at the nearest data point, served from the
         #    per-lane cache and recomputed only where `nearest` moved.
-        nearest = np.argmin(distances, axis=1)
+        nearest = xp.argmin(distances, axis=1)
         points = lanes.values[rows, nearest]
         stale = nearest != lanes.cached_nearest
-        if np.any(stale):
+        if xp.any(stale):
             lanes.cached_optimal[stale] = _point_optimality(
-                lanes.values[stale], points[stale]
+                lanes.values[stale], points[stale], xp
             )
             lanes.cached_nearest[stale] = nearest[stale]
-        optimal = lanes.cached_optimal.copy()
+        optimal = xp.copy(lanes.cached_optimal)
 
         # 2. Singularity handling at the current iterate.  Lanes whose
         #    iterate sits on a data-point cluster either stop (residual
@@ -314,31 +324,40 @@ def batched_weiszfeld(
         #    Vardi–Zhang step; clean lanes take the plain step.  The
         #    residual reuses the already-computed ``diffs`` and doubles
         #    as the step direction below.
-        step_scale = np.fmax(1.0, np.max(distances, axis=1))
+        step_scale = xp.fmax(1.0, xp.max(distances, axis=1))
         at_point = distances <= _COINCIDENCE_RTOL * step_scale[:, None]
         step_others = ~at_point
-        at_cluster = at_point.any(axis=1)
-        all_coincident = at_cluster & ~step_others.any(axis=1)
-        weights = masked_inverse_distance_weights(distances, step_others)
-        weight_sum = weights.sum(axis=1)
-        step_r = masked_unit_direction_sum(
-            lanes.values, lanes.estimates, distances, step_others, offsets=diffs
+        at_cluster = xp.any(at_point, axis=1)
+        all_coincident = at_cluster & ~xp.any(step_others, axis=1)
+        weights = masked_inverse_distance_weights(
+            distances, step_others, backend=xp
         )
-        step_r_norm = _row_norms(step_r)
-        step_mult = np.count_nonzero(at_point, axis=1).astype(np.float64)
-        certified = at_cluster & step_others.any(axis=1) & (
+        weight_sum = xp.sum(weights, axis=1)
+        step_r = masked_unit_direction_sum(
+            lanes.values,
+            lanes.estimates,
+            distances,
+            step_others,
+            offsets=diffs,
+            backend=xp,
+        )
+        step_r_norm = _row_norms(step_r, xp)
+        step_mult = xp.astype(
+            xp.count_nonzero(at_point, axis=1), xp.float_dtype
+        )
+        certified = at_cluster & xp.any(step_others, axis=1) & (
             step_r_norm <= step_mult * (1.0 + _VZ_SLACK)
         )
 
         # Commit lanes finishing before the step, in priority order.
-        done = optimal.copy()
+        done = xp.copy(optimal)
         results[lanes.indices[optimal]] = points[optimal]
         stop_current = (all_coincident | certified) & ~done
         results[lanes.indices[stop_current]] = lanes.estimates[stop_current]
         done |= stop_current
-        if np.any(done):
+        if xp.any(done):
             keep = ~done
-            if not np.any(keep):
+            if not xp.any(keep):
                 return results
             lanes.compact(keep)
             step_r = step_r[keep]
@@ -351,23 +370,23 @@ def batched_weiszfeld(
         # estimate displaced by the weighted residual,
         # ``T = e + R / Σw`` (one small correction instead of a second
         # full-size weighted sum).
-        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+        with xp.errstate():
             tentative = lanes.estimates + step_r / weight_sum[:, None]
-            dampening = (step_r_norm - step_mult) / np.where(
+            dampening = (step_r_norm - step_mult) / xp.where(
                 step_r_norm > 0.0, step_r_norm, 1.0
             )
             corrected = (
                 (1.0 - dampening)[:, None] * lanes.estimates
                 + dampening[:, None] * tentative
             )
-            new_estimates = np.where(at_cluster[:, None], corrected, tentative)
-            lanes.shifts = _row_norms(new_estimates - lanes.estimates)
+            new_estimates = xp.where(at_cluster[:, None], corrected, tentative)
+            lanes.shifts = _row_norms(new_estimates - lanes.estimates, xp)
         lanes.estimates = new_estimates
 
     raise ConvergenceError(
         f"Weiszfeld iteration did not converge in {max_iterations} steps "
         f"for {len(lanes.indices)} of {batch} scenario(s) "
-        f"(last shift {float(np.max(lanes.shifts)):.3g})"
+        f"(last shift {float(xp.max(lanes.shifts)):.3g})"
     )
 
 

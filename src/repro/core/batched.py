@@ -5,22 +5,30 @@ tensor of proposal stacks — B replica scenarios, n workers each — through
 its round loop.  Executing the choice function once per scenario from
 Python makes benchmark wall-time a function of interpreter overhead
 rather than of the O(n² · d) arithmetic of Lemma 4.1; this module instead
-stacks the scenarios into single numpy kernels (one batched GEMM for all
+stacks the scenarios into single tensor kernels (one batched GEMM for all
 Krum distance matrices, one batched sort for all trimmed means, one
 masked committee sweep for all Bulyan selections, one lock-step Weiszfeld
 iteration for all geometric medians, ...).
 
-Every kernel is **bit-for-bit identical** to the per-scenario rule it
+The kernels are backend-parametric: they compute through an
+:class:`~repro.backend.ArrayBackend` namespace (numpy by default, torch
+when the optional dependency is installed) instead of calling ``np.*``
+directly — the kernel-author rule is *import the backend namespace,
+never numpy, inside kernels*.  On the default numpy backend every
+kernel is **bit-for-bit identical** to the per-scenario rule it
 replaces: ``aggregate_batch(stacks)[b]`` equals
 ``aggregator.aggregate_detailed(stacks[b])`` down to the last float.
 That identity — enforced by ``tests/engine/test_differential.py`` — is
 what makes the engine a safe substitute for the per-scenario loop.
+Non-default backends are qualified by the parity suite in
+``tests/backend/`` instead (float64-tolerance agreement per kernel).
 
 Rules without a vectorized kernel still work through
 :func:`make_batched_aggregator`: the registry falls back to
 :class:`LoopBatchedAggregator`, which runs the ordinary per-scenario path
 (so a grid can mix, say, Krum with the exponential minimal-diameter rule
-and only the latter pays Python-loop cost).
+and only the latter pays Python-loop cost).  The loop fallback is
+numpy-only by nature — it executes the per-scenario numpy rules.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.aggregator import Aggregator
 from repro.core.bulyan import batched_bulyan
 from repro.exceptions import (
@@ -61,15 +70,15 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 
-def _as_batch(vectors: np.ndarray) -> np.ndarray:
-    vectors = np.asarray(vectors, dtype=np.float64)
+def _as_batch(vectors, xp: ArrayBackend):
+    vectors = xp.asarray(vectors)
     if vectors.ndim != 3:
         raise DimensionMismatchError(
-            f"batched kernels expect shape (B, n, d), got {vectors.shape}"
+            f"batched kernels expect shape (B, n, d), got {tuple(vectors.shape)}"
         )
     if vectors.shape[0] == 0 or vectors.shape[1] == 0 or vectors.shape[2] == 0:
         raise DimensionMismatchError(
-            f"batch must be non-empty in every axis, got {vectors.shape}"
+            f"batch must be non-empty in every axis, got {tuple(vectors.shape)}"
         )
     return vectors
 
@@ -88,7 +97,7 @@ def _resolve_chunk_size(chunk_size: int | None, batch: int) -> int:
     return chunk_size
 
 
-def _chunked_distance_scores(vectors, chunk_size, score_fn) -> np.ndarray:
+def _chunked_distance_scores(vectors, chunk_size, score_fn, xp: ArrayBackend):
     """Reduce per-chunk ``(chunk, n, n)`` distance blocks to ``(B, n)``
     scores without ever materializing the full ``(B, n, n)`` tensor.
 
@@ -98,22 +107,28 @@ def _chunked_distance_scores(vectors, chunk_size, score_fn) -> np.ndarray:
     """
     batch, n, _d = vectors.shape
     chunk_size = _resolve_chunk_size(chunk_size, batch)
-    scores = np.empty((batch, n))
+    scores = xp.empty((batch, n))
     for start in range(0, batch, chunk_size):
         distances = batched_pairwise_sq_distances(
-            vectors[start : start + chunk_size], nonfinite_as_inf=True
+            vectors[start : start + chunk_size],
+            nonfinite_as_inf=True,
+            backend=xp,
         )
         scores[start : start + chunk_size] = score_fn(distances)
     return scores
 
 
 def batched_krum_scores(
-    vectors: np.ndarray, f: int, *, chunk_size: int | None = None
-) -> np.ndarray:
+    vectors,
+    f: int,
+    *,
+    chunk_size: int | None = None,
+    backend: ArrayBackend | str | None = None,
+):
     """Krum scores for every scenario: ``(B, n, d) -> (B, n)``.
 
     Slice ``b`` of the result is bit-for-bit equal to
-    ``krum_scores(vectors[b], f)``.
+    ``krum_scores(vectors[b], f)`` on the default numpy backend.
 
     ``chunk_size`` caps peak memory: the ``(chunk, n, n)`` distance
     blocks (and their partition copies) are materialized one chunk at a
@@ -121,45 +136,53 @@ def batched_krum_scores(
     the full ``(B, n, n)`` tensor never exists.  The scores are
     invariant to the chunk size.
     """
-    vectors = _as_batch(vectors)
+    xp = resolve_backend(backend)
+    vectors = _as_batch(vectors, xp)
     n = vectors.shape[1]
     num_neighbors = n - f - 2
     if num_neighbors < 1:
         raise ByzantineToleranceError(
             f"Krum needs n - f - 2 >= 1 neighbours, got n={n}, f={f}", n=n, f=f
         )
-    diagonal = np.arange(n)
+    diagonal = xp.arange(n)
 
-    def krum_score(distances: np.ndarray) -> np.ndarray:
-        distances[:, diagonal, diagonal] = np.inf
-        neighbor_part = np.partition(distances, num_neighbors - 1, axis=2)
-        return neighbor_part[:, :, :num_neighbors].sum(axis=2)
+    def krum_score(distances):
+        distances[:, diagonal, diagonal] = xp.inf
+        neighbor_part = xp.partition(distances, num_neighbors - 1, axis=2)
+        return xp.sum(neighbor_part[:, :, :num_neighbors], axis=2)
 
-    return _chunked_distance_scores(vectors, chunk_size, krum_score)
+    return _chunked_distance_scores(vectors, chunk_size, krum_score, xp)
 
 
-def batched_average(vectors: np.ndarray) -> np.ndarray:
+def batched_average(vectors, *, backend: ArrayBackend | str | None = None):
     """Per-scenario unweighted mean: ``(B, n, d) -> (B, d)``."""
-    return _as_batch(vectors).mean(axis=1)
+    xp = resolve_backend(backend)
+    return xp.mean(_as_batch(vectors, xp), axis=1)
 
 
-def batched_coordinate_median(vectors: np.ndarray) -> np.ndarray:
+def batched_coordinate_median(
+    vectors, *, backend: ArrayBackend | str | None = None
+):
     """Per-scenario coordinate-wise median: ``(B, n, d) -> (B, d)``."""
-    return np.median(_as_batch(vectors), axis=1)
+    xp = resolve_backend(backend)
+    return xp.median(_as_batch(vectors, xp), axis=1)
 
 
-def batched_trimmed_mean(vectors: np.ndarray, f: int) -> np.ndarray:
+def batched_trimmed_mean(
+    vectors, f: int, *, backend: ArrayBackend | str | None = None
+):
     """Per-scenario coordinate-wise trimmed mean: ``(B, n, d) -> (B, d)``."""
-    vectors = _as_batch(vectors)
+    xp = resolve_backend(backend)
+    vectors = _as_batch(vectors, xp)
     n = vectors.shape[1]
     if n <= 2 * f:
         raise ByzantineToleranceError(
             f"trimmed mean needs n > 2f, got n={n}, f={f}", n=n, f=f
         )
     if f == 0:
-        return vectors.mean(axis=1)
-    ordered = np.sort(vectors, axis=1)
-    return ordered[:, f:-f].mean(axis=1)
+        return xp.mean(vectors, axis=1)
+    ordered = xp.sort(vectors, axis=1)
+    return xp.mean(ordered[:, f:-f], axis=1)
 
 
 # ----------------------------------------------------------------------
@@ -174,11 +197,17 @@ class BatchedAggregationResult:
     ``vectors`` holds one aggregate per scenario; ``selected`` one index
     array per scenario (empty for statistical rules); ``scores`` the
     per-scenario per-worker scores when the rule computes them.
+    ``vectors``/``scores`` are native to the kernel's backend (numpy
+    arrays on the default backend, torch tensors on the torch backend) —
+    use the backend's ``to_numpy`` to materialize them host-side.
+    ``selected`` is always host-side numpy: index sets are per-round
+    bookkeeping the executor consumes element-by-element, and leaving
+    them on an accelerator would cost one device round-trip per lookup.
     """
 
-    vectors: np.ndarray  # (B, d)
-    selected: tuple[np.ndarray, ...]
-    scores: np.ndarray | None = None  # (B, n) when present
+    vectors: object  # (B, d)
+    selected: tuple
+    scores: object | None = None  # (B, n) when present
 
 
 class BatchedAggregator(ABC):
@@ -186,28 +215,37 @@ class BatchedAggregator(ABC):
 
     Implementations must be *observationally identical* to running
     ``aggregator.aggregate_detailed`` on every slice: same vectors (bit
-    for bit), same selected indices, same scores.
+    for bit on the default numpy backend), same selected indices, same
+    scores.  The resolved :class:`~repro.backend.ArrayBackend` is
+    exposed as :attr:`backend` so executors can stage inputs and read
+    results in the right array type.
     """
 
     #: The per-scenario rule this kernel replicates.
     aggregator: Aggregator
+
+    #: The array backend this adapter computes through.
+    backend: ArrayBackend
 
     #: True when the batch runs through a vectorized kernel, False for
     #: the per-scenario loop fallback.
     is_native: bool = True
 
     @abstractmethod
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
         """Aggregate a ``(B, n, d)`` batch of proposal stacks."""
 
-    def _validated(self, stacks: np.ndarray) -> np.ndarray:
-        stacks = _as_batch(stacks)
+    def _validated(self, stacks):
+        stacks = _as_batch(stacks, self.backend)
         self.aggregator.check_tolerance(stacks.shape[1])
         return stacks
 
     def __repr__(self) -> str:
         kind = "native" if self.is_native else "loop"
-        return f"{type(self).__name__}({self.aggregator.name!r}, {kind})"
+        return (
+            f"{type(self).__name__}({self.aggregator.name!r}, {kind}, "
+            f"{self.backend.describe()})"
+        )
 
 
 _EMPTY_SELECTION = np.array([], dtype=np.int64)
@@ -222,6 +260,11 @@ class LoopBatchedAggregator(BatchedAggregator):
     any per-instance configuration exactly as the loop engine would see
     it.  A single instance adapts to any batch size (every slice runs
     through the same rule — the Monte-Carlo trial batching case).
+
+    The per-scenario rules are numpy programs, so this adapter always
+    computes on the numpy backend regardless of what the caller
+    requested — ``is_native`` stays the executor's signal that these
+    scenarios did not reach the accelerator.
     """
 
     is_native = False
@@ -231,6 +274,7 @@ class LoopBatchedAggregator(BatchedAggregator):
             raise ConfigurationError("need at least one aggregator instance")
         self.aggregators = list(aggregators)
         self.aggregator = self.aggregators[0]
+        self.backend = resolve_backend(None)
 
     def _instances(self, batch: int) -> list[Aggregator]:
         if len(self.aggregators) == 1:
@@ -242,8 +286,8 @@ class LoopBatchedAggregator(BatchedAggregator):
             )
         return self.aggregators
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
-        stacks = _as_batch(stacks)
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
+        stacks = _as_batch(self.backend.to_numpy(stacks), self.backend)
         vectors = np.empty((stacks.shape[0], stacks.shape[2]))
         selected: list[np.ndarray] = []
         scores: list[np.ndarray | None] = []
@@ -260,31 +304,37 @@ class LoopBatchedAggregator(BatchedAggregator):
         )
 
 
-def _select_winners(
-    stacks: np.ndarray, scores: np.ndarray
-) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+def _select_winners(stacks, scores, xp: ArrayBackend):
     """Per-scenario argmin selection: first minimal index per row — the
-    smallest-identifier tie-break of Krum's footnote 3."""
-    winners = np.argmin(scores, axis=1)
-    batch_index = np.arange(stacks.shape[0])
-    vectors = stacks[batch_index, winners].copy()
-    selected = tuple(np.array([w], dtype=np.int64) for w in winners.tolist())
+    smallest-identifier tie-break of Krum's footnote 3.  The selected
+    sets are host-side numpy (one ``tolist`` sync, not one tiny device
+    tensor per scenario)."""
+    winners = xp.argmin(scores, axis=1)
+    batch_index = xp.arange(stacks.shape[0])
+    vectors = xp.copy(stacks[batch_index, winners])
+    selected = tuple(
+        np.array([w], dtype=np.int64) for w in winners.tolist()
+    )
     return vectors, selected
 
 
 class _BatchedKrum(BatchedAggregator):
     """Vectorized Krum: one batched distance GEMM, one argmin per scenario."""
 
-    def __init__(self, aggregator, *, chunk_size: int | None = None):
+    def __init__(self, aggregator, *, chunk_size=None, backend=None):
         self.aggregator = aggregator
         self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
         stacks = self._validated(stacks)
         scores = batched_krum_scores(
-            stacks, self.aggregator.f, chunk_size=self.chunk_size
+            stacks,
+            self.aggregator.f,
+            chunk_size=self.chunk_size,
+            backend=self.backend,
         )
-        vectors, selected = _select_winners(stacks, scores)
+        vectors, selected = _select_winners(stacks, scores, self.backend)
         return BatchedAggregationResult(
             vectors=vectors, selected=selected, scores=scores
         )
@@ -293,58 +343,71 @@ class _BatchedKrum(BatchedAggregator):
 class _BatchedMultiKrum(BatchedAggregator):
     """Vectorized Multi-Krum: stable argsort, gather, mean over the m best."""
 
-    def __init__(self, aggregator, *, chunk_size: int | None = None):
+    def __init__(self, aggregator, *, chunk_size=None, backend=None):
         self.aggregator = aggregator
         self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
+        xp = self.backend
         stacks = self._validated(stacks)
         rule = self.aggregator
-        scores = batched_krum_scores(stacks, rule.f, chunk_size=self.chunk_size)
-        order = np.argsort(scores, axis=1, kind="stable")[:, : rule.m]
-        selected = tuple(row.astype(np.int64) for row in order)
+        scores = batched_krum_scores(
+            stacks, rule.f, chunk_size=self.chunk_size, backend=xp
+        )
+        order = xp.argsort(scores, axis=1, stable=True)[:, : rule.m]
+        # Selected sets are host bookkeeping: one device-to-host copy for
+        # the whole (B, m) order block instead of per-scenario tensors.
+        selected = tuple(
+            np.asarray(xp.to_numpy(order), dtype=np.int64)
+        )
         if rule.m == 1:
-            batch_index = np.arange(stacks.shape[0])
-            vectors = stacks[batch_index, order[:, 0]].copy()
+            batch_index = xp.arange(stacks.shape[0])
+            vectors = xp.copy(stacks[batch_index, order[:, 0]])
         else:
-            gathered = np.take_along_axis(stacks, order[:, :, None], axis=1)
-            vectors = gathered.mean(axis=1)
+            gathered = xp.take_along_axis(stacks, order[:, :, None], axis=1)
+            vectors = xp.mean(gathered, axis=1)
         return BatchedAggregationResult(
             vectors=vectors, selected=selected, scores=scores
         )
 
 
 class _BatchedAverage(BatchedAggregator):
-    def __init__(self, aggregator, *, chunk_size: int | None = None):
+    def __init__(self, aggregator, *, chunk_size=None, backend=None):
         self.aggregator = aggregator
+        self.backend = resolve_backend(backend)
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
         stacks = self._validated(stacks)
-        vectors = batched_average(stacks)
+        vectors = batched_average(stacks, backend=self.backend)
         return BatchedAggregationResult(
             vectors=vectors, selected=(_EMPTY_SELECTION,) * stacks.shape[0]
         )
 
 
 class _BatchedCoordinateMedian(BatchedAggregator):
-    def __init__(self, aggregator, *, chunk_size: int | None = None):
+    def __init__(self, aggregator, *, chunk_size=None, backend=None):
         self.aggregator = aggregator
+        self.backend = resolve_backend(backend)
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
         stacks = self._validated(stacks)
-        vectors = batched_coordinate_median(stacks)
+        vectors = batched_coordinate_median(stacks, backend=self.backend)
         return BatchedAggregationResult(
             vectors=vectors, selected=(_EMPTY_SELECTION,) * stacks.shape[0]
         )
 
 
 class _BatchedTrimmedMean(BatchedAggregator):
-    def __init__(self, aggregator, *, chunk_size: int | None = None):
+    def __init__(self, aggregator, *, chunk_size=None, backend=None):
         self.aggregator = aggregator
+        self.backend = resolve_backend(backend)
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
         stacks = self._validated(stacks)
-        vectors = batched_trimmed_mean(stacks, self.aggregator.f)
+        vectors = batched_trimmed_mean(
+            stacks, self.aggregator.f, backend=self.backend
+        )
         return BatchedAggregationResult(
             vectors=vectors, selected=(_EMPTY_SELECTION,) * stacks.shape[0]
         )
@@ -356,24 +419,29 @@ class _BatchedBulyan(BatchedAggregator):
     trimmed average around the committee median.  Chunking partitions the
     batch axis so the ``(chunk, n, n)`` distance blocks stay bounded."""
 
-    def __init__(self, aggregator, *, chunk_size: int | None = None):
+    def __init__(self, aggregator, *, chunk_size=None, backend=None):
         self.aggregator = aggregator
         self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
+        xp = self.backend
         stacks = self._validated(stacks)
         batch = stacks.shape[0]
         chunk_size = _resolve_chunk_size(self.chunk_size, batch)
         committee_size = stacks.shape[1] - 2 * self.aggregator.f
-        vectors = np.empty((batch, stacks.shape[2]))
-        committees = np.empty((batch, committee_size), dtype=np.int64)
+        vectors = xp.empty((batch, stacks.shape[2]))
+        committees = xp.empty((batch, committee_size), dtype=xp.int_dtype)
         for start in range(0, batch, chunk_size):
             stop = start + chunk_size
             vectors[start:stop], committees[start:stop] = batched_bulyan(
-                stacks[start:stop], self.aggregator.f
+                stacks[start:stop], self.aggregator.f, backend=xp
             )
+        # Committees are host bookkeeping: one device-to-host copy for
+        # the whole (B, θ) block instead of per-element syncs downstream.
         return BatchedAggregationResult(
-            vectors=vectors, selected=tuple(committees)
+            vectors=vectors,
+            selected=tuple(np.asarray(xp.to_numpy(committees), dtype=np.int64)),
         )
 
 
@@ -383,26 +451,29 @@ class _BatchedGeometricMedian(BatchedAggregator):
     Chunking partitions the batch axis (each lane's iteration is
     independent, so results are chunk-invariant)."""
 
-    def __init__(self, aggregator, *, chunk_size: int | None = None):
+    def __init__(self, aggregator, *, chunk_size=None, backend=None):
         self.aggregator = aggregator
         self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
         # Imported lazily to avoid circular imports at package load (the
         # baselines import repro.core.aggregator).
         from repro.baselines.medians import batched_weiszfeld
 
+        xp = self.backend
         stacks = self._validated(stacks)
         batch = stacks.shape[0]
         chunk_size = _resolve_chunk_size(self.chunk_size, batch)
         rule = self.aggregator
-        vectors = np.empty((batch, stacks.shape[2]))
+        vectors = xp.empty((batch, stacks.shape[2]))
         for start in range(0, batch, chunk_size):
             stop = start + chunk_size
             vectors[start:stop] = batched_weiszfeld(
                 stacks[start:stop],
                 tolerance=rule.tolerance,
                 max_iterations=rule.max_iterations,
+                backend=xp,
             )
         return BatchedAggregationResult(
             vectors=vectors, selected=(_EMPTY_SELECTION,) * batch
@@ -410,16 +481,21 @@ class _BatchedGeometricMedian(BatchedAggregator):
 
 
 class _BatchedClosestToAll(BatchedAggregator):
-    def __init__(self, aggregator, *, chunk_size: int | None = None):
+    def __init__(self, aggregator, *, chunk_size=None, backend=None):
         self.aggregator = aggregator
         self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
 
-    def aggregate_batch(self, stacks: np.ndarray) -> BatchedAggregationResult:
+    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
+        xp = self.backend
         stacks = self._validated(stacks)
         scores = _chunked_distance_scores(
-            stacks, self.chunk_size, lambda distances: distances.sum(axis=2)
+            stacks,
+            self.chunk_size,
+            lambda distances: xp.sum(distances, axis=2),
+            xp,
         )
-        vectors, selected = _select_winners(stacks, scores)
+        vectors, selected = _select_winners(stacks, scores, xp)
         return BatchedAggregationResult(
             vectors=vectors, selected=selected, scores=scores
         )
@@ -437,8 +513,10 @@ def register_batched_kernel(
 ) -> None:
     """Register a vectorized kernel for an :class:`Aggregator` subclass.
 
-    ``builder(aggregator, chunk_size=...)`` must return a
-    :class:`BatchedAggregator` replicating that instance bit-for-bit.
+    ``builder(aggregator, chunk_size=..., backend=...)`` must return a
+    :class:`BatchedAggregator` replicating that instance bit-for-bit on
+    the numpy backend (``backend`` is a resolved
+    :class:`~repro.backend.ArrayBackend` or ``None`` for the default).
     Later registrations override.
     """
     if not isinstance(aggregator_type, type):
@@ -470,13 +548,17 @@ def make_batched_aggregator(
     aggregators: Aggregator | Sequence[Aggregator],
     *,
     chunk_size: int | None = None,
+    backend: ArrayBackend | str | None = None,
 ) -> BatchedAggregator:
     """Adapt one rule (or a group of identically-configured instances) to
     the batched protocol.
 
     Returns the registered vectorized kernel when one exists for the
     rule's type, otherwise a :class:`LoopBatchedAggregator` running the
-    ordinary per-scenario path.  When a sequence is given, all instances
+    ordinary per-scenario path.  ``backend`` selects the array backend
+    the vectorized kernel computes through (name, instance, or ``None``
+    for the default numpy backend); the loop fallback always runs the
+    numpy per-scenario rules.  When a sequence is given, all instances
     must share the same :func:`batch_group_key`; the loop fallback then
     keeps one instance per scenario (batch slice b uses instance b).
     """
@@ -491,11 +573,12 @@ def make_batched_aggregator(
         raise ConfigurationError(
             f"cannot batch differently-configured rules together: {sorted(keys)}"
         )
+    backend = resolve_backend(backend)
     representative = instances[0]
     builder = _BUILDERS.get(type(representative))
     if builder is None:
         return LoopBatchedAggregator(instances)
-    return builder(representative, chunk_size=chunk_size)
+    return builder(representative, chunk_size=chunk_size, backend=backend)
 
 
 def _register_builtins() -> None:

@@ -18,7 +18,10 @@ primitives (:func:`batched_bulyan_committees`,
 :func:`batched_bulyan_aggregate`, built on the masked helpers in
 :mod:`repro.utils.linalg`); the per-scenario rule simply passes a batch
 of one.  Sharing one implementation is what keeps the two paths
-bit-for-bit identical instead of drifting copies.
+bit-for-bit identical instead of drifting copies.  The primitives are
+kernel-layer code: they speak the
+:class:`~repro.backend.ArrayBackend` namespace (``backend=`` parameter,
+numpy by default) and never import numpy directly.
 
 Included as the paper's natural "future work" extension; the ablation
 benches contrast it with Krum under the post-2017 stealth attacks.
@@ -26,8 +29,7 @@ benches contrast it with Krum under the post-2017 stealth attacks.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.aggregator import AggregationResult, Aggregator
 from repro.exceptions import ByzantineToleranceError, DimensionMismatchError
 from repro.utils.linalg import (
@@ -45,11 +47,11 @@ __all__ = [
 ]
 
 
-def _check_bulyan_batch(stacks: np.ndarray, f: int) -> np.ndarray:
-    stacks = np.asarray(stacks, dtype=np.float64)
+def _check_bulyan_batch(stacks, f: int, xp: ArrayBackend):
+    stacks = xp.asarray(stacks)
     if stacks.ndim != 3:
         raise DimensionMismatchError(
-            f"batched Bulyan expects shape (B, n, d), got {stacks.shape}"
+            f"batched Bulyan expects shape (B, n, d), got {tuple(stacks.shape)}"
         )
     n = stacks.shape[1]
     if n < 4 * f + 3:
@@ -63,8 +65,12 @@ def _check_bulyan_batch(stacks: np.ndarray, f: int) -> np.ndarray:
 
 
 def batched_bulyan_committees(
-    stacks: np.ndarray, f: int, *, distances: np.ndarray | None = None
-) -> np.ndarray:
+    stacks,
+    f: int,
+    *,
+    distances=None,
+    backend: ArrayBackend | str | None = None,
+):
     """Select every scenario's Bulyan committee: ``(B, n, d) -> (B, θ)``.
 
     The selection phase: ``θ = n − 2f`` rounds of picking the Krum winner
@@ -81,79 +87,93 @@ def batched_bulyan_committees(
     ``batched_pairwise_sq_distances(stacks, nonfinite_as_inf=True)``
     batch.
     """
-    stacks = _check_bulyan_batch(stacks, f)
+    xp = resolve_backend(backend)
+    stacks = _check_bulyan_batch(stacks, f, xp)
     batch, n, _d = stacks.shape
     if distances is None:
-        distances = batched_pairwise_sq_distances(stacks, nonfinite_as_inf=True)
+        distances = batched_pairwise_sq_distances(
+            stacks, nonfinite_as_inf=True, backend=xp
+        )
     committee_size = n - 2 * f
-    active = np.ones((batch, n), dtype=bool)
-    committees = np.empty((batch, committee_size), dtype=np.int64)
-    rows = np.arange(batch)
+    active = xp.full((batch, n), True, dtype=xp.bool_dtype)
+    committees = xp.empty((batch, committee_size), dtype=xp.int_dtype)
+    rows = xp.arange(batch)
     for step in range(committee_size):
         remaining = n - step
         if remaining - f - 2 >= 1:
-            scores = masked_krum_scores(distances, active, remaining - f - 2)
+            scores = masked_krum_scores(
+                distances, active, remaining - f - 2, backend=xp
+            )
         else:
-            medians = masked_coordinate_median(stacks, active)
-            with np.errstate(invalid="ignore", over="ignore"):
-                deviations = np.linalg.norm(
-                    stacks - medians[:, None, :], axis=2
-                )
-            scores = np.where(active, deviations, np.inf)
+            medians = masked_coordinate_median(stacks, active, backend=xp)
+            with xp.errstate():
+                deviations = xp.norm(stacks - medians[:, None, :], axis=2)
+            scores = xp.where(active, deviations, xp.inf)
         # First minimal index per scenario — the smallest-identifier
         # tie-break, matching argmin over the compacted candidate pool.
-        winners = np.argmin(scores, axis=1)
+        winners = xp.argmin(scores, axis=1)
         # Degenerate all-+inf rows (every remaining candidate non-finite)
         # make argmin fall on index 0 even when it is already selected;
         # redirect to the first still-active candidate.
         invalid = ~active[rows, winners]
-        if np.any(invalid):
-            winners = np.where(invalid, np.argmax(active, axis=1), winners)
+        if xp.any(invalid):
+            winners = xp.where(invalid, xp.argmax(active, axis=1), winners)
         committees[:, step] = winners
         active[rows, winners] = False
-    return np.sort(committees, axis=1)
+    return xp.sort(committees, axis=1)
 
 
 def batched_bulyan_aggregate(
-    stacks: np.ndarray, committees: np.ndarray, f: int
-) -> np.ndarray:
+    stacks, committees, f: int, *, backend: ArrayBackend | str | None = None
+):
     """Bulyan's aggregation phase: per coordinate, average the
     ``β = θ − 2f`` committee values closest to the committee median.
 
     ``stacks`` is ``(B, n, d)``, ``committees`` the ``(B, θ)`` index
     batch from :func:`batched_bulyan_committees`; returns ``(B, d)``.
     """
-    stacks = np.asarray(stacks, dtype=np.float64)
-    committees = np.asarray(committees, dtype=np.int64)
+    xp = resolve_backend(backend)
+    stacks = xp.asarray(stacks)
+    committees = xp.asarray(committees, dtype=xp.int_dtype)
     if committees.ndim != 2 or committees.shape[0] != stacks.shape[0]:
         raise DimensionMismatchError(
             f"committees must have shape (B, θ) with B={stacks.shape[0]}, "
-            f"got {committees.shape}"
+            f"got {tuple(committees.shape)}"
         )
-    selected = np.take_along_axis(stacks, committees[:, :, None], axis=1)
+    selected = xp.take_along_axis(stacks, committees[:, :, None], axis=1)
     committee_size = committees.shape[1]
     beta = max(committee_size - 2 * f, 1)
-    medians = np.median(selected, axis=1)
-    with np.errstate(invalid="ignore", over="ignore"):
-        deviation = np.abs(selected - medians[:, None, :])
-    deviation_order = np.argsort(deviation, axis=1, kind="stable")
+    medians = xp.median(selected, axis=1)
+    with xp.errstate():
+        deviation = xp.abs(selected - medians[:, None, :])
+    deviation_order = xp.argsort(deviation, axis=1, stable=True)
     closest = deviation_order[:, :beta]
-    gathered = np.take_along_axis(selected, closest, axis=1)
-    return gathered.mean(axis=1)
+    gathered = xp.take_along_axis(selected, closest, axis=1)
+    return xp.mean(gathered, axis=1)
 
 
 def batched_bulyan(
-    stacks: np.ndarray, f: int, *, distances: np.ndarray | None = None
-) -> tuple[np.ndarray, np.ndarray]:
+    stacks,
+    f: int,
+    *,
+    distances=None,
+    backend: ArrayBackend | str | None = None,
+):
     """Full batched Bulyan: returns ``(vectors (B, d), committees (B, θ))``.
 
-    Slice ``b`` is bit-for-bit what ``Bulyan(f).aggregate_detailed``
-    produces for ``stacks[b]`` — the per-scenario rule runs this very
-    function with a batch of one.
+    On the default numpy backend, slice ``b`` is bit-for-bit what
+    ``Bulyan(f).aggregate_detailed`` produces for ``stacks[b]`` — the
+    per-scenario rule runs this very function with a batch of one.
     """
-    stacks = _check_bulyan_batch(stacks, f)
-    committees = batched_bulyan_committees(stacks, f, distances=distances)
-    return batched_bulyan_aggregate(stacks, committees, f), committees
+    xp = resolve_backend(backend)
+    stacks = _check_bulyan_batch(stacks, f, xp)
+    committees = batched_bulyan_committees(
+        stacks, f, distances=distances, backend=xp
+    )
+    return (
+        batched_bulyan_aggregate(stacks, committees, f, backend=xp),
+        committees,
+    )
 
 
 class Bulyan(Aggregator):
@@ -172,7 +192,7 @@ class Bulyan(Aggregator):
                 f=self.f,
             )
 
-    def aggregate_detailed(self, vectors: np.ndarray) -> AggregationResult:
+    def aggregate_detailed(self, vectors) -> AggregationResult:
         vectors = self._validated(vectors)
         vector, committees = batched_bulyan(vectors[None, :, :], self.f)
         return AggregationResult(vector=vector[0], selected=committees[0])

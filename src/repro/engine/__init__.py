@@ -39,6 +39,11 @@ classic one-simulation-at-a-time path — same histories, more wall time —
 which is what the engine benchmarks (``benchmarks/bench_engine_grid.py``
 and ``benchmarks/bench_engine_workloads.py``) measure and the
 ``BENCH_engine*.json`` files record.
+
+``run_grid(grid, backend="torch")`` routes the batched aggregation
+kernels through a registered array backend (:mod:`repro.backend`); the
+default numpy backend is the bit-for-bit reference, and ``GridResult``
+reports the resolved backend (e.g. ``"numpy[float64]"``).
 """
 
 from repro.engine.grid import ScenarioGrid, ScenarioSpec

@@ -27,6 +27,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.attacks.registry import make_attack
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.registry import make_aggregator
 from repro.distributed.metrics import TrainingHistory
 from repro.distributed.simulator import TrainingSimulation
@@ -50,6 +51,10 @@ class GridResult:
     kernels (``None`` in loop mode, where the question does not arise) —
     the engine benchmark records it so a rule silently regressing to the
     per-scenario fallback shows up in ``BENCH_engine.json``.
+    ``backend`` reports the resolved array backend the aggregation
+    kernels computed through (e.g. ``"numpy[float64]"``,
+    ``"torch[float32,cuda:0]"``); loop mode always executes the numpy
+    per-scenario rules, so it reports the default.
     """
 
     mode: str
@@ -58,6 +63,7 @@ class GridResult:
     final_params: dict[str, np.ndarray]
     wall_time: float
     native_fraction: float | None = None
+    backend: str = "numpy[float64]"
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -97,17 +103,34 @@ def run_grid(
     mode: str = "batched",
     eval_every: int = 10,
     chunk_size: int | None = None,
+    backend: ArrayBackend | str | None = None,
 ) -> GridResult:
     """Expand and execute every cell of ``grid``.
 
     ``chunk_size`` (batched mode only) caps the distance-kernel batch
     chunks; see
     :func:`~repro.utils.linalg.batched_pairwise_sq_distances`.
+
+    ``backend`` (batched mode only) selects the array backend the
+    native aggregation kernels compute through — a registered name
+    ("numpy", "torch"), a configured
+    :class:`~repro.backend.ArrayBackend`, or ``None`` for the default
+    numpy backend.  The default keeps the bit-for-bit loop/batched
+    differential guarantee; non-default backends are parity-tested
+    drop-ins (see ``tests/backend/``).  Loop mode always runs the numpy
+    per-scenario rules, so combining it with an explicit backend is a
+    configuration error rather than a silent ignore.
     """
     if mode not in ("batched", "loop"):
         raise ConfigurationError(
             f"mode must be 'batched' or 'loop', got {mode!r}"
         )
+    if mode == "loop" and backend is not None:
+        raise ConfigurationError(
+            "backend selection applies to mode='batched' only; "
+            "mode='loop' always executes the per-scenario numpy rules"
+        )
+    resolved_backend = resolve_backend(backend)
     specs = grid.scenarios()
     labels = [spec.label for spec in specs]
     if len(set(labels)) != len(labels):
@@ -160,7 +183,9 @@ def run_grid(
         start = perf_counter()
         for indices in groups.values():
             batched = BatchedSimulation(
-                [simulations[i] for i in indices], chunk_size=chunk_size
+                [simulations[i] for i in indices],
+                chunk_size=chunk_size,
+                backend=resolved_backend,
             )
             native_cells += batched.native_fraction * len(indices)
             group_histories = batched.run(
@@ -180,4 +205,5 @@ def run_grid(
         final_params=dict(zip(labels, finals)),
         wall_time=wall_time,
         native_fraction=native_fraction,
+        backend=resolved_backend.describe(),
     )

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.attacks.base import AttackContext
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.batched import (
     BatchedAggregator,
     batch_group_key,
@@ -114,6 +115,17 @@ class BatchedSimulation:
         Passed to the batched distance kernels to cap the ``(B, n, n)``
         intermediate memory; ``None`` processes each rule group in one
         chunk.
+    backend:
+        Array backend the native aggregation kernels compute through —
+        a registered name ("numpy", "torch"), a configured
+        :class:`~repro.backend.ArrayBackend` instance, or ``None`` for
+        the default numpy backend (the configuration whose trajectories
+        are bit-for-bit identical to the per-scenario loop).  Worker
+        gradient estimation, attacks and bookkeeping stay host-side
+        (numpy); the backend is handed the stacked ``(B, n, d)``
+        proposal tensor each round — the O(n²·d) part of the round.
+        Host staging buffers allocate with the backend's float dtype so
+        a reduced-precision backend is not silently up-cast.
     """
 
     def __init__(
@@ -121,6 +133,7 @@ class BatchedSimulation:
         simulations: Sequence[TrainingSimulation],
         *,
         chunk_size: int | None = None,
+        backend: ArrayBackend | str | None = None,
     ):
         sims = list(simulations)
         if not sims:
@@ -148,6 +161,11 @@ class BatchedSimulation:
                 )
         self.batch_size = len(sims)
         self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
+        # Host-side staging matches the backend's float precision so a
+        # float32 backend is not silently promoted back to float64
+        # between rounds.
+        self._float_dtype = self.backend.numpy_float_dtype
 
         # Reorder scenarios so each kernel group is a contiguous batch
         # slice (no gather copies in the round loop); remember the
@@ -156,7 +174,9 @@ class BatchedSimulation:
             range(len(sims)),
             key=lambda i: (batch_group_key(sims[i].server.aggregator), i),
         )
-        self._params = np.empty((self.batch_size, self.dimension))
+        self._params = np.empty(
+            (self.batch_size, self.dimension), dtype=self._float_dtype
+        )
         self._scenarios: list[_Scenario] = []
         for slot, original_index in enumerate(keyed):
             sim = sims[original_index]
@@ -210,12 +230,14 @@ class BatchedSimulation:
                     for s in self._scenarios[start:stop]
                 ],
                 chunk_size=chunk_size,
+                backend=self.backend,
             )
             self._groups.append(_Group(start, stop, adapter))
             start = stop
 
         self._proposals = np.empty(
-            (self.batch_size, self.num_workers, self.dimension)
+            (self.batch_size, self.num_workers, self.dimension),
+            dtype=self._float_dtype,
         )
         self._round_index = 0
 
@@ -251,7 +273,7 @@ class BatchedSimulation:
         row = self._proposals[slot]
         if scenario.shared_gradient_fn is not None:
             expected = np.asarray(
-                scenario.shared_gradient_fn(params), dtype=np.float64
+                scenario.shared_gradient_fn(params), dtype=self._float_dtype
             )
             for worker in sim.honest_workers:
                 row[worker.worker_id] = worker.estimator.sample_about(
@@ -315,19 +337,26 @@ class BatchedSimulation:
         Returns the per-scenario records in the caller's input order.
         """
         t = self._round_index
-        rates = np.empty(self.batch_size)
+        rates = np.empty(self.batch_size, dtype=self._float_dtype)
         for slot, scenario in enumerate(self._scenarios):
             rates[slot] = scenario.simulation.server.schedule(t)
             expected = self._fill_proposals(slot)
             self._craft_attack(slot, expected)
 
-        aggregate = np.empty((self.batch_size, self.dimension))
+        aggregate = np.empty(
+            (self.batch_size, self.dimension), dtype=self._float_dtype
+        )
         selected: list[np.ndarray] = [None] * self.batch_size  # type: ignore[list-item]
         for group in self._groups:
             result = group.adapter.aggregate_batch(
                 self._proposals[group.start : group.stop]
             )
-            aggregate[group.start : group.stop] = result.vectors
+            # Native kernels return backend-typed arrays (torch tensors
+            # on the torch backend); materialize them host-side once per
+            # round for the SGD update and record bookkeeping.
+            aggregate[group.start : group.stop] = self.backend.to_numpy(
+                result.vectors
+            )
             for offset, rows in enumerate(result.selected):
                 selected[group.start + offset] = rows
 

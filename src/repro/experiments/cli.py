@@ -24,9 +24,11 @@ import sys
 from collections.abc import Sequence
 
 from repro.attacks.registry import make_attack
+from repro.backend import available_backends, resolve_backend
 from repro.core.registry import available_aggregators, make_aggregator
 from repro.data.partition import PARTITION_PROTOCOLS
 from repro.data.synthetic import make_blobs
+from repro.engine.simulation import BatchedSimulation
 from repro.engine.workloads import make_workload
 from repro.exceptions import ReproError
 from repro.experiments.builders import build_dataset_simulation
@@ -91,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--eval-every", type=int, default=25)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="array backend for the aggregation kernels; selecting one "
+        "routes the run through the batched executor (trajectory-"
+        "identical on numpy; torch needs the optional [torch] extra)",
+    )
     return parser
 
 
@@ -153,6 +163,7 @@ def _build_aggregator(args: argparse.Namespace):
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    backend_report = None
     try:
         aggregator = _build_aggregator(args)
         attack = make_attack(args.attack, {})
@@ -162,7 +173,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
         simulation = _build_simulation(args, aggregator, attack)
-        history = simulation.run(args.rounds, eval_every=args.eval_every)
+        if args.backend is not None:
+            # An explicit backend routes the run through the batched
+            # executor (a batch of one) so the aggregation kernels run
+            # on the chosen array library.  On the numpy backend this is
+            # trajectory-identical to simulation.run — the engine's
+            # differential guarantee.
+            backend = resolve_backend(args.backend)
+            batched = BatchedSimulation([simulation], backend=backend)
+            history = batched.run(args.rounds, eval_every=args.eval_every)[0]
+            # Rules without a vectorized kernel aggregate through the
+            # numpy per-scenario fallback no matter what was requested;
+            # say so rather than implying the run used the backend.
+            backend_report = (
+                backend.describe()
+                if batched.native_fraction == 1.0
+                else f"numpy loop fallback ({aggregator.name} has no "
+                f"native kernel; requested {backend.describe()})"
+            )
+        else:
+            history = simulation.run(args.rounds, eval_every=args.eval_every)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -183,6 +213,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     summary_rows = [
         ["final loss", history.final_loss],
         ["rounds", len(history)],
+        *([["backend", backend_report]] if backend_report is not None else []),
         ["byzantine selection rate",
          f"{100 * history.byzantine_selection_rate():.1f}%"],
     ]

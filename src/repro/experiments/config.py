@@ -4,8 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend import backend_factory
 from repro.data.partition import PARTITION_PROTOCOLS
 from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_factory_kwargs
 
 __all__ = ["SGDExperimentConfig"]
 
@@ -14,10 +16,14 @@ __all__ = ["SGDExperimentConfig"]
 class SGDExperimentConfig:
     """Parameters of one distributed-SGD experiment.
 
-    ``aggregator``/``attack`` are registry names plus keyword-argument
-    dicts so configs stay serializable; the builders turn them into
-    objects.  ``num_byzantine`` must satisfy the chosen rule's
-    precondition (checked at build time, not here).
+    ``aggregator``/``attack``/``backend`` are registry names plus
+    keyword-argument dicts so configs stay serializable; the builders
+    turn them into objects.  ``num_byzantine`` must satisfy the chosen
+    rule's precondition (checked at build time, not here).
+    ``backend=None`` (the default) runs the loop executor's numpy path;
+    naming a backend routes batched execution (e.g.
+    :func:`~repro.experiments.runner.compare_aggregators`) through that
+    array backend's kernels.
     """
 
     num_workers: int
@@ -35,6 +41,8 @@ class SGDExperimentConfig:
     byzantine_slots: str = "last"
     partition: str = "iid"
     dirichlet_alpha: float = 0.5
+    backend: str | None = None
+    backend_kwargs: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -68,6 +76,24 @@ class SGDExperimentConfig:
         if self.dirichlet_alpha <= 0:
             raise ConfigurationError(
                 f"dirichlet_alpha must be positive, got {self.dirichlet_alpha}"
+            )
+        if self.backend is None:
+            if self.backend_kwargs:
+                raise ConfigurationError(
+                    "backend_kwargs requires a backend name; got kwargs "
+                    f"{self.backend_kwargs!r} with backend=None"
+                )
+        else:
+            # backend_factory raises the registry's unknown-name error;
+            # the kwargs check validates against the factory signature
+            # without constructing (or importing) the backend — a bad
+            # config fails at declaration time, while dependency
+            # availability stays a build-time concern.
+            check_factory_kwargs(
+                "backend",
+                self.backend,
+                backend_factory(self.backend),
+                dict(self.backend_kwargs),
             )
 
     @property

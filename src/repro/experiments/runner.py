@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.attacks.registry import make_attack
+from repro.backend import make_backend
 from repro.core.registry import make_aggregator
 from repro.data.dataset import Dataset
 from repro.distributed.metrics import TrainingHistory
@@ -84,12 +85,19 @@ def compare_aggregators(
     ``engine`` selects the executor: ``"batched"`` (default) stacks every
     arm into one :class:`~repro.engine.BatchedSimulation` round loop so
     the rules aggregate through batched kernels; ``"loop"`` runs each arm
-    on its own.  Both produce identical histories — the batched executor
-    is trajectory-preserving by construction.
+    on its own.  On the default numpy backend both produce identical
+    histories — the batched executor is trajectory-preserving by
+    construction.  ``base_config.backend`` (batched engine only) routes
+    the kernels through that array backend.
     """
     if engine not in ("batched", "loop"):
         raise ConfigurationError(
             f"engine must be 'batched' or 'loop', got {engine!r}"
+        )
+    if engine == "loop" and base_config.backend is not None:
+        raise ConfigurationError(
+            "config backend selection applies to engine='batched' only; "
+            "engine='loop' always executes the per-scenario numpy rules"
         )
     configs: dict[str, SGDExperimentConfig] = {
         label: replace(
@@ -110,7 +118,12 @@ def compare_aggregators(
             )
             for label, sim in simulations.items()
         }
-    batched = BatchedSimulation(list(simulations.values()))
+    backend = (
+        make_backend(base_config.backend, base_config.backend_kwargs)
+        if base_config.backend is not None
+        else None
+    )
+    batched = BatchedSimulation(list(simulations.values()), backend=backend)
     histories = batched.run(
         base_config.num_rounds, eval_every=base_config.eval_every
     )

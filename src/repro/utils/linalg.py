@@ -4,6 +4,16 @@ The performance-critical piece is :func:`pairwise_sq_distances`: Krum's
 O(n² · d) cost (Lemma 4.1 of the paper) is exactly the cost of this one
 matrix computation, so it is implemented with a single GEMM rather than a
 Python double loop.
+
+The batched/masked primitives in this module are *kernel layer*: they
+compute through an :class:`~repro.backend.ArrayBackend` namespace
+(``backend=`` parameter, numpy by default) rather than calling ``np.*``
+directly, so the same code runs unchanged on any registered backend.
+With the default numpy backend every operation delegates to the exact
+numpy call used before the seam existed — bit-for-bit identical results.
+The host-side plumbing at the bottom (:func:`stack_vectors`,
+:func:`flatten_arrays`, :func:`unflatten_array` — model-parameter
+marshalling, not aggregation arithmetic) stays plain numpy on purpose.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.exceptions import DimensionMismatchError
 
 __all__ = [
@@ -28,8 +39,11 @@ __all__ = [
 
 
 def pairwise_sq_distances(
-    vectors: np.ndarray, *, nonfinite_as_inf: bool = False
-) -> np.ndarray:
+    vectors,
+    *,
+    nonfinite_as_inf: bool = False,
+    backend: ArrayBackend | str | None = None,
+):
     """Return the ``(n, n)`` matrix of squared euclidean distances.
 
     Uses the expansion ``||a - b||² = ||a||² + ||b||² - 2⟨a, b⟩`` so the
@@ -43,27 +57,34 @@ def pairwise_sq_distances(
     as infinitely far from everyone (so distance-filtering rules discard
     it instead of propagating NaN through their scores).
     """
-    vectors = np.asarray(vectors, dtype=np.float64)
+    xp = resolve_backend(backend)
+    vectors = xp.asarray(vectors)
     if vectors.ndim != 2:
         raise DimensionMismatchError(
-            f"vectors must have shape (n, d), got {vectors.shape}"
+            f"vectors must have shape (n, d), got {tuple(vectors.shape)}"
         )
-    with np.errstate(invalid="ignore", over="ignore"):
-        sq_norms = np.einsum("ij,ij->i", vectors, vectors)
-        distances = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (vectors @ vectors.T)
-        np.maximum(distances, 0.0, out=distances)
+    with xp.errstate():
+        sq_norms = xp.einsum("ij,ij->i", vectors, vectors)
+        distances = (
+            sq_norms[:, None]
+            + sq_norms[None, :]
+            - 2.0 * (vectors @ xp.transpose(vectors, (1, 0)))
+        )
+        distances = xp.maximum(distances, 0.0)
     if nonfinite_as_inf:
-        distances[~np.isfinite(distances)] = np.inf
-    np.fill_diagonal(distances, 0.0)
+        distances[~xp.isfinite(distances)] = xp.inf
+    diagonal = xp.arange(vectors.shape[0])
+    distances[diagonal, diagonal] = 0.0
     return distances
 
 
 def batched_pairwise_sq_distances(
-    vectors: np.ndarray,
+    vectors,
     *,
     nonfinite_as_inf: bool = False,
     chunk_size: int | None = None,
-) -> np.ndarray:
+    backend: ArrayBackend | str | None = None,
+):
     """``(B, n, n)`` squared-distance matrices for a ``(B, n, d)`` batch.
 
     The batched analogue of :func:`pairwise_sq_distances`: every scenario
@@ -83,10 +104,11 @@ def batched_pairwise_sq_distances(
     the chunk size because chunking only partitions the independent
     batch axis.
     """
-    vectors = np.asarray(vectors, dtype=np.float64)
+    xp = resolve_backend(backend)
+    vectors = xp.asarray(vectors)
     if vectors.ndim != 3:
         raise DimensionMismatchError(
-            f"vectors must have shape (B, n, d), got {vectors.shape}"
+            f"vectors must have shape (B, n, d), got {tuple(vectors.shape)}"
         )
     batch, n, _d = vectors.shape
     if chunk_size is None:
@@ -95,45 +117,48 @@ def batched_pairwise_sq_distances(
         raise DimensionMismatchError(
             f"chunk_size must be >= 1, got {chunk_size}"
         )
-    out = np.empty((batch, n, n))
-    diagonal = np.arange(n)
+    out = xp.empty((batch, n, n))
+    diagonal = xp.arange(n)
     for start in range(0, batch, chunk_size):
         chunk = vectors[start : start + chunk_size]
-        with np.errstate(invalid="ignore", over="ignore"):
-            sq_norms = np.einsum("bij,bij->bi", chunk, chunk)
+        with xp.errstate():
+            sq_norms = xp.einsum("bij,bij->bi", chunk, chunk)
             distances = (
                 sq_norms[:, :, None]
                 + sq_norms[:, None, :]
-                - 2.0 * (chunk @ chunk.transpose(0, 2, 1))
+                - 2.0 * (chunk @ xp.transpose(chunk, (0, 2, 1)))
             )
-            np.maximum(distances, 0.0, out=distances)
+            distances = xp.maximum(distances, 0.0)
         if nonfinite_as_inf:
-            distances[~np.isfinite(distances)] = np.inf
+            distances[~xp.isfinite(distances)] = xp.inf
         distances[:, diagonal, diagonal] = 0.0
         out[start : start + chunk_size] = distances
     return out
 
 
-def _check_batched_mask(
-    values: np.ndarray, active: np.ndarray, name: str
-) -> tuple[np.ndarray, np.ndarray]:
-    values = np.asarray(values, dtype=np.float64)
-    active = np.asarray(active, dtype=bool)
+def _check_batched_mask(values, active, name: str, xp: ArrayBackend):
+    values = xp.asarray(values)
+    active = xp.asarray(active, dtype=xp.bool_dtype)
     if values.ndim != 3:
         raise DimensionMismatchError(
-            f"{name} expects values of shape (B, n, ...), got {values.shape}"
+            f"{name} expects values of shape (B, n, ...), "
+            f"got {tuple(values.shape)}"
         )
-    if active.shape != values.shape[:2]:
+    if tuple(active.shape) != tuple(values.shape[:2]):
         raise DimensionMismatchError(
-            f"{name} expects an active mask of shape {values.shape[:2]}, "
-            f"got {active.shape}"
+            f"{name} expects an active mask of shape "
+            f"{tuple(values.shape[:2])}, got {tuple(active.shape)}"
         )
     return values, active
 
 
 def masked_krum_scores(
-    distances: np.ndarray, active: np.ndarray, num_neighbors: int
-) -> np.ndarray:
+    distances,
+    active,
+    num_neighbors: int,
+    *,
+    backend: ArrayBackend | str | None = None,
+):
     """Krum scores restricted to an active candidate subset, per scenario.
 
     ``distances`` is a ``(B, n, n)`` squared-distance batch and ``active``
@@ -145,20 +170,23 @@ def masked_krum_scores(
     rule runs it with ``B = 1`` and the batched kernel with the whole
     batch, so both paths are bit-for-bit identical per scenario.
     """
+    xp = resolve_backend(backend)
     distances, active = _check_batched_mask(
-        distances, active, "masked_krum_scores"
+        distances, active, "masked_krum_scores", xp
     )
     n = distances.shape[1]
     if distances.shape[2] != n:
         raise DimensionMismatchError(
-            f"distances must be square per scenario, got {distances.shape}"
+            f"distances must be square per scenario, "
+            f"got {tuple(distances.shape)}"
         )
     if not 1 <= num_neighbors <= n - 1:
         raise DimensionMismatchError(
             f"num_neighbors must be in [1, n - 1] = [1, {n - 1}], "
             f"got {num_neighbors}"
         )
-    smallest_pool = int(np.count_nonzero(active, axis=1).min(initial=n))
+    counts = xp.count_nonzero(active, axis=1)
+    smallest_pool = int(xp.min(counts)) if counts.shape[0] else n
     if num_neighbors > smallest_pool - 1:
         # Asking for more neighbours than any active row has would make
         # the partition sum masked +inf entries — garbage scores, not an
@@ -167,15 +195,17 @@ def masked_krum_scores(
             f"num_neighbors must be <= active_count - 1 = "
             f"{smallest_pool - 1}, got {num_neighbors}"
         )
-    masked = np.where(active[:, None, :], distances, np.inf)
-    diagonal = np.arange(n)
-    masked[:, diagonal, diagonal] = np.inf
-    neighbor_part = np.partition(masked, num_neighbors - 1, axis=2)
-    scores = neighbor_part[:, :, :num_neighbors].sum(axis=2)
-    return np.where(active, scores, np.inf)
+    masked = xp.where(active[:, None, :], distances, xp.inf)
+    diagonal = xp.arange(n)
+    masked[:, diagonal, diagonal] = xp.inf
+    neighbor_part = xp.partition(masked, num_neighbors - 1, axis=2)
+    scores = xp.sum(neighbor_part[:, :, :num_neighbors], axis=2)
+    return xp.where(active, scores, xp.inf)
 
 
-def masked_coordinate_median(values: np.ndarray, active: np.ndarray) -> np.ndarray:
+def masked_coordinate_median(
+    values, active, *, backend: ArrayBackend | str | None = None
+):
     """Coordinate-wise median over the active rows of every scenario.
 
     ``values`` is ``(B, n, d)`` and ``active`` a ``(B, n)`` mask that must
@@ -184,61 +214,62 @@ def masked_coordinate_median(values: np.ndarray, active: np.ndarray) -> np.ndarr
     iteration, so the counts stay uniform).  Inactive rows are pushed to
     ``+inf`` before a per-coordinate sort, so non-finite active values
     sort to the high end rather than poisoning the whole median the way
-    ``np.median`` would — the shared semantics both the loop and batched
+    a plain median would — the shared semantics both the loop and batched
     Bulyan paths use.
     """
+    xp = resolve_backend(backend)
     values, active = _check_batched_mask(
-        values, active, "masked_coordinate_median"
+        values, active, "masked_coordinate_median", xp
     )
-    counts = np.count_nonzero(active, axis=1)
-    if counts.size == 0 or not np.all(counts == counts[0]):
+    counts = xp.count_nonzero(active, axis=1)
+    if counts.shape[0] == 0 or not xp.all(counts == counts[0]):
         raise DimensionMismatchError(
             "active mask must select the same number of rows in every "
-            f"scenario, got counts {sorted(set(counts.tolist()))}"
+            f"scenario, got counts {sorted(set(xp.to_numpy(counts).tolist()))}"
         )
     m = int(counts[0])
     if m < 1:
         raise DimensionMismatchError("active mask must select at least one row")
-    filled = np.where(active[:, :, None], values, np.inf)
-    ordered = np.sort(filled, axis=1)
+    filled = xp.where(active[:, :, None], values, xp.inf)
+    ordered = xp.sort(filled, axis=1)
     if m % 2 == 1:
-        return ordered[:, (m - 1) // 2].copy()
+        return xp.copy(ordered[:, (m - 1) // 2])
     return 0.5 * (ordered[:, m // 2 - 1] + ordered[:, m // 2])
 
 
 def masked_inverse_distance_weights(
-    distances: np.ndarray, active: np.ndarray
-) -> np.ndarray:
+    distances, active, *, backend: ArrayBackend | str | None = None
+):
     """``1 / distances`` over active rows, exactly zero elsewhere (zero
     distances among inactive rows never enter the division).  The weight
     vector of one Weiszfeld step; callers that need both the step target
     and the Vardi–Zhang residual reuse one weighted einsum over it."""
-    safe = np.where(active, distances, 1.0)
-    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
-        return np.where(active, 1.0 / safe, 0.0)
+    xp = resolve_backend(backend)
+    safe = xp.where(active, distances, 1.0)
+    with xp.errstate():
+        return xp.where(active, 1.0 / safe, 0.0)
 
 
-def _check_masked_distances(
-    values: np.ndarray, distances: np.ndarray, active: np.ndarray, name: str
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    values, active = _check_batched_mask(values, active, name)
-    distances = np.asarray(distances, dtype=np.float64)
-    if distances.shape != active.shape:
+def _check_masked_distances(values, distances, active, name: str, xp):
+    values, active = _check_batched_mask(values, active, name, xp)
+    distances = xp.asarray(distances)
+    if tuple(distances.shape) != tuple(active.shape):
         raise DimensionMismatchError(
-            f"{name} expects distances of shape {active.shape}, "
-            f"got {distances.shape}"
+            f"{name} expects distances of shape {tuple(active.shape)}, "
+            f"got {tuple(distances.shape)}"
         )
     return values, distances, active
 
 
 def masked_unit_direction_sum(
-    values: np.ndarray,
-    anchors: np.ndarray,
-    distances: np.ndarray,
-    active: np.ndarray,
+    values,
+    anchors,
+    distances,
+    active,
     *,
-    offsets: np.ndarray | None = None,
-) -> np.ndarray:
+    offsets=None,
+    backend: ArrayBackend | str | None = None,
+):
     """Sum of unit vectors from per-scenario anchors to the active rows.
 
     The Vardi–Zhang residual ``R = Σ_active (V_i − a) / d_i`` for anchors
@@ -260,22 +291,24 @@ def masked_unit_direction_sum(
     ``values - anchors[:, None, :]`` (e.g. to derive ``distances``) pass
     it in instead of paying the subtraction a second time.
     """
+    xp = resolve_backend(backend)
     values, distances, active = _check_masked_distances(
-        values, distances, active, "masked_unit_direction_sum"
+        values, distances, active, "masked_unit_direction_sum", xp
     )
-    anchors = np.asarray(anchors, dtype=np.float64)
-    if anchors.shape != (values.shape[0], values.shape[2]):
+    anchors = xp.asarray(anchors)
+    if tuple(anchors.shape) != (values.shape[0], values.shape[2]):
         raise DimensionMismatchError(
-            f"anchors must have shape {(values.shape[0], values.shape[2])}, "
-            f"got {anchors.shape}"
+            f"anchors must have shape "
+            f"{(int(values.shape[0]), int(values.shape[2]))}, "
+            f"got {tuple(anchors.shape)}"
         )
-    safe = np.where(active, distances, 1.0)
-    with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+    safe = xp.where(active, distances, 1.0)
+    with xp.errstate():
         if offsets is None:
             offsets = values - anchors[:, None, :]
         directions = offsets / safe[:, :, None]
-        return np.einsum(
-            "bn,bnd->bd", active.astype(np.float64), directions
+        return xp.einsum(
+            "bn,bnd->bd", xp.astype(active, xp.float_dtype), directions
         )
 
 
