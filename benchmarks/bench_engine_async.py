@@ -1,0 +1,336 @@
+"""Engine bench — asynchronous rounds: convergence vs bounded staleness.
+
+Sweeps the bounded-staleness window ``max_staleness ∈ {0, 1, 4}`` under
+a seeded-random delay schedule (``max_delay = 4``) on the quadratic
+reference workload, for three aggregators (krum, coordinate-median,
+trimmed-mean) each with and without the Kardam-style staleness filter,
+under the gaussian and omniscient attacks — how much accuracy each rule
+loses to staleness, and how much the filter buys back.
+
+Two engine guarantees are asserted alongside the measurement:
+
+* **degenerate identity** — the ``max_staleness = 0`` arm (delay
+  schedule configured, window closed) reproduces the plain synchronous
+  grid's trajectories bit-for-bit;
+* **differential identity** — the batched executor reproduces the loop
+  executor's async trajectories bit-for-bit, with exactly the
+  Kardam-wrapped half of the cells riding the per-scenario fallback
+  (reported via ``native_fraction``).
+
+Writes the measurement to ``BENCH_engine_async.json`` at the repo root.
+
+Standalone usage (CI smoke / regenerating the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_async.py          # full grid
+    PYTHONPATH=src python benchmarks/bench_engine_async.py --smoke  # tiny grid
+    PYTHONPATH=src python benchmarks/bench_engine_async.py --smoke \\
+        --output BENCH_engine_async.smoke.json   # CI artifact
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import ScenarioGrid, run_grid
+from repro.experiments.reporting import format_table
+
+try:
+    from benchmarks.conftest import emit, run_once
+except ImportError:  # executed as a script: python benchmarks/bench_engine_async.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import emit, run_once
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_async.json"
+
+STALENESS_VALUES = (0, 1, 4)
+MAX_DELAY = 4
+
+AGGREGATORS = (
+    ("krum", {}),
+    ("kardam", {"inner": "krum"}),
+    ("coordinate-median", {}),
+    ("kardam", {"inner": "coordinate-median"}),
+    ("trimmed-mean", {}),
+    ("kardam", {"inner": "trimmed-mean"}),
+)
+
+ATTACKS = (
+    ("gaussian", {"sigma": 200.0}),
+    ("omniscient", {"scale": 10.0}),
+)
+
+
+def _grid(
+    *,
+    seeds=(0, 1, 2),
+    num_rounds=100,
+    dimension=200,
+    staleness_values=STALENESS_VALUES,
+    delay: bool = True,
+) -> ScenarioGrid:
+    return ScenarioGrid(
+        seeds=seeds,
+        attacks=ATTACKS,
+        aggregators=AGGREGATORS,
+        f_values=(3,),
+        num_workers=15,
+        dimension=dimension,
+        sigma=0.5,
+        num_rounds=num_rounds,
+        learning_rate=0.1,
+        lr_timescale=100.0,
+        max_staleness_values=tuple(staleness_values),
+        **(
+            {
+                "delay_schedule": "random",
+                "delay_kwargs": {"max_delay": MAX_DELAY},
+            }
+            if delay
+            else {}
+        ),
+    )
+
+
+def _identical_trajectories(result_a, result_b, *, by_position=False) -> bool:
+    labels_a = [spec.label for spec in result_a.specs]
+    labels_b = (
+        [spec.label for spec in result_b.specs] if by_position else labels_a
+    )
+    for label_a, label_b in zip(labels_a, labels_b):
+        if (
+            result_a.final_params[label_a].tobytes()
+            != result_b.final_params[label_b].tobytes()
+        ):
+            return False
+        history_a = result_a.histories[label_a]
+        history_b = result_b.histories[label_b]
+        if len(history_a) != len(history_b) or any(
+            a != b for a, b in zip(history_a, history_b)
+        ):
+            return False
+    return True
+
+
+def _convergence_rows(result) -> list[dict]:
+    """Mean final loss / distance-to-optimum per (aggregator, attack,
+    max_staleness) cell group, averaged over seeds."""
+    groups: dict[tuple, list] = defaultdict(list)
+    for spec in result.specs:
+        history = result.histories[spec.label]
+        final = history.evaluated[-1]
+        key = (
+            spec.aggregator,
+            spec.aggregator_kwargs.get("inner"),
+            spec.attack,
+            spec.max_staleness,
+        )
+        groups[key].append(
+            (final.loss, final.extras.get("dist_to_opt"))
+        )
+    rows = []
+    for (aggregator, inner, attack, staleness), values in sorted(
+        groups.items(), key=lambda item: tuple(map(str, item[0]))
+    ):
+        losses = [loss for loss, _dist in values]
+        dists = [dist for _loss, dist in values if dist is not None]
+        rows.append(
+            {
+                "aggregator": aggregator,
+                "inner": inner,
+                "kardam_filtered": aggregator == "kardam",
+                "attack": attack,
+                "max_staleness": staleness,
+                "final_loss_mean": float(np.mean(losses)),
+                "dist_to_opt_mean": (
+                    float(np.mean(dists)) if dists else None
+                ),
+                "seeds": len(values),
+            }
+        )
+    return rows
+
+
+def run_comparison(grid: ScenarioGrid, sync_grid: ScenarioGrid) -> dict:
+    """Execute the async grid in both modes, check the degenerate arm
+    against the synchronous grid, and summarize."""
+    loop_result = run_grid(grid, mode="loop", eval_every=25)
+    batched_result = run_grid(grid, mode="batched", eval_every=25)
+    speedup = loop_result.wall_time / max(batched_result.wall_time, 1e-12)
+
+    # Degenerate arm: the async grid restricted to max_staleness = 0
+    # must reproduce the no-delay synchronous grid bit for bit.
+    degenerate_grid = _grid(
+        seeds=tuple(grid.seeds),
+        num_rounds=grid.num_rounds,
+        dimension=grid.dimension,
+        staleness_values=(0,),
+        delay=True,
+    )
+    degenerate = run_grid(degenerate_grid, mode="batched", eval_every=25)
+    sync_result = run_grid(sync_grid, mode="batched", eval_every=25)
+    sync_equivalent = _identical_trajectories(
+        sync_result, degenerate, by_position=True
+    )
+
+    return {
+        "grid": {
+            "cells": len(grid),
+            "num_workers": grid.num_workers,
+            "dimension": grid.dimension,
+            "num_rounds": grid.num_rounds,
+            "seeds": list(grid.seeds),
+            "f_values": list(grid.f_values),
+            "attacks": [name for name, _ in ATTACKS],
+            "aggregators": [
+                f"kardam({kwargs['inner']})" if name == "kardam" else name
+                for name, kwargs in AGGREGATORS
+            ],
+            "max_staleness_values": list(grid.max_staleness_values),
+            "delay_schedule": f"random(max_delay={MAX_DELAY})",
+        },
+        "backend": batched_result.backend,
+        "loop_seconds": round(loop_result.wall_time, 4),
+        "batched_seconds": round(batched_result.wall_time, 4),
+        "speedup": round(speedup, 2),
+        "trajectories_identical": _identical_trajectories(
+            loop_result, batched_result
+        ),
+        "zero_staleness_equals_sync": sync_equivalent,
+        # Kardam cells (half the aggregator axis) aggregate through the
+        # per-scenario fallback; plain rules keep their native kernels
+        # even under staleness.
+        "native_fraction": batched_result.native_fraction,
+        "convergence": _convergence_rows(batched_result),
+        "python": platform.python_version(),
+    }
+
+
+def _emit_summary(summary: dict) -> None:
+    emit(
+        format_table(
+            [
+                "cells", "n", "d", "rounds", "loop s", "batched s",
+                "speedup", "identical", "stale0==sync", "native",
+            ],
+            [
+                [
+                    summary["grid"]["cells"],
+                    summary["grid"]["num_workers"],
+                    summary["grid"]["dimension"],
+                    summary["grid"]["num_rounds"],
+                    summary["loop_seconds"],
+                    summary["batched_seconds"],
+                    f"{summary['speedup']}x",
+                    summary["trajectories_identical"],
+                    summary["zero_staleness_equals_sync"],
+                    round(summary["native_fraction"], 3),
+                ]
+            ],
+            title="Engine — async rounds (staleness sweep)",
+        )
+    )
+    rows = [
+        [
+            (
+                f"kardam({row['inner']})"
+                if row["kardam_filtered"]
+                else row["aggregator"]
+            ),
+            row["attack"],
+            row["max_staleness"],
+            f"{row['dist_to_opt_mean']:.4g}",
+        ]
+        for row in summary["convergence"]
+    ]
+    emit(
+        format_table(
+            ["aggregator", "attack", "max_staleness", "dist_to_opt"],
+            rows,
+            title="Convergence vs staleness (mean over seeds)",
+        )
+    )
+
+
+def _check(summary: dict) -> list[str]:
+    failures = []
+    if not summary["trajectories_identical"]:
+        failures.append(
+            "batched engine diverged from the per-scenario loop on the "
+            "async grid"
+        )
+    if not summary["zero_staleness_equals_sync"]:
+        failures.append(
+            "max_staleness=0 async arm forked from the synchronous "
+            "trajectories"
+        )
+    if summary["native_fraction"] != 0.5:
+        failures.append(
+            f"expected exactly the kardam half of the cells on the loop "
+            f"fallback, got native_fraction={summary['native_fraction']}"
+        )
+    return failures
+
+
+def bench_engine_async_staleness(benchmark):
+    summary = run_once(
+        benchmark, lambda: run_comparison(_grid(), _grid(delay=False,
+                                                        staleness_values=(0,)))
+    )
+    _emit_summary(summary)
+    RESULT_PATH.write_text(json.dumps(summary, indent=1) + "\n")
+    for failure in _check(summary):
+        raise AssertionError(failure)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a small grid (1 seed, 10 rounds, d=30) without "
+        "writing BENCH_engine_async.json — the CI sanity check",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the summary JSON to this path (used by CI to "
+        "upload the smoke measurement as a workflow artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        grid = _grid(seeds=(0,), num_rounds=10, dimension=30)
+        sync_grid = _grid(
+            seeds=(0,), num_rounds=10, dimension=30,
+            staleness_values=(0,), delay=False,
+        )
+    else:
+        grid = _grid()
+        sync_grid = _grid(staleness_values=(0,), delay=False)
+    summary = run_comparison(grid, sync_grid)
+    print(json.dumps(summary, indent=1))
+    if args.output is not None:
+        args.output.write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"wrote {args.output}")
+    failures = _check(summary)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    if not args.smoke:
+        RESULT_PATH.write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

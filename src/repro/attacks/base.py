@@ -31,6 +31,15 @@ class AttackContext:
     rng: np.random.Generator
     aggregator: Aggregator | None = None  # the server's F, if known
     true_gradient: np.ndarray | None = None  # ∇Q(x_t), for omniscient attacks
+    # Asynchronous rounds only (None in the synchronous model): the
+    # staleness τ of each honest/Byzantine proposal this round, and the
+    # (n - f, d) parameter vectors the honest victims *actually*
+    # computed their gradients at — x_{t − τ_i}, not the fresh
+    # ``params`` — so staleness-aware attacks see exactly what the
+    # server will.
+    honest_staleness: np.ndarray | None = None  # (n - f,) ints
+    byzantine_staleness: np.ndarray | None = None  # (f,) ints
+    honest_params: np.ndarray | None = None  # (n - f, d) stale x per victim
 
     @property
     def num_byzantine(self) -> int:
@@ -67,6 +76,28 @@ class AttackContext:
         if overlap.size:
             raise ConfigurationError(
                 f"worker indices {overlap.tolist()} are both honest and Byzantine"
+            )
+        if self.honest_staleness is not None and len(
+            self.honest_staleness
+        ) != len(self.honest_indices):
+            raise DimensionMismatchError(
+                f"{len(self.honest_staleness)} staleness entries vs "
+                f"{len(self.honest_indices)} honest workers"
+            )
+        if self.byzantine_staleness is not None and len(
+            self.byzantine_staleness
+        ) != len(self.byzantine_indices):
+            raise DimensionMismatchError(
+                f"{len(self.byzantine_staleness)} staleness entries vs "
+                f"{len(self.byzantine_indices)} byzantine workers"
+            )
+        if (
+            self.honest_params is not None
+            and self.honest_params.shape != self.honest_gradients.shape
+        ):
+            raise DimensionMismatchError(
+                f"honest_params shape {self.honest_params.shape} does not "
+                f"match honest_gradients {self.honest_gradients.shape}"
             )
 
 

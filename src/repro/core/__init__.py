@@ -22,6 +22,7 @@ from repro.core.batched import (
 from repro.core.bulyan import Bulyan
 from repro.core.krum import Krum, MultiKrum, krum_scores, krum_scores_reference
 from repro.core.registry import available_aggregators, make_aggregator
+from repro.core.staleness import KardamFilter, StalenessAwareAggregator
 from repro.core.theory import (
     check_krum_precondition,
     eta,
@@ -37,6 +38,8 @@ __all__ = [
     "Krum",
     "MultiKrum",
     "Bulyan",
+    "KardamFilter",
+    "StalenessAwareAggregator",
     "krum_scores",
     "krum_scores_reference",
     "BatchedAggregator",

@@ -231,6 +231,12 @@ class BatchedAggregator(ABC):
     #: the per-scenario loop fallback.
     is_native: bool = True
 
+    #: True when :meth:`aggregate_batch` accepts per-proposal staleness
+    #: (``staleness``/``used_params`` keywords) — today only the loop
+    #: fallback over :class:`~repro.core.staleness.StalenessAwareAggregator`
+    #: rules; a batched-native Kardam kernel would set it too.
+    supports_staleness: bool = False
+
     @abstractmethod
     def aggregate_batch(self, stacks) -> BatchedAggregationResult:
         """Aggregate a ``(B, n, d)`` batch of proposal stacks."""
@@ -270,11 +276,19 @@ class LoopBatchedAggregator(BatchedAggregator):
     is_native = False
 
     def __init__(self, aggregators: Sequence[Aggregator]):
+        # Imported lazily: repro.core.staleness imports the aggregator
+        # interface from this package's sibling module.
+        from repro.core.staleness import StalenessAwareAggregator
+
         if not aggregators:
             raise ConfigurationError("need at least one aggregator instance")
         self.aggregators = list(aggregators)
         self.aggregator = self.aggregators[0]
         self.backend = resolve_backend(None)
+        self.supports_staleness = all(
+            isinstance(rule, StalenessAwareAggregator)
+            for rule in self.aggregators
+        )
 
     def _instances(self, batch: int) -> list[Aggregator]:
         if len(self.aggregators) == 1:
@@ -286,13 +300,37 @@ class LoopBatchedAggregator(BatchedAggregator):
             )
         return self.aggregators
 
-    def aggregate_batch(self, stacks) -> BatchedAggregationResult:
+    def aggregate_batch(
+        self, stacks, *, staleness=None, used_params=None
+    ) -> BatchedAggregationResult:
+        """Aggregate each scenario through its own rule instance.
+
+        ``staleness`` (``(B, n)`` ints) and ``used_params`` (``(B, n,
+        d)``) route through the staleness-aware interface when every
+        instance implements it — exactly the call the loop executor's
+        :class:`~repro.distributed.server.ParameterServer` makes, so the
+        loop/batched differential identity extends to async cells.
+        """
         stacks = _as_batch(self.backend.to_numpy(stacks), self.backend)
+        if staleness is not None and not self.supports_staleness:
+            raise ConfigurationError(
+                f"rule {self.aggregator.name!r} is not staleness-aware; "
+                f"cannot aggregate stale proposals through it"
+            )
         vectors = np.empty((stacks.shape[0], stacks.shape[2]))
         selected: list[np.ndarray] = []
         scores: list[np.ndarray | None] = []
         for b, rule in enumerate(self._instances(stacks.shape[0])):
-            result = rule.aggregate_detailed(stacks[b])
+            if staleness is not None:
+                result = rule.aggregate_detailed_stale(
+                    stacks[b],
+                    staleness[b],
+                    used_params=(
+                        None if used_params is None else used_params[b]
+                    ),
+                )
+            else:
+                result = rule.aggregate_detailed(stacks[b])
             vectors[b] = result.vector
             selected.append(result.selected)
             scores.append(result.scores)

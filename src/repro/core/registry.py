@@ -48,6 +48,49 @@ def make_aggregator(name: str, **kwargs: object) -> Aggregator:
     return aggregator_factory(name)(**kwargs)
 
 
+def _kardam_factory(
+    inner: str = "krum",
+    inner_kwargs: dict | None = None,
+    f: int | None = None,
+    dampening: str = "inverse",
+    gamma: float = 0.5,
+    drop_above: int | None = None,
+    lipschitz_quantile: float | None = None,
+    window: int = 256,
+):
+    """Registry adapter for :class:`~repro.core.staleness.KardamFilter`.
+
+    ``inner``/``inner_kwargs`` name the wrapped rule through this same
+    registry.  ``f`` rides the scenario grid's Byzantine-count injection
+    (the grid passes the cell's f to any factory accepting it) and is
+    forwarded to the inner rule when *its* factory accepts an ``f`` —
+    so ``("kardam", {"inner": "krum"})`` picks up the cell's f exactly
+    like a bare ``("krum", {})`` entry would.
+    """
+    import inspect
+
+    from repro.core.staleness import KardamFilter
+
+    kwargs = dict(inner_kwargs or {})
+    if f is not None and "f" not in kwargs:
+        try:
+            accepts_f = "f" in inspect.signature(
+                aggregator_factory(inner)
+            ).parameters
+        except (TypeError, ValueError):
+            accepts_f = False
+        if accepts_f:
+            kwargs["f"] = f
+    return KardamFilter(
+        make_aggregator(inner, **kwargs),
+        dampening=dampening,
+        gamma=gamma,
+        drop_above=drop_above,
+        lipschitz_quantile=lipschitz_quantile,
+        window=window,
+    )
+
+
 def _register_builtins() -> None:
     # Imported lazily to avoid a circular import at package load.
     from repro.baselines.average import Average, WeightedAverage
@@ -61,6 +104,7 @@ def _register_builtins() -> None:
     from repro.core.bulyan import Bulyan
     from repro.core.krum import Krum, MultiKrum
 
+    register_aggregator("kardam", _kardam_factory)
     register_aggregator("krum", Krum)
     register_aggregator("multi-krum", MultiKrum)
     register_aggregator("bulyan", Bulyan)

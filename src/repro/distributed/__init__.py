@@ -1,11 +1,28 @@
-"""Synchronous parameter-server simulation (Section 2's model).
+"""Parameter-server simulation (Section 2's model, plus bounded staleness).
 
 Each round: the server broadcasts ``x_t``; every correct worker returns
 ``G(x_t, ξ)``; the Byzantine workers — given full knowledge of the honest
 proposals — return whatever their :class:`~repro.attacks.Attack` crafts;
 the server applies ``x_{t+1} = x_t − γ_t · F(V_1, ..., V_n)``.
+
+The asynchronous extension (:mod:`repro.distributed.delays`) relaxes the
+synchronous barrier: a :class:`DelaySchedule` models per-worker lag, the
+server accepts bounded-stale messages (``max_staleness``), and the
+round-t proposal of a worker lagging τ is the gradient it computed at
+``x_{t−τ}``.
 """
 
+from repro.distributed.delays import (
+    ConstantDelay,
+    DelaySchedule,
+    PeriodicDelay,
+    SeededRandomDelay,
+    ZeroDelay,
+    available_delay_schedules,
+    delay_schedule_factory,
+    make_delay_schedule,
+    register_delay_schedule,
+)
 from repro.distributed.messages import GradientMessage, ParameterBroadcast
 from repro.distributed.metrics import RoundRecord, TrainingHistory
 from repro.distributed.schedules import (
@@ -21,6 +38,15 @@ from repro.distributed.worker import ByzantineWorker, HonestWorker, Worker
 __all__ = [
     "ParameterBroadcast",
     "GradientMessage",
+    "DelaySchedule",
+    "ZeroDelay",
+    "ConstantDelay",
+    "PeriodicDelay",
+    "SeededRandomDelay",
+    "register_delay_schedule",
+    "available_delay_schedules",
+    "delay_schedule_factory",
+    "make_delay_schedule",
     "LearningRateSchedule",
     "ConstantSchedule",
     "InverseTimeSchedule",

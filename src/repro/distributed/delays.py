@@ -1,0 +1,269 @@
+"""Deterministic worker-delay schedules for asynchronous rounds.
+
+The paper's model is fully synchronous: every worker's round-t proposal
+is computed at ``x_t``.  Real deployments (Garfield, Kardam) serve
+heterogeneous workers whose gradients arrive *stale* — a worker's
+round-t proposal is the gradient it computed at ``x_{t−τ}``.  A
+:class:`DelaySchedule` is the reproducible model of that heterogeneity:
+a pure function ``staleness(worker_id, round_index) -> τ ≥ 0`` giving
+each worker's desired lag at each round.
+
+The *effective* staleness a simulation applies is
+``min(τ, round_index, max_staleness)`` — a worker cannot see parameters
+from before round 0, and the bounded-staleness protocol (the server's
+``max_staleness`` window, stale-synchronous-parallel style) blocks a
+worker from lagging further than the bound.  ``max_staleness = 0``
+therefore degenerates to the synchronous loop *bit for bit*, whatever
+schedule is configured.
+
+Randomized schedules are seeded from the simulation: the simulator calls
+:meth:`DelaySchedule.bind` with a dedicated RNG stream spawned from the
+root seed, so the full delay pattern is reproducible from one integer
+and identical across the loop and batched executors.
+
+The registry mirrors the aggregator/attack/workload/backend registries —
+``register_delay_schedule`` / ``available_delay_schedules`` /
+``make_delay_schedule`` — with the same :class:`ConfigurationError`
+contract (unknown names list the alternatives; bad kwargs name the
+schedule and the parameters it accepts).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_factory_kwargs
+
+__all__ = [
+    "DelaySchedule",
+    "ZeroDelay",
+    "ConstantDelay",
+    "PeriodicDelay",
+    "SeededRandomDelay",
+    "register_delay_schedule",
+    "available_delay_schedules",
+    "delay_schedule_factory",
+    "make_delay_schedule",
+]
+
+
+class DelaySchedule(ABC):
+    """Per-worker, per-round desired staleness ``τ``.
+
+    Implementations must be *pure*: ``staleness(i, t)`` may depend only
+    on the arguments and on state fixed at :meth:`bind` time, so the
+    loop and batched executors (which query in different orders) see the
+    same delays.
+    """
+
+    #: Registry name; subclasses set this as a class attribute.
+    name: str = "delay"
+
+    @abstractmethod
+    def staleness(self, worker_id: int, round_index: int) -> int:
+        """Desired lag of ``worker_id``'s round-``round_index`` proposal."""
+
+    def bind(self, rng: np.random.Generator) -> "DelaySchedule":
+        """Fix any randomness from a simulation-derived stream.
+
+        Deterministic schedules return themselves; randomized ones
+        return a bound copy whose ``staleness`` is a pure function.
+        The simulator calls this once at construction time with a
+        stream spawned from the root seed.
+        """
+        return self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ZeroDelay(DelaySchedule):
+    """Every worker is always fresh — the synchronous degenerate case."""
+
+    name = "none"
+
+    def staleness(self, worker_id: int, round_index: int) -> int:
+        return 0
+
+
+class ConstantDelay(DelaySchedule):
+    """A fixed lag ``tau``, for every worker or a chosen subset.
+
+    ``workers=None`` delays the whole cluster uniformly; an explicit id
+    sequence models a straggler subset (only those workers lag, the rest
+    stay fresh).
+    """
+
+    name = "constant"
+
+    def __init__(self, tau: int = 1, workers: Sequence[int] | None = None):
+        if int(tau) < 0:
+            raise ConfigurationError(f"tau must be >= 0, got {tau}")
+        self.tau = int(tau)
+        if workers is None:
+            self._workers: frozenset[int] | None = None
+        else:
+            ids = [int(w) for w in workers]
+            if any(w < 0 for w in ids):
+                raise ConfigurationError(
+                    f"worker ids must be >= 0, got {sorted(ids)}"
+                )
+            self._workers = frozenset(ids)
+
+    def staleness(self, worker_id: int, round_index: int) -> int:
+        if self._workers is None or worker_id in self._workers:
+            return self.tau
+        return 0
+
+
+class PeriodicDelay(DelaySchedule):
+    """Workers lag ``tau`` on a periodic round pattern.
+
+    Worker ``i`` is stale on rounds where ``(t + i·stagger) % period``
+    is zero — with the default ``stagger=1`` the lag sweeps through the
+    cluster one worker per round (a rotating straggler), while
+    ``stagger=0`` makes the whole cluster hiccup together every
+    ``period`` rounds.
+    """
+
+    name = "periodic"
+
+    def __init__(self, tau: int = 1, period: int = 4, stagger: int = 1):
+        if int(tau) < 0:
+            raise ConfigurationError(f"tau must be >= 0, got {tau}")
+        if int(period) < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if int(stagger) < 0:
+            raise ConfigurationError(f"stagger must be >= 0, got {stagger}")
+        self.tau = int(tau)
+        self.period = int(period)
+        self.stagger = int(stagger)
+
+    def staleness(self, worker_id: int, round_index: int) -> int:
+        if (round_index + worker_id * self.stagger) % self.period == 0:
+            return self.tau
+        return 0
+
+
+class SeededRandomDelay(DelaySchedule):
+    """Independent random lags, reproducible from the simulation seed.
+
+    Each ``(worker, round)`` pair is stale with probability ``prob``,
+    with a lag drawn uniformly from ``{1, ..., max_delay}`` — a simple
+    model of jittery network/compute heterogeneity.  The draw is
+    *counter-based*: ``staleness(i, t)`` keys a ``SeedSequence`` on the
+    bound entropy plus ``(i, t)``, so it is a pure function queryable in
+    any order (the loop and batched executors must agree) and never
+    consumes shared stream state.
+
+    Unbound instances (``entropy=None``) must be :meth:`bind`-ed before
+    use; the simulator does this with a stream spawned from its root
+    seed, making the whole delay pattern a function of the cell's seed.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        max_delay: int = 4,
+        prob: float = 1.0,
+        entropy: int | None = None,
+    ):
+        if int(max_delay) < 1:
+            raise ConfigurationError(
+                f"max_delay must be >= 1, got {max_delay}"
+            )
+        if not 0.0 <= float(prob) <= 1.0:
+            raise ConfigurationError(
+                f"prob must be in [0, 1], got {prob}"
+            )
+        self.max_delay = int(max_delay)
+        self.prob = float(prob)
+        self.entropy = None if entropy is None else int(entropy)
+
+    def bind(self, rng: np.random.Generator) -> "SeededRandomDelay":
+        return SeededRandomDelay(
+            max_delay=self.max_delay,
+            prob=self.prob,
+            entropy=int(rng.integers(0, 2**63)),
+        )
+
+    def staleness(self, worker_id: int, round_index: int) -> int:
+        if self.entropy is None:
+            raise ConfigurationError(
+                "unbound random delay schedule: pass it to a simulation "
+                "(which binds it from the root seed) or call bind() first"
+            )
+        words = np.random.SeedSequence(
+            entropy=(self.entropy, int(worker_id), int(round_index))
+        ).generate_state(2, dtype=np.uint64)
+        if self.prob < 1.0 and float(words[0]) / 2.0**64 >= self.prob:
+            return 0
+        return int(words[1] % np.uint64(self.max_delay)) + 1
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+_REGISTRY: dict[str, Callable[..., DelaySchedule]] = {}
+
+
+def register_delay_schedule(
+    name: str, factory: Callable[..., DelaySchedule]
+) -> None:
+    """Register a schedule under ``name``; later registrations override."""
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"delay schedule name must be a non-empty string, got {name!r}"
+        )
+    _REGISTRY[name] = factory
+
+
+def available_delay_schedules() -> list[str]:
+    """Sorted list of registered schedule names."""
+    return sorted(_REGISTRY)
+
+
+def delay_schedule_factory(name: str) -> Callable[..., DelaySchedule]:
+    """The registered factory for ``name`` (for signature introspection)."""
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown delay schedule {name!r}; available: "
+            f"{available_delay_schedules()}"
+        )
+    return _REGISTRY[name]
+
+
+def make_delay_schedule(
+    name: str | None, kwargs: Mapping[str, object] | None = None
+) -> DelaySchedule | None:
+    """Build a schedule by name, e.g. ``make_delay_schedule("constant", {"tau": 2})``.
+
+    ``name=None`` returns ``None`` (the synchronous arm), so callers can
+    thread an optional delay spec straight through — the same contract
+    as :func:`~repro.attacks.registry.make_attack`.  Keyword arguments
+    that do not fit the factory's signature raise
+    :class:`ConfigurationError` naming the schedule and the parameters
+    it accepts.
+    """
+    if name is None:
+        if kwargs:
+            raise ConfigurationError(
+                f"delay kwargs {dict(kwargs)!r} were given without a "
+                f"delay schedule name"
+            )
+        return None
+    factory = delay_schedule_factory(name)
+    resolved = dict(kwargs or {})
+    check_factory_kwargs("delay schedule", name, factory, resolved)
+    return factory(**resolved)
+
+
+register_delay_schedule("none", ZeroDelay)
+register_delay_schedule("constant", ConstantDelay)
+register_delay_schedule("periodic", PeriodicDelay)
+register_delay_schedule("random", SeededRandomDelay)

@@ -3,23 +3,44 @@
 Holds the parameter vector, applies the choice function F, and performs
 the SGD update ``x_{t+1} = x_t − γ_t · F(V_1, ..., V_n)``.  The server is
 assumed reliable (footnote 2 of the paper).
+
+Synchronous by default: every message must belong to the current round.
+``max_staleness`` relaxes that barrier to a bounded-staleness window —
+a round-``t`` step accepts messages tagged with any round in
+``[t − max_staleness, t]`` (the stale-synchronous-parallel contract),
+keeps the parameter vectors of the last ``max_staleness + 1`` rounds
+so workers (and filters) can reference what a stale proposal was
+computed against, and hands staleness-aware aggregators (the
+Kardam-style :class:`~repro.core.staleness.StalenessAwareAggregator`)
+the per-proposal staleness vector alongside the stack.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.core.aggregator import AggregationResult, Aggregator
+from repro.core.staleness import StalenessAwareAggregator
 from repro.distributed.messages import GradientMessage, ParameterBroadcast
 from repro.distributed.schedules import LearningRateSchedule
-from repro.exceptions import DimensionMismatchError, SimulationError
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    SimulationError,
+)
 from repro.utils.linalg import stack_vectors
 
 __all__ = ["ParameterServer"]
 
 
 class ParameterServer:
-    """Synchronous-round parameter server with a pluggable choice function."""
+    """Round-based parameter server with a pluggable choice function.
+
+    ``max_staleness = 0`` (the default) is the paper's synchronous
+    server; a positive bound accepts bounded-stale messages.
+    """
 
     def __init__(
         self,
@@ -28,11 +49,16 @@ class ParameterServer:
         schedule: LearningRateSchedule,
         *,
         halt_on_nonfinite: bool = False,
+        max_staleness: int = 0,
     ):
         params = np.asarray(initial_params, dtype=np.float64)
         if params.ndim != 1:
             raise DimensionMismatchError(
                 f"initial_params must be 1-d, got shape {params.shape}"
+            )
+        if int(max_staleness) < 0:
+            raise ConfigurationError(
+                f"max_staleness must be >= 0, got {max_staleness}"
             )
         self._params = params.copy()
         self.aggregator = aggregator
@@ -43,6 +69,15 @@ class ParameterServer:
         #: operational guard a production server would run with.  Off by
         #: default so divergence experiments can observe the blow-up.
         self.halt_on_nonfinite = bool(halt_on_nonfinite)
+        #: The bounded-staleness window: a round-t step accepts messages
+        #: for rounds in [t − max_staleness, t].
+        self.max_staleness = int(max_staleness)
+        # Parameter vectors of the last max_staleness + 1 rounds;
+        # history[-1] is x_t for the current round t.  Kept even at
+        # max_staleness = 0 so staleness-aware aggregators see the same
+        # ``used_params`` in synchronous and degenerate-async runs.
+        self._history: deque[np.ndarray] = deque(maxlen=self.max_staleness + 1)
+        self._history.append(self._params.copy())
 
     @property
     def params(self) -> np.ndarray:
@@ -53,6 +88,21 @@ class ParameterServer:
     def dimension(self) -> int:
         return int(self._params.shape[0])
 
+    def params_at(self, round_index: int) -> np.ndarray:
+        """The parameter vector broadcast at the start of ``round_index``.
+
+        Only the bounded window ``[current − max_staleness, current]``
+        is retained; asking outside it raises ``SimulationError``.
+        """
+        offset = self.round_index - int(round_index)
+        if offset < 0 or offset >= len(self._history):
+            raise SimulationError(
+                f"round {round_index} is outside the retained window "
+                f"[{self.round_index - len(self._history) + 1}, "
+                f"{self.round_index}] (max_staleness={self.max_staleness})"
+            )
+        return self._history[-1 - offset].copy()
+
     def broadcast(self) -> ParameterBroadcast:
         """Start a round: publish x_t to all workers."""
         return ParameterBroadcast(round_index=self.round_index, params=self.params)
@@ -60,18 +110,27 @@ class ParameterServer:
     def step(self, messages: list[GradientMessage]) -> AggregationResult:
         """Finish a round: aggregate the n proposals and update x.
 
-        Messages must all belong to the current round and are ordered by
-        worker id before aggregation so that worker identifiers align
-        with row indices (the tie-break of Krum's footnote 3 depends on
-        this ordering).
+        Messages must carry round indices inside the staleness window
+        ``[current − max_staleness, current]`` (with the default
+        ``max_staleness = 0`` that is exactly the synchronous contract:
+        every message belongs to the current round).  Proposals are
+        ordered by worker id before aggregation so that worker
+        identifiers align with row indices (the tie-break of Krum's
+        footnote 3 depends on this ordering).
         """
         if not messages:
             raise SimulationError("server received no gradient messages")
-        stale = [m for m in messages if m.round_index != self.round_index]
-        if stale:
+        oldest = self.round_index - self.max_staleness
+        rejected = [
+            m
+            for m in messages
+            if m.round_index > self.round_index or m.round_index < oldest
+        ]
+        if rejected:
             raise SimulationError(
                 f"round {self.round_index} received messages for rounds "
-                f"{sorted({m.round_index for m in stale})}"
+                f"{sorted({m.round_index for m in rejected})} outside the "
+                f"staleness window [{oldest}, {self.round_index}]"
             )
         ids = [m.worker_id for m in messages]
         if len(set(ids)) != len(ids):
@@ -83,7 +142,19 @@ class ParameterServer:
                 f"proposals have dimension {stack.shape[1]}, server expects "
                 f"{self.dimension}"
             )
-        result = self.aggregator.aggregate_detailed(stack)
+        if isinstance(self.aggregator, StalenessAwareAggregator):
+            staleness = np.asarray(
+                [self.round_index - m.round_index for m in ordered],
+                dtype=np.int64,
+            )
+            used_params = np.stack(
+                [self.params_at(m.round_index) for m in ordered]
+            )
+            result = self.aggregator.aggregate_detailed_stale(
+                stack, staleness, used_params=used_params
+            )
+        else:
+            result = self.aggregator.aggregate_detailed(stack)
         rate = self.schedule(self.round_index)
         self._params = self._params - rate * result.vector
         if self.halt_on_nonfinite and not np.all(np.isfinite(self._params)):
@@ -93,4 +164,5 @@ class ParameterServer:
                 f"reached the update"
             )
         self.round_index += 1
+        self._history.append(self._params.copy())
         return result

@@ -1,10 +1,20 @@
-"""The synchronous-round training simulation.
+"""The round-based training simulation.
 
 ``TrainingSimulation`` wires together the paper's cast: one reliable
 parameter server, ``n − f`` correct workers with private i.i.d. gradient
 estimators, ``f`` Byzantine slots whose proposals an omniscient
 :class:`~repro.attacks.Attack` crafts after seeing everything, and a
 choice function ``F``.  ``run`` executes rounds and records metrics.
+
+Rounds are synchronous by default.  The asynchronous mode —
+``max_staleness > 0`` and/or a ``delay_schedule`` — relaxes the barrier:
+a worker whose schedule says it lags ``τ`` at round ``t`` submits the
+gradient it computed at ``x_{t−τ}``, tagged with round ``t − τ``, and
+the server accepts it inside its bounded-staleness window.  Effective
+staleness is ``min(τ, t, max_staleness)`` (a worker cannot predate
+round 0, and the bounded-staleness protocol caps the lag — the
+stale-synchronous-parallel contract), so ``max_staleness = 0`` is the
+synchronous loop bit for bit, whatever schedule is configured.
 """
 
 from __future__ import annotations
@@ -15,12 +25,13 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
 from repro.core.aggregator import Aggregator
-from repro.distributed.messages import GradientMessage
+from repro.distributed.delays import DelaySchedule, make_delay_schedule
+from repro.distributed.messages import GradientMessage, ParameterBroadcast
 from repro.distributed.metrics import RoundRecord, TrainingHistory
 from repro.distributed.schedules import LearningRateSchedule
 from repro.distributed.server import ParameterServer
 from repro.distributed.worker import ByzantineWorker, HonestWorker
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.gradients.base import GradientEstimator
 from repro.utils.linalg import stack_vectors
 from repro.utils.rng import SeedLike, spawn_generators
@@ -59,9 +70,21 @@ class TrainingSimulation:
         Optional callable mapping params to metric dict; recognized keys
         ``loss``/``accuracy`` land in the record fields, everything else
         goes into ``extras``.
+    halt_on_nonfinite:
+        Threaded to the :class:`~repro.distributed.server.ParameterServer`:
+        when true, a non-finite parameter vector after an update raises
+        ``SimulationError`` instead of silently training on NaN.
+    max_staleness:
+        The server's bounded-staleness window (0 = synchronous).
+    delay_schedule:
+        A :class:`~repro.distributed.delays.DelaySchedule` instance or
+        registry name modeling per-worker lag; ``None`` keeps every
+        worker fresh.  Randomized schedules are bound to a stream
+        spawned from the root seed, so the delay pattern is reproducible
+        from the cell's seed alone.
     seed:
-        Root seed; worker streams and the attack stream are spawned from
-        it independently.
+        Root seed; worker streams, the attack stream and the delay
+        stream are spawned from it independently.
     """
 
     def __init__(
@@ -76,6 +99,9 @@ class TrainingSimulation:
         byzantine_slots: str | Sequence[int] = "last",
         true_gradient_fn: Callable[[np.ndarray], np.ndarray] | None = None,
         evaluate: Evaluator | None = None,
+        halt_on_nonfinite: bool = False,
+        max_staleness: int = 0,
+        delay_schedule: DelaySchedule | str | None = None,
         seed: SeedLike = 0,
     ):
         if num_byzantine < 0:
@@ -88,6 +114,10 @@ class TrainingSimulation:
             raise ConfigurationError("an attack was supplied but num_byzantine=0")
         if not honest_estimators:
             raise ConfigurationError("need at least one honest estimator")
+        if int(max_staleness) < 0:
+            raise ConfigurationError(
+                f"max_staleness must be >= 0, got {max_staleness}"
+            )
 
         self.num_honest = len(honest_estimators)
         self.num_byzantine = int(num_byzantine)
@@ -99,8 +129,12 @@ class TrainingSimulation:
             i for i in range(self.num_workers) if i not in set(self.byzantine_ids)
         ]
 
-        streams = spawn_generators(seed, self.num_honest + 1)
-        self.attack_rng = streams[-1]
+        # num_honest worker streams, the attack stream, and one delay
+        # stream used to bind randomized delay schedules.  Spawning is
+        # sequential, so the worker and attack streams are identical to
+        # the pre-async layout — synchronous trajectories are unchanged.
+        streams = spawn_generators(seed, self.num_honest + 2)
+        self.attack_rng = streams[self.num_honest]
         self.honest_workers = [
             HonestWorker(worker_id, estimator, rng)
             for worker_id, estimator, rng in zip(
@@ -109,7 +143,29 @@ class TrainingSimulation:
         ]
         self.byzantine_workers = [ByzantineWorker(i) for i in self.byzantine_ids]
 
-        self.server = ParameterServer(initial_params, aggregator, schedule)
+        self.max_staleness = int(max_staleness)
+        if isinstance(delay_schedule, str):
+            delay_schedule = make_delay_schedule(delay_schedule)
+        if delay_schedule is not None and not isinstance(
+            delay_schedule, DelaySchedule
+        ):
+            raise ConfigurationError(
+                f"delay_schedule must be a DelaySchedule, registry name or "
+                f"None, got {type(delay_schedule).__name__}"
+            )
+        self.delay_schedule = (
+            None
+            if delay_schedule is None
+            else delay_schedule.bind(streams[self.num_honest + 1])
+        )
+
+        self.server = ParameterServer(
+            initial_params,
+            aggregator,
+            schedule,
+            halt_on_nonfinite=halt_on_nonfinite,
+            max_staleness=self.max_staleness,
+        )
         dims = {est.dimension for est in honest_estimators}
         if dims != {self.server.dimension}:
             raise ConfigurationError(
@@ -146,18 +202,58 @@ class TrainingSimulation:
     def params(self) -> np.ndarray:
         return self.server.params
 
-    def run_round(self) -> RoundRecord:
-        """Execute one synchronous round and return its record."""
-        broadcast = self.server.broadcast()
-        rate = self.server.schedule(broadcast.round_index)
+    @property
+    def is_async(self) -> bool:
+        """Whether this simulation runs the staleness-aware round path
+        (a delay schedule and/or a positive staleness window)."""
+        return self.delay_schedule is not None or self.max_staleness > 0
 
-        honest_messages = [w.compute(broadcast) for w in self.honest_workers]
+    def effective_staleness(self, worker_id: int, round_index: int) -> int:
+        """The lag actually applied to a worker's round-t proposal:
+        the schedule's desired τ, clipped by the start of time and by
+        the bounded-staleness window (SSP semantics — a worker cannot
+        fall further behind than the server's bound)."""
+        if self.delay_schedule is None:
+            return 0
+        tau = int(self.delay_schedule.staleness(worker_id, round_index))
+        if tau < 0:
+            raise SimulationError(
+                f"delay schedule produced negative staleness {tau} for "
+                f"worker {worker_id} at round {round_index}"
+            )
+        return min(tau, round_index, self.max_staleness)
+
+    def run_round(self) -> RoundRecord:
+        """Execute one round (synchronous or bounded-stale) and return
+        its record."""
+        broadcast = self.server.broadcast()
+        t = broadcast.round_index
+        rate = self.server.schedule(t)
+        is_async = self.is_async
+
+        honest_messages = []
+        honest_staleness = []
+        for worker in self.honest_workers:
+            tau = self.effective_staleness(worker.worker_id, t)
+            if tau == 0:
+                honest_messages.append(worker.compute(broadcast))
+            else:
+                stale = ParameterBroadcast(
+                    round_index=t - tau,
+                    params=self.server.params_at(t - tau),
+                )
+                honest_messages.append(worker.compute(stale))
+            honest_staleness.append(tau)
         messages = list(honest_messages)
 
         if self.num_byzantine > 0:
             assert self.attack is not None
+            byzantine_staleness = [
+                self.effective_staleness(worker.worker_id, t)
+                for worker in self.byzantine_workers
+            ]
             context = AttackContext(
-                round_index=broadcast.round_index,
+                round_index=t,
                 params=broadcast.params,
                 honest_gradients=stack_vectors(
                     [m.vector for m in honest_messages]
@@ -174,12 +270,34 @@ class TrainingSimulation:
                     if self.true_gradient_fn is not None
                     else None
                 ),
+                honest_staleness=(
+                    np.asarray(honest_staleness, dtype=np.int64)
+                    if is_async
+                    else None
+                ),
+                byzantine_staleness=(
+                    np.asarray(byzantine_staleness, dtype=np.int64)
+                    if is_async
+                    else None
+                ),
+                honest_params=(
+                    np.stack(
+                        [
+                            self.server.params_at(t - tau)
+                            for tau in honest_staleness
+                        ]
+                    )
+                    if is_async
+                    else None
+                ),
             )
             crafted = self.attack.craft(context)
-            for worker, vector in zip(self.byzantine_workers, crafted):
+            for worker, vector, tau in zip(
+                self.byzantine_workers, crafted, byzantine_staleness
+            ):
                 messages.append(
                     GradientMessage(
-                        round_index=broadcast.round_index,
+                        round_index=t - tau,
                         worker_id=worker.worker_id,
                         vector=vector,
                     )
@@ -189,7 +307,7 @@ class TrainingSimulation:
         byzantine_set = set(self.byzantine_ids)
         selected = tuple(int(i) for i in result.selected)
         return RoundRecord(
-            round_index=broadcast.round_index,
+            round_index=t,
             learning_rate=rate,
             aggregate_norm=float(np.linalg.norm(result.vector)),
             params_norm=float(np.linalg.norm(self.server.params)),

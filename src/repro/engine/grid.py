@@ -31,8 +31,10 @@ from __future__ import annotations
 import inspect
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from itertools import product
 
 from repro.core.registry import aggregator_factory, make_aggregator
+from repro.distributed.delays import make_delay_schedule
 from repro.engine.workloads import (
     QUADRATIC_DEFAULTS,
     make_workload,
@@ -128,6 +130,10 @@ class ScenarioSpec:
     learning_rate: float = 0.1
     lr_timescale: float | None = 100.0
     byzantine_slots: str = "last"
+    max_staleness: int = 0
+    delay_schedule: str | None = None
+    delay_kwargs: dict = field(default_factory=dict)
+    halt_on_nonfinite: bool = False
 
     def __post_init__(self) -> None:
         resolved = _resolve_quadratic_shim(
@@ -140,16 +146,23 @@ class ScenarioSpec:
         if self.workload == "quadratic":
             for name in _QUADRATIC_SHIM_FIELDS:
                 object.__setattr__(self, name, resolved[name])
+        if self.max_staleness < 0:
+            raise ConfigurationError(
+                f"max_staleness must be >= 0, got {self.max_staleness}"
+            )
+        # Validates the (name, kwargs) pair at declaration time; also
+        # rejects delay kwargs without a schedule name.
+        make_delay_schedule(self.delay_schedule, self.delay_kwargs)
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would raise on the kwargs
-        # dicts; hash the label (which encodes workload, attack and rule
-        # kwargs) plus the remaining scalars instead.  Equal specs have
-        # equal labels, so the eq/hash contract holds — treat the kwargs
-        # dicts as read-only.
+        # dicts; hash the label (which encodes workload, attack, rule
+        # and delay kwargs) plus the remaining scalars instead.  Equal
+        # specs have equal labels, so the eq/hash contract holds — treat
+        # the kwargs dicts as read-only.
         return hash(
             (self.label, self.learning_rate, self.lr_timescale,
-             self.byzantine_slots)
+             self.byzantine_slots, self.halt_on_nonfinite)
         )
 
     @property
@@ -170,13 +183,29 @@ class ScenarioSpec:
         return _encode_kwargs(self.workload, kwargs)
 
     @property
+    def async_label(self) -> str | None:
+        """The label segment identifying this cell's asynchrony, or
+        ``None`` for the (default) synchronous cell — so synchronous
+        labels are exactly what they were before the async axes existed.
+        """
+        if self.max_staleness == 0 and self.delay_schedule is None:
+            return None
+        delay = (
+            _encode_kwargs(self.delay_schedule, self.delay_kwargs)
+            if self.delay_schedule is not None
+            else "no-delay"
+        )
+        return f"stale<={self.max_staleness}|{delay}"
+
+    @property
     def label(self) -> str:
         """Unique human-readable cell identifier used in result dicts.
 
-        Encodes the workload and the kwargs of the rule and the attack
-        (collision-safely — see :func:`_encode_kwargs`) so grids can
-        sweep workload, rule *and* attack parameters without label
-        collisions.
+        Encodes the workload, the kwargs of the rule and the attack, and
+        — for asynchronous cells — the staleness bound and delay
+        schedule (collision-safely — see :func:`_encode_kwargs`) so
+        grids can sweep workload, rule, attack *and* delay parameters
+        without label collisions.
         """
         agg = _encode_kwargs(self.aggregator, self.aggregator_kwargs)
         attack = (
@@ -184,10 +213,12 @@ class ScenarioSpec:
             if self.attack is not None
             else "no-attack"
         )
-        return (
+        base = (
             f"seed={self.seed}|{self.workload_label}|{attack}|{agg}"
             f"|f={self.num_byzantine}"
         )
+        suffix = self.async_label
+        return base if suffix is None else f"{base}|{suffix}"
 
 
 def _accepts_f(factory: object) -> bool:
@@ -210,6 +241,15 @@ class ScenarioGrid:
     ``workload``/``workload_kwargs`` pair, which itself defaults to the
     paper's analytic quadratic setting.  Mixed-dimension grids are fine:
     the batched executor groups cells by parameter dimension.
+
+    Asynchrony is two more axes: ``max_staleness_values`` sweeps the
+    server's bounded-staleness window and ``delay_schedules`` the
+    per-worker delay model (``(registry_name, kwargs)`` pairs from
+    :mod:`repro.distributed.delays`; an entry of ``(None, {})`` is the
+    synchronous arm).  Both default to one entry — the singular
+    ``max_staleness``/``delay_schedule``+``delay_kwargs`` knobs, which
+    themselves default to the synchronous model, keeping pre-async grids
+    (and their cell labels) unchanged.
 
     Example::
 
@@ -241,6 +281,12 @@ class ScenarioGrid:
     learning_rate: float = 0.1
     lr_timescale: float | None = 100.0
     byzantine_slots: str = "last"
+    max_staleness: int = 0
+    max_staleness_values: Sequence[int] | None = None
+    delay_schedule: str | None = None
+    delay_kwargs: Mapping = field(default_factory=dict)
+    delay_schedules: Sequence[tuple[str | None, Mapping]] | None = None
+    halt_on_nonfinite: bool = False
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -315,6 +361,45 @@ class ScenarioGrid:
         # pre-workload scalar fields did.
         for name, kwargs in axis:
             make_workload(name, kwargs)
+        # Resolve the asynchrony axes the same way the workload axis
+        # resolves: plural sweeps exclude the singular knobs.
+        if self.max_staleness_values is not None:
+            if self.max_staleness != 0:
+                raise ConfigurationError(
+                    "pass either max_staleness or a max_staleness_values "
+                    "axis, not both"
+                )
+            if not self.max_staleness_values:
+                raise ConfigurationError(
+                    "grid needs at least one max_staleness value"
+                )
+            staleness_axis = tuple(int(s) for s in self.max_staleness_values)
+        else:
+            staleness_axis = (int(self.max_staleness),)
+        for bound in staleness_axis:
+            if bound < 0:
+                raise ConfigurationError(
+                    f"max_staleness values must be >= 0, got {bound}"
+                )
+        object.__setattr__(self, "max_staleness_values", staleness_axis)
+        if self.delay_schedules is not None:
+            if self.delay_schedule is not None or self.delay_kwargs:
+                raise ConfigurationError(
+                    "pass either delay_schedule/delay_kwargs or a "
+                    "delay_schedules axis, not both"
+                )
+            if not self.delay_schedules:
+                raise ConfigurationError(
+                    "grid needs at least one delay schedule spec"
+                )
+            delay_axis = tuple(
+                (name, dict(kwargs)) for name, kwargs in self.delay_schedules
+            )
+        else:
+            delay_axis = ((self.delay_schedule, dict(self.delay_kwargs)),)
+        for name, kwargs in delay_axis:
+            make_delay_schedule(name, kwargs)
+        object.__setattr__(self, "delay_schedules", delay_axis)
 
     def _aggregator_kwargs(self, name: str, kwargs: Mapping, f: int) -> dict:
         """Resolve a rule's kwargs for a cell, injecting the cell's f
@@ -333,35 +418,47 @@ class ScenarioGrid:
         """
         cells: list[ScenarioSpec] = []
         attack_specs: Iterable[tuple[str, Mapping] | None]
-        for seed in self.seeds:
-            for workload_name, workload_kwargs in self.workloads:
-                for f in self.f_values:
-                    attack_specs = self.attacks if f > 0 else (None,)
-                    for attack_spec in attack_specs:
-                        for agg_name, agg_kwargs in self.aggregators:
-                            attack_name = None
-                            attack_kwargs: dict = {}
-                            if attack_spec is not None:
-                                attack_name, raw = attack_spec
-                                attack_kwargs = dict(raw)
-                            cells.append(
-                                ScenarioSpec(
-                                    seed=int(seed),
-                                    aggregator=agg_name,
-                                    aggregator_kwargs=self._aggregator_kwargs(
-                                        agg_name, agg_kwargs, f
-                                    ),
-                                    attack=attack_name,
-                                    attack_kwargs=attack_kwargs,
-                                    num_workers=self.num_workers,
-                                    num_byzantine=int(f),
-                                    workload=workload_name,
-                                    workload_kwargs=dict(workload_kwargs),
-                                    learning_rate=self.learning_rate,
-                                    lr_timescale=self.lr_timescale,
-                                    byzantine_slots=self.byzantine_slots,
-                                )
+        outer = product(
+            self.seeds,
+            self.workloads,
+            self.max_staleness_values,
+            self.delay_schedules,
+        )
+        for seed, (workload_name, workload_kwargs), max_staleness, (
+            delay_name,
+            delay_kwargs,
+        ) in outer:
+            for f in self.f_values:
+                attack_specs = self.attacks if f > 0 else (None,)
+                for attack_spec in attack_specs:
+                    for agg_name, agg_kwargs in self.aggregators:
+                        attack_name = None
+                        attack_kwargs: dict = {}
+                        if attack_spec is not None:
+                            attack_name, raw = attack_spec
+                            attack_kwargs = dict(raw)
+                        cells.append(
+                            ScenarioSpec(
+                                seed=int(seed),
+                                aggregator=agg_name,
+                                aggregator_kwargs=self._aggregator_kwargs(
+                                    agg_name, agg_kwargs, f
+                                ),
+                                attack=attack_name,
+                                attack_kwargs=attack_kwargs,
+                                num_workers=self.num_workers,
+                                num_byzantine=int(f),
+                                workload=workload_name,
+                                workload_kwargs=dict(workload_kwargs),
+                                learning_rate=self.learning_rate,
+                                lr_timescale=self.lr_timescale,
+                                byzantine_slots=self.byzantine_slots,
+                                max_staleness=int(max_staleness),
+                                delay_schedule=delay_name,
+                                delay_kwargs=dict(delay_kwargs),
+                                halt_on_nonfinite=self.halt_on_nonfinite,
                             )
+                        )
         return cells
 
     def __len__(self) -> int:
@@ -370,7 +467,13 @@ class ScenarioGrid:
         per_workload = len(self.aggregators) * (
             f_zero + f_pos * len(self.attacks)
         )
-        return len(self.seeds) * len(self.workloads) * per_workload
+        return (
+            len(self.seeds)
+            * len(self.workloads)
+            * len(self.max_staleness_values)
+            * len(self.delay_schedules)
+            * per_workload
+        )
 
     def validate(self) -> None:
         """Eagerly resolve every registry reference the grid names,
@@ -383,6 +486,8 @@ class ScenarioGrid:
         """
         for name, kwargs in self.workloads:
             make_workload(name, kwargs)
+        for name, kwargs in self.delay_schedules:
+            make_delay_schedule(name, kwargs)
         checked: set[tuple] = set()
         for spec in self.scenarios():
             key = (

@@ -29,6 +29,7 @@ import numpy as np
 from repro.attacks.registry import make_attack
 from repro.backend import ArrayBackend, resolve_backend
 from repro.core.registry import make_aggregator
+from repro.distributed.delays import make_delay_schedule
 from repro.distributed.metrics import TrainingHistory
 from repro.distributed.simulator import TrainingSimulation
 from repro.engine.grid import ScenarioGrid, ScenarioSpec
@@ -85,6 +86,7 @@ def build_scenario_simulation(
         workload = make_workload(spec.workload, spec.workload_kwargs)
     aggregator = make_aggregator(spec.aggregator, **spec.aggregator_kwargs)
     attack = make_attack(spec.attack, spec.attack_kwargs)
+    delay_schedule = make_delay_schedule(spec.delay_schedule, spec.delay_kwargs)
     return workload.build(
         aggregator=aggregator,
         num_workers=spec.num_workers,
@@ -93,6 +95,9 @@ def build_scenario_simulation(
         learning_rate=spec.learning_rate,
         lr_timescale=spec.lr_timescale,
         byzantine_slots=spec.byzantine_slots,
+        max_staleness=spec.max_staleness,
+        delay_schedule=delay_schedule,
+        halt_on_nonfinite=spec.halt_on_nonfinite,
         seed=spec.seed,
     )
 

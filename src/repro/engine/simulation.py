@@ -38,6 +38,19 @@ gradients.  The index draw is the only stream-consuming step, so the
 differential bit-for-bit guarantee extends to every registered workload
 (see ``tests/engine/test_workloads.py``).
 
+Asynchronous scenarios (``max_staleness``/``delay_schedule`` on the
+simulation) run in the same batch: the executor keeps the parameter
+matrices of the last ``max_staleness + 1`` rounds and fills each stale
+worker's proposal from the history row its delay schedule selects —
+exactly the parameters the loop executor's server would have served it.
+Staleness-aware rules (the Kardam-style filter) have no vectorized
+kernel yet, so their cells aggregate through the per-scenario loop
+fallback, which threads the per-proposal staleness and used-parameter
+blocks through the same staleness-aware interface the
+:class:`~repro.distributed.server.ParameterServer` calls; plain rules
+under staleness keep their native kernels.  ``native_fraction`` reports
+the split.
+
 The input simulations are *consumed*: their worker and attack RNG
 streams advance exactly as if each had run individually, so do not reuse
 them afterwards.
@@ -45,6 +58,7 @@ them afterwards.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -240,6 +254,15 @@ class BatchedSimulation:
             dtype=self._float_dtype,
         )
         self._round_index = 0
+        # Bounded parameter history for stale proposal filling (and the
+        # used-parameter blocks of staleness-aware rules): one (B, d)
+        # matrix per retained round, history[-1] being the current
+        # round's parameters — the executor's analogue of the server's
+        # window.  Each round *replaces* self._params, so appending the
+        # matrix itself snapshots it without a copy.
+        window = 1 + max(sim.max_staleness for sim in sims)
+        self._history: deque[np.ndarray] = deque(maxlen=window)
+        self._history.append(self._params)
 
     # ------------------------------------------------------------------
 
@@ -263,23 +286,83 @@ class BatchedSimulation:
 
     # ------------------------------------------------------------------
 
-    def _fill_proposals(self, slot: int) -> np.ndarray | None:
+    def _params_at(self, slot: int, staleness: int) -> np.ndarray:
+        """One scenario's parameter row as of ``staleness`` rounds ago —
+        the batched analogue of ``ParameterServer.params_at``."""
+        return self._history[-1 - staleness][slot]
+
+    def _staleness_row(self, slot: int, round_index: int) -> np.ndarray | None:
+        """Per-worker effective staleness of one scenario this round, or
+        ``None`` for a synchronous scenario (nothing to look up)."""
+        sim = self._scenarios[slot].simulation
+        if not sim.is_async:
+            return None
+        return np.asarray(
+            [
+                sim.effective_staleness(worker_id, round_index)
+                for worker_id in range(sim.num_workers)
+            ],
+            dtype=np.int64,
+        )
+
+    def _fill_proposals(
+        self, slot: int, staleness_row: np.ndarray | None
+    ) -> np.ndarray | None:
         """Compute one scenario's honest proposals into the batch tensor;
-        returns the shared expected gradient when the fast path applies
-        (for reuse as the attack's omniscient oracle)."""
+        returns the *fresh* expected gradient when the shared-oracle fast
+        path evaluated it (for reuse as the attack's omniscient oracle).
+
+        ``staleness_row`` routes each worker to the parameter history
+        row its delay schedule selects; ``None`` (or an all-zero row)
+        reads the current parameters, exactly like the synchronous path.
+        """
         scenario = self._scenarios[slot]
         sim = scenario.simulation
-        params = scenario.params.copy()
+
+        # One defensive copy per *distinct staleness* this round (one
+        # total in the synchronous case, like the pre-async executor) —
+        # workers sharing a staleness read the same snapshot, exactly as
+        # the loop executor's workers share one broadcast per round.
+        params_cache: dict[int, np.ndarray] = {}
+
+        def worker_params(worker_id: int) -> np.ndarray:
+            tau = (
+                0
+                if staleness_row is None
+                else int(staleness_row[worker_id])
+            )
+            if tau not in params_cache:
+                source = (
+                    scenario.params
+                    if tau == 0
+                    else self._params_at(slot, tau)
+                )
+                params_cache[tau] = source.copy()
+            return params_cache[tau]
+
         row = self._proposals[slot]
         if scenario.shared_gradient_fn is not None:
-            expected = np.asarray(
-                scenario.shared_gradient_fn(params), dtype=self._float_dtype
-            )
+            # One gradient evaluation per distinct staleness this round
+            # — bit-identical to per-worker evaluation because the
+            # oracle is deterministic in its parameters.
+            expected_at: dict[int, np.ndarray] = {}
             for worker in sim.honest_workers:
-                row[worker.worker_id] = worker.estimator.sample_about(
-                    expected, worker.rng
+                tau = (
+                    0
+                    if staleness_row is None
+                    else int(staleness_row[worker.worker_id])
                 )
-            return expected
+                if tau not in expected_at:
+                    expected_at[tau] = np.asarray(
+                        scenario.shared_gradient_fn(
+                            worker_params(worker.worker_id)
+                        ),
+                        dtype=self._float_dtype,
+                    )
+                row[worker.worker_id] = worker.estimator.sample_about(
+                    expected_at[tau], worker.rng
+                )
+            return expected_at.get(0)
         if scenario.minibatch:
             # Per-worker batched path for dataset workloads: draw every
             # worker's mini-batch indices first, in worker loop order —
@@ -292,16 +375,21 @@ class BatchedSimulation:
             ]
             for worker, indices in draws:
                 row[worker.worker_id] = worker.estimator.gradient_at(
-                    params, indices
+                    worker_params(worker.worker_id), indices
                 )
             return None
         for worker in sim.honest_workers:
             row[worker.worker_id] = worker.estimator.estimate(
-                params, worker.rng
+                worker_params(worker.worker_id), worker.rng
             )
         return None
 
-    def _craft_attack(self, slot: int, expected: np.ndarray | None) -> None:
+    def _craft_attack(
+        self,
+        slot: int,
+        expected: np.ndarray | None,
+        staleness_row: np.ndarray | None,
+    ) -> None:
         scenario = self._scenarios[slot]
         sim = scenario.simulation
         if sim.num_byzantine == 0:
@@ -317,6 +405,14 @@ class BatchedSimulation:
                 true_gradient = expected
             else:
                 true_gradient = sim.true_gradient_fn(params)
+        honest_params = None
+        if staleness_row is not None:
+            honest_params = np.stack(
+                [
+                    self._params_at(slot, int(staleness_row[i])).copy()
+                    for i in scenario.honest_ids
+                ]
+            )
         context = AttackContext(
             round_index=self._round_index,
             params=params,
@@ -327,42 +423,92 @@ class BatchedSimulation:
             rng=sim.attack_rng,
             aggregator=sim.server.aggregator,
             true_gradient=true_gradient,
+            honest_staleness=(
+                None
+                if staleness_row is None
+                else staleness_row[scenario.honest_ids]
+            ),
+            byzantine_staleness=(
+                None
+                if staleness_row is None
+                else staleness_row[scenario.byzantine_ids]
+            ),
+            honest_params=honest_params,
         )
         crafted = sim.attack.craft(context)
         self._proposals[slot][scenario.byzantine_ids] = crafted
 
+    def _group_staleness(
+        self, group: _Group, rows: list[np.ndarray | None]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The per-proposal staleness and used-parameter blocks of one
+        staleness-aware rule group — the same arrays the loop executor's
+        server hands ``aggregate_detailed_stale`` (zeros and the current
+        parameters for synchronous scenarios in the group)."""
+        size = group.stop - group.start
+        staleness = np.zeros((size, self.num_workers), dtype=np.int64)
+        used = np.empty(
+            (size, self.num_workers, self.dimension), dtype=self._float_dtype
+        )
+        for offset in range(size):
+            slot = group.start + offset
+            row = rows[slot]
+            if row is None:
+                used[offset] = self._history[-1][slot]
+                continue
+            staleness[offset] = row
+            for worker_id in range(self.num_workers):
+                used[offset, worker_id] = self._params_at(
+                    slot, int(row[worker_id])
+                )
+        return staleness, used
+
     def run_round(self) -> list[RoundRecord]:
-        """Execute one synchronous round for every scenario.
+        """Execute one round (synchronous or bounded-stale) for every
+        scenario.
 
         Returns the per-scenario records in the caller's input order.
         """
         t = self._round_index
         rates = np.empty(self.batch_size, dtype=self._float_dtype)
+        rows: list[np.ndarray | None] = [None] * self.batch_size
         for slot, scenario in enumerate(self._scenarios):
             rates[slot] = scenario.simulation.server.schedule(t)
-            expected = self._fill_proposals(slot)
-            self._craft_attack(slot, expected)
+            rows[slot] = self._staleness_row(slot, t)
+            expected = self._fill_proposals(slot, rows[slot])
+            self._craft_attack(slot, expected, rows[slot])
 
         aggregate = np.empty(
             (self.batch_size, self.dimension), dtype=self._float_dtype
         )
         selected: list[np.ndarray] = [None] * self.batch_size  # type: ignore[list-item]
         for group in self._groups:
-            result = group.adapter.aggregate_batch(
-                self._proposals[group.start : group.stop]
-            )
+            if group.adapter.supports_staleness:
+                staleness, used = self._group_staleness(group, rows)
+                result = group.adapter.aggregate_batch(
+                    self._proposals[group.start : group.stop],
+                    staleness=staleness,
+                    used_params=used,
+                )
+            else:
+                result = group.adapter.aggregate_batch(
+                    self._proposals[group.start : group.stop]
+                )
             # Native kernels return backend-typed arrays (torch tensors
             # on the torch backend); materialize them host-side once per
             # round for the SGD update and record bookkeeping.
             aggregate[group.start : group.stop] = self.backend.to_numpy(
                 result.vectors
             )
-            for offset, rows in enumerate(result.selected):
-                selected[group.start + offset] = rows
+            for offset, rows_selected in enumerate(result.selected):
+                selected[group.start + offset] = rows_selected
 
         # One batched SGD step: x_{t+1} = x_t − γ_t · F(...), elementwise
-        # identical to the per-scenario update.
+        # identical to the per-scenario update.  The subtraction builds a
+        # fresh matrix, so the retained history rounds stay valid
+        # snapshots.
         self._params = self._params - rates[:, None] * aggregate
+        self._history.append(self._params)
         records: list[RoundRecord] = [None] * self.batch_size  # type: ignore[list-item]
         for slot, scenario in enumerate(self._scenarios):
             scenario.params = self._params[slot]

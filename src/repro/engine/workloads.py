@@ -44,6 +44,7 @@ from collections.abc import Callable, Mapping, Sequence
 from repro.attacks.base import Attack
 from repro.core.aggregator import Aggregator
 from repro.data.dataset import Dataset
+from repro.distributed.delays import DelaySchedule
 from repro.data.mnist_like import IMAGE_SIDE, make_mnist_like
 from repro.data.partition import PARTITION_PROTOCOLS
 from repro.data.spambase_like import NUM_FEATURES, make_spambase_like
@@ -107,8 +108,18 @@ class Workload(ABC):
         lr_timescale: float | None,
         byzantine_slots: str | Sequence[int],
         seed: int,
+        max_staleness: int = 0,
+        delay_schedule: DelaySchedule | str | None = None,
+        halt_on_nonfinite: bool = False,
     ) -> TrainingSimulation:
-        """Materialize one cell's simulation on this workload."""
+        """Materialize one cell's simulation on this workload.
+
+        ``max_staleness``/``delay_schedule`` select the asynchronous
+        round model (both default to the synchronous loop) and
+        ``halt_on_nonfinite`` arms the server's non-finite guard; all
+        three thread straight through to
+        :class:`~repro.distributed.simulator.TrainingSimulation`.
+        """
 
 
 class QuadraticWorkload(Workload):
@@ -168,6 +179,9 @@ class QuadraticWorkload(Workload):
         lr_timescale,
         byzantine_slots,
         seed,
+        max_staleness=0,
+        delay_schedule=None,
+        halt_on_nonfinite=False,
     ) -> TrainingSimulation:
         return build_quadratic_simulation(
             self.bowl,
@@ -179,6 +193,9 @@ class QuadraticWorkload(Workload):
             learning_rate=learning_rate,
             lr_timescale=lr_timescale,
             byzantine_slots=byzantine_slots,
+            max_staleness=max_staleness,
+            delay_schedule=delay_schedule,
+            halt_on_nonfinite=halt_on_nonfinite,
             seed=seed,
         )
 
@@ -280,6 +297,9 @@ class DatasetWorkload(Workload):
         lr_timescale,
         byzantine_slots,
         seed,
+        max_staleness=0,
+        delay_schedule=None,
+        halt_on_nonfinite=False,
     ) -> TrainingSimulation:
         train, evaluation = self.datasets
         return build_dataset_simulation(
@@ -296,6 +316,9 @@ class DatasetWorkload(Workload):
             byzantine_slots=byzantine_slots,
             partition=self.partition,
             dirichlet_alpha=self.dirichlet_alpha,
+            max_staleness=max_staleness,
+            delay_schedule=delay_schedule,
+            halt_on_nonfinite=halt_on_nonfinite,
             seed=seed,
         )
 

@@ -15,6 +15,7 @@ from repro.data.partition import (
     iid_partition,
     label_shard_partition,
 )
+from repro.distributed.delays import DelaySchedule
 from repro.distributed.schedules import (
     ConstantSchedule,
     InverseTimeSchedule,
@@ -82,6 +83,9 @@ def build_quadratic_simulation(
     lr_timescale: float | None = 100.0,
     initial_params: np.ndarray | None = None,
     byzantine_slots: str | list[int] = "last",
+    max_staleness: int = 0,
+    delay_schedule: DelaySchedule | str | None = None,
+    halt_on_nonfinite: bool = False,
     seed: SeedLike = 0,
 ) -> TrainingSimulation:
     """Distributed SGD on an analytic quadratic bowl (Prop. 4.3 setting).
@@ -89,6 +93,9 @@ def build_quadratic_simulation(
     Every honest worker uses the Gaussian oracle ``∇Q(x) + σ N(0, I)``;
     the exact gradient is exposed to omniscient attacks and to the
     evaluator (``grad_norm``/``dist_to_opt`` series).
+    ``max_staleness``/``delay_schedule`` select the bounded-staleness
+    round model; ``halt_on_nonfinite`` arms the server's non-finite
+    guard.
     """
     num_honest = num_workers - num_byzantine
     if num_honest < 1:
@@ -110,6 +117,9 @@ def build_quadratic_simulation(
         byzantine_slots=byzantine_slots,
         true_gradient_fn=bowl.exact_gradient,
         evaluate=quadratic_evaluator(bowl),
+        max_staleness=max_staleness,
+        delay_schedule=delay_schedule,
+        halt_on_nonfinite=halt_on_nonfinite,
         seed=seed,
     )
 
@@ -129,6 +139,9 @@ def build_dataset_simulation(
     byzantine_slots: str | list[int] = "last",
     partition: str = "iid",
     dirichlet_alpha: float = 0.5,
+    max_staleness: int = 0,
+    delay_schedule: DelaySchedule | str | None = None,
+    halt_on_nonfinite: bool = False,
     seed: SeedLike = 0,
 ) -> TrainingSimulation:
     """Distributed SGD on a dataset sharded across honest workers.
@@ -192,5 +205,8 @@ def build_dataset_simulation(
         byzantine_slots=byzantine_slots,
         true_gradient_fn=full_gradient,
         evaluate=evaluator,
+        max_staleness=max_staleness,
+        delay_schedule=delay_schedule,
+        halt_on_nonfinite=halt_on_nonfinite,
         seed=seed,
     )

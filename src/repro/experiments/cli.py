@@ -27,6 +27,10 @@ from repro.attacks.registry import make_attack
 from repro.backend import available_backends, resolve_backend
 from repro.core.registry import available_aggregators, make_aggregator
 from repro.data.partition import PARTITION_PROTOCOLS
+from repro.distributed.delays import (
+    available_delay_schedules,
+    make_delay_schedule,
+)
 from repro.data.synthetic import make_blobs
 from repro.engine.simulation import BatchedSimulation
 from repro.engine.workloads import make_workload
@@ -94,6 +98,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--eval-every", type=int, default=25)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--max-staleness",
+        type=int,
+        default=0,
+        help="bounded-staleness window of the server (0 = synchronous "
+        "rounds); stale proposals beyond the window are clipped to it",
+    )
+    parser.add_argument(
+        "--delay-schedule",
+        choices=available_delay_schedules(),
+        default=None,
+        help="per-worker delay model for asynchronous rounds "
+        "(reproducible from --seed); pair with --max-staleness > 0",
+    )
+    parser.add_argument(
+        "--delay-tau",
+        type=int,
+        default=1,
+        help="lag of the constant/periodic schedules (and the maximum "
+        "draw of the random schedule)",
+    )
+    parser.add_argument(
+        "--delay-period",
+        type=int,
+        default=4,
+        help="period of the periodic delay schedule",
+    )
+    parser.add_argument(
+        "--halt-on-nonfinite",
+        action="store_true",
+        help="raise instead of training on NaN/Inf parameters (the "
+        "production server guard)",
+    )
+    parser.add_argument(
         "--backend",
         choices=available_backends(),
         default=None,
@@ -104,7 +141,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _delay_schedule(args: argparse.Namespace):
+    """Resolve the CLI's delay flags into a DelaySchedule (or None).
+
+    The flag surface maps onto each schedule's primary knobs:
+    ``--delay-tau`` is the constant/periodic lag and the random
+    schedule's maximum draw; ``--delay-period`` the periodic cadence.
+    """
+    if args.delay_schedule is None:
+        return None
+    kwargs: dict[str, object] = {}
+    if args.delay_schedule in ("constant", "periodic"):
+        kwargs["tau"] = args.delay_tau
+    if args.delay_schedule == "periodic":
+        kwargs["period"] = args.delay_period
+    if args.delay_schedule == "random":
+        kwargs["max_delay"] = args.delay_tau
+    return make_delay_schedule(args.delay_schedule, kwargs)
+
+
 def _build_simulation(args: argparse.Namespace, aggregator, attack):
+    delay_schedule = _delay_schedule(args)
     if args.dataset in _DATASET_WORKLOADS:
         workload = make_workload(
             _DATASET_WORKLOADS[args.dataset],
@@ -125,6 +182,9 @@ def _build_simulation(args: argparse.Namespace, aggregator, attack):
             learning_rate=args.learning_rate,
             lr_timescale=None,
             byzantine_slots="last",
+            max_staleness=args.max_staleness,
+            delay_schedule=delay_schedule,
+            halt_on_nonfinite=args.halt_on_nonfinite,
             seed=args.seed,
         )
     train = make_blobs(
@@ -145,6 +205,9 @@ def _build_simulation(args: argparse.Namespace, aggregator, attack):
         eval_dataset=test,
         partition=args.partition,
         dirichlet_alpha=args.dirichlet_alpha,
+        max_staleness=args.max_staleness,
+        delay_schedule=delay_schedule,
+        halt_on_nonfinite=args.halt_on_nonfinite,
         seed=args.seed,
     )
 
@@ -152,7 +215,7 @@ def _build_simulation(args: argparse.Namespace, aggregator, attack):
 def _build_aggregator(args: argparse.Namespace):
     kwargs: dict[str, object] = {}
     if args.aggregator in ("krum", "multi-krum", "trimmed-mean",
-                           "minimal-diameter", "bulyan"):
+                           "minimal-diameter", "bulyan", "kardam"):
         kwargs["f"] = args.byzantine
     if args.aggregator == "multi-krum":
         kwargs["m"] = args.m if args.m is not None else max(

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.backend import backend_factory
 from repro.data.partition import PARTITION_PROTOCOLS
+from repro.distributed.delays import delay_schedule_factory
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_factory_kwargs
 
@@ -24,6 +25,12 @@ class SGDExperimentConfig:
     naming a backend routes batched execution (e.g.
     :func:`~repro.experiments.runner.compare_aggregators`) through that
     array backend's kernels.
+
+    ``max_staleness``/``delay_schedule``+``delay_kwargs`` select the
+    asynchronous round model (both default to the synchronous loop) and
+    ``halt_on_nonfinite`` arms the parameter server's non-finite guard;
+    all thread through the builders to
+    :class:`~repro.distributed.TrainingSimulation`.
     """
 
     num_workers: int
@@ -43,6 +50,10 @@ class SGDExperimentConfig:
     dirichlet_alpha: float = 0.5
     backend: str | None = None
     backend_kwargs: dict = field(default_factory=dict)
+    max_staleness: int = 0
+    delay_schedule: str | None = None
+    delay_kwargs: dict = field(default_factory=dict)
+    halt_on_nonfinite: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -76,6 +87,23 @@ class SGDExperimentConfig:
         if self.dirichlet_alpha <= 0:
             raise ConfigurationError(
                 f"dirichlet_alpha must be positive, got {self.dirichlet_alpha}"
+            )
+        if self.max_staleness < 0:
+            raise ConfigurationError(
+                f"max_staleness must be >= 0, got {self.max_staleness}"
+            )
+        if self.delay_schedule is None:
+            if self.delay_kwargs:
+                raise ConfigurationError(
+                    "delay_kwargs requires a delay_schedule name; got "
+                    f"kwargs {self.delay_kwargs!r} with delay_schedule=None"
+                )
+        else:
+            check_factory_kwargs(
+                "delay schedule",
+                self.delay_schedule,
+                delay_schedule_factory(self.delay_schedule),
+                dict(self.delay_kwargs),
             )
         if self.backend is None:
             if self.backend_kwargs:

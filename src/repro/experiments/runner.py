@@ -7,6 +7,7 @@ from dataclasses import replace
 from repro.attacks.registry import make_attack
 from repro.backend import make_backend
 from repro.core.registry import make_aggregator
+from repro.distributed.delays import make_delay_schedule
 from repro.data.dataset import Dataset
 from repro.distributed.metrics import TrainingHistory
 from repro.distributed.simulator import TrainingSimulation
@@ -33,6 +34,9 @@ def build_experiment_simulation(
     """Materialize one dataset experiment described by ``config``."""
     aggregator = make_aggregator(config.aggregator, **config.aggregator_kwargs)
     attack = make_attack(config.attack, config.attack_kwargs)
+    delay_schedule = make_delay_schedule(
+        config.delay_schedule, config.delay_kwargs
+    )
     return build_dataset_simulation(
         model,
         train,
@@ -47,6 +51,9 @@ def build_experiment_simulation(
         byzantine_slots=config.byzantine_slots,
         partition=config.partition,
         dirichlet_alpha=config.dirichlet_alpha,
+        max_staleness=config.max_staleness,
+        delay_schedule=delay_schedule,
+        halt_on_nonfinite=config.halt_on_nonfinite,
         seed=config.seed,
     )
 

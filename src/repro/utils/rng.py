@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
+
 __all__ = ["as_generator", "spawn_generators"]
 
 SeedLike = int | np.random.SeedSequence | np.random.Generator | None
@@ -34,12 +36,39 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
 
     The streams are independent in the ``SeedSequence.spawn`` sense: no
     two of them share state, and the full list is reproducible from the
-    root seed.  When ``seed`` is already a ``Generator`` the children are
-    spawned from it (numpy >= 1.25 ``Generator.spawn``).
+    root seed.  Spawning is *sequential*: the first k children of
+    ``spawn_generators(seed, n)`` are identical for every n >= k, so
+    consumers may grow their stream count without perturbing existing
+    streams.
+
+    Every ``SeedLike`` alternative is supported: an int, a
+    ``SeedSequence``, ``None`` (fresh OS entropy), or an existing
+    ``Generator`` — children then spawn from the generator's own seed
+    sequence (``Generator.spawn`` where numpy provides it, its bit
+    generator's ``seed_seq`` otherwise).  Anything else raises
+    :class:`ConfigurationError` naming the accepted types instead of
+    leaking ``SeedSequence``'s raw ``TypeError``.
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ConfigurationError(f"count must be non-negative, got {count}")
     if isinstance(seed, np.random.Generator):
-        return list(seed.spawn(count))
-    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        if hasattr(seed, "spawn"):  # numpy >= 1.25
+            return list(seed.spawn(count))
+        root = seed.bit_generator.seed_seq
+        if not isinstance(root, np.random.SeedSequence):
+            raise ConfigurationError(
+                f"cannot spawn from a Generator whose bit generator was "
+                f"seeded without a SeedSequence "
+                f"(got {type(root).__name__}); seed it from an int or "
+                f"SeedSequence instead"
+            )
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif seed is None or isinstance(seed, (int, np.integer)):
+        root = np.random.SeedSequence(seed)
+    else:
+        raise ConfigurationError(
+            f"seed must be an int, numpy SeedSequence, numpy Generator or "
+            f"None, got {type(seed).__name__}"
+        )
     return [np.random.default_rng(child) for child in root.spawn(count)]

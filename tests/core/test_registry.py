@@ -68,6 +68,7 @@ class TestRegistryRoundTrip:
 
     # Minimal constructor kwargs per rule for an (n, d) = (8, 3) stack.
     CONSTRUCTOR_KWARGS = {
+        "kardam": {"f": 1},  # wraps krum by default
         "krum": {"f": 1},
         "multi-krum": {"f": 1, "m": 2},
         "bulyan": {"f": 1},  # needs n >= 4f + 3 = 7

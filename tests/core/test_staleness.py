@@ -1,0 +1,237 @@
+"""Tests for the Kardam-style staleness filter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.average import Average
+from repro.core.krum import Krum
+from repro.core.registry import make_aggregator
+from repro.core.staleness import KardamFilter, StalenessAwareAggregator
+from repro.exceptions import (
+    ByzantineToleranceError,
+    ConfigurationError,
+    DimensionMismatchError,
+)
+
+
+def _stack(rng, n=8, d=4):
+    return rng.standard_normal((n, d))
+
+
+class TestConstruction:
+    def test_registry_builds_wrapped_rule(self):
+        rule = make_aggregator("kardam", inner="krum", f=2)
+        assert isinstance(rule, KardamFilter)
+        assert isinstance(rule.inner, Krum)
+        assert rule.inner.f == 2
+        assert rule.name == "kardam(krum(f=2))"
+
+    def test_f_not_forced_on_f_free_inner(self):
+        rule = make_aggregator("kardam", inner="average", f=3)
+        assert isinstance(rule.inner, Average)
+
+    def test_name_encodes_non_default_config(self):
+        rule = KardamFilter(
+            Average(), dampening="exponential", gamma=0.9, drop_above=2
+        )
+        assert "dampening=exponential" in rule.name
+        assert "gamma=0.9" in rule.name
+        assert "drop_above=2" in rule.name
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="inner"):
+            KardamFilter("not-a-rule")
+        with pytest.raises(ConfigurationError, match="dampening"):
+            KardamFilter(Average(), dampening="bogus")
+        with pytest.raises(ConfigurationError, match="gamma"):
+            KardamFilter(Average(), gamma=0.0)
+        with pytest.raises(ConfigurationError, match="drop_above"):
+            KardamFilter(Average(), drop_above=-1)
+        with pytest.raises(ConfigurationError, match="lipschitz_quantile"):
+            KardamFilter(Average(), lipschitz_quantile=1.5)
+        with pytest.raises(ConfigurationError, match="window"):
+            KardamFilter(Average(), window=0)
+
+    def test_tolerance_delegates_to_inner(self):
+        rule = KardamFilter(Krum(f=3))
+        with pytest.raises(ByzantineToleranceError):
+            rule.check_tolerance(6)  # krum needs 2f + 2 < n
+
+
+class TestFreshIdentity:
+    """Zero staleness must be *exactly* the inner rule — the degenerate
+    case the async differential guarantee rests on."""
+
+    def test_sync_call_equals_inner(self, rng):
+        vectors = _stack(rng)
+        rule = KardamFilter(Krum(f=2))
+        expected = Krum(f=2).aggregate_detailed(vectors)
+        got = rule.aggregate_detailed(vectors)
+        assert got.vector.tobytes() == expected.vector.tobytes()
+        np.testing.assert_array_equal(got.selected, expected.selected)
+
+    def test_zero_staleness_equals_inner(self, rng):
+        vectors = _stack(rng)
+        rule = KardamFilter(Krum(f=2))
+        expected = Krum(f=2).aggregate_detailed(vectors)
+        got = rule.aggregate_detailed_stale(
+            vectors,
+            np.zeros(8, dtype=np.int64),
+            used_params=np.zeros_like(vectors),
+        )
+        assert got.vector.tobytes() == expected.vector.tobytes()
+
+    def test_dampening_factor_is_exactly_one_at_zero(self):
+        for mode in ("none", "inverse", "exponential"):
+            rule = KardamFilter(Average(), dampening=mode)
+            assert rule.dampening_factor(np.array([0]))[0] == 1.0
+
+
+class TestDampening:
+    def test_inverse_dampening_scales_stale_rows(self, rng):
+        vectors = np.ones((4, 3))
+        staleness = np.array([0, 1, 3, 0])
+        rule = KardamFilter(Average(), dampening="inverse")
+        out = rule.aggregate_detailed_stale(vectors, staleness).vector
+        expected = np.mean(
+            vectors * (1.0 / (1.0 + staleness))[:, None], axis=0
+        )
+        np.testing.assert_allclose(out, expected)
+
+    def test_exponential_dampening(self):
+        vectors = np.ones((2, 2))
+        rule = KardamFilter(
+            Average(), dampening="exponential", gamma=0.5
+        )
+        out = rule.aggregate_detailed_stale(
+            vectors, np.array([0, 2])
+        ).vector
+        np.testing.assert_allclose(out, np.mean([1.0, 0.25]) * np.ones(2))
+
+    def test_none_dampening_keeps_values(self, rng):
+        vectors = _stack(rng, n=5)
+        rule = KardamFilter(Average(), dampening="none")
+        out = rule.aggregate_detailed_stale(
+            vectors, np.array([0, 1, 2, 3, 4])
+        ).vector
+        np.testing.assert_array_equal(out, vectors.mean(axis=0))
+
+
+class TestDropping:
+    def test_drop_above_removes_rows(self):
+        vectors = np.stack([np.zeros(2), np.full(2, 100.0)])
+        rule = KardamFilter(Average(), dampening="none", drop_above=1)
+        out = rule.aggregate_detailed_stale(
+            vectors, np.array([0, 5])
+        ).vector
+        np.testing.assert_array_equal(out, np.zeros(2))
+
+    def test_selected_indices_map_back_to_original_rows(self, rng):
+        vectors = _stack(rng, n=9)
+        rule = KardamFilter(Krum(f=1), dampening="none", drop_above=0)
+        staleness = np.array([3, 0, 0, 0, 0, 0, 0, 0, 3])
+        result = rule.aggregate_detailed_stale(vectors, staleness)
+        # The winner is a kept row, reported in *original* coordinates.
+        assert result.selected[0] in range(1, 8)
+        np.testing.assert_array_equal(
+            result.vector, vectors[int(result.selected[0])]
+        )
+        # Scores expand back to n entries, NaN on dropped rows.
+        assert result.scores.shape == (9,)
+        assert np.isnan(result.scores[0]) and np.isnan(result.scores[8])
+
+    def test_all_dropped_waives_the_drop(self):
+        vectors = np.ones((3, 2))
+        rule = KardamFilter(Average(), dampening="none", drop_above=0)
+        out = rule.aggregate_detailed_stale(
+            vectors, np.array([2, 2, 2])
+        ).vector
+        np.testing.assert_array_equal(out, np.ones(2))
+
+
+class TestLipschitzFilter:
+    def test_outlier_growth_rate_is_dropped(self):
+        rule = KardamFilter(
+            Average(),
+            dampening="none",
+            lipschitz_quantile=0.8,
+            window=64,
+        )
+        rng = np.random.default_rng(0)
+        n, d = 6, 3
+        params = np.zeros((n, d))
+        vectors = rng.standard_normal((n, d)) * 0.1
+        # Warm up the coefficient window with tame rounds.
+        for _ in range(6):
+            new_params = params + 0.1
+            new_vectors = vectors + 0.01 * rng.standard_normal((n, d))
+            rule.aggregate_detailed_stale(
+                new_vectors,
+                np.zeros(n, dtype=np.int64),
+                used_params=new_params,
+            )
+            params, vectors = new_params, new_vectors
+        # Worker 0 suddenly jumps: huge ‖Δv‖ for the same ‖Δx‖.
+        spiked = vectors.copy()
+        spiked[0] += 1e6
+        result = rule.aggregate_detailed_stale(
+            spiked, np.zeros(n, dtype=np.int64), used_params=params + 0.1
+        )
+        assert abs(float(result.vector[0])) < 1e3  # spike filtered out
+
+    def test_hard_dropped_rows_do_not_poison_the_window(self):
+        """Regression: a proposal rejected by the drop_above cut must
+        not contribute its growth rate to the accepted-coefficient
+        window (else an adversary inflates the quantile threshold with
+        always-dropped stale proposals, then slips a spike through)."""
+        rule = KardamFilter(
+            Average(),
+            dampening="none",
+            drop_above=0,
+            lipschitz_quantile=0.5,
+        )
+        n, d = 4, 2
+        params = np.zeros((n, d))
+        vectors = np.full((n, d), 0.5)
+        rule.aggregate_detailed_stale(
+            vectors, np.zeros(n, dtype=np.int64), used_params=params
+        )
+        # Worker 0 is hard-dropped (stale) with an enormous growth rate.
+        spiked = vectors.copy()
+        spiked[0] += 1e9
+        staleness = np.zeros(n, dtype=np.int64)
+        staleness[0] = 5
+        rule.aggregate_detailed_stale(
+            spiked, staleness, used_params=params + 0.1
+        )
+        assert all(rate < 1e6 for rate in rule._coefficients)
+
+    def test_without_used_params_filter_is_skipped(self, rng):
+        rule = KardamFilter(
+            Average(), dampening="none", lipschitz_quantile=0.5
+        )
+        vectors = _stack(rng, n=4)
+        out = rule.aggregate_detailed_stale(
+            vectors, np.zeros(4, dtype=np.int64)
+        ).vector
+        np.testing.assert_array_equal(out, vectors.mean(axis=0))
+
+
+class TestValidationOfStaleInputs:
+    def test_shape_checks(self, rng):
+        rule = KardamFilter(Average())
+        vectors = _stack(rng, n=4)
+        with pytest.raises(DimensionMismatchError, match="staleness"):
+            rule.aggregate_detailed_stale(vectors, np.zeros(3))
+        with pytest.raises(DimensionMismatchError, match="used_params"):
+            rule.aggregate_detailed_stale(
+                vectors, np.zeros(4), used_params=np.zeros((4, 99))
+            )
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            rule.aggregate_detailed_stale(
+                vectors, np.array([0, -1, 0, 0])
+            )
+
+    def test_is_staleness_aware(self):
+        assert isinstance(KardamFilter(Average()), StalenessAwareAggregator)
+        assert not isinstance(Average(), StalenessAwareAggregator)

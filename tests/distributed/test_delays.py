@@ -1,0 +1,171 @@
+"""Tests for the delay-schedule registry and built-in schedules."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.delays import (
+    ConstantDelay,
+    DelaySchedule,
+    PeriodicDelay,
+    SeededRandomDelay,
+    ZeroDelay,
+    available_delay_schedules,
+    delay_schedule_factory,
+    make_delay_schedule,
+    register_delay_schedule,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_delay_schedules()
+        for expected in ("none", "constant", "periodic", "random"):
+            assert expected in names
+
+    def test_make_by_name(self):
+        schedule = make_delay_schedule("constant", {"tau": 2})
+        assert isinstance(schedule, ConstantDelay)
+        assert schedule.tau == 2
+
+    def test_none_passthrough(self):
+        assert make_delay_schedule(None) is None
+
+    def test_kwargs_without_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="without a"):
+            make_delay_schedule(None, {"tau": 2})
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            make_delay_schedule("no-such-schedule")
+        with pytest.raises(ConfigurationError, match="available"):
+            delay_schedule_factory("no-such-schedule")
+
+    def test_bad_kwargs_name_schedule_and_params(self):
+        with pytest.raises(
+            ConfigurationError, match="delay schedule 'constant'"
+        ):
+            make_delay_schedule("constant", {"nope": 1})
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            register_delay_schedule("", ZeroDelay)
+
+    def test_register_custom(self):
+        class EveryOther(DelaySchedule):
+            name = "every-other"
+
+            def staleness(self, worker_id, round_index):
+                return worker_id % 2
+
+        register_delay_schedule("every-other-test", EveryOther)
+        try:
+            schedule = make_delay_schedule("every-other-test")
+            assert schedule.staleness(3, 0) == 1
+        finally:
+            from repro.distributed import delays
+
+            delays._REGISTRY.pop("every-other-test", None)
+
+
+class TestSchedules:
+    def test_zero_delay(self):
+        schedule = ZeroDelay()
+        assert schedule.staleness(5, 17) == 0
+        assert schedule.bind(np.random.default_rng(0)) is schedule
+
+    def test_constant_uniform(self):
+        schedule = ConstantDelay(tau=3)
+        assert schedule.staleness(0, 0) == 3
+        assert schedule.staleness(7, 99) == 3
+
+    def test_constant_straggler_subset(self):
+        schedule = ConstantDelay(tau=2, workers=[1, 4])
+        assert schedule.staleness(1, 10) == 2
+        assert schedule.staleness(4, 10) == 2
+        assert schedule.staleness(0, 10) == 0
+
+    def test_constant_validation(self):
+        with pytest.raises(ConfigurationError, match="tau"):
+            ConstantDelay(tau=-1)
+        with pytest.raises(ConfigurationError, match="worker ids"):
+            ConstantDelay(tau=1, workers=[-2])
+
+    def test_periodic_rotates_through_workers(self):
+        schedule = PeriodicDelay(tau=2, period=4, stagger=1)
+        # Worker i is stale on rounds where (t + i) % 4 == 0.
+        assert schedule.staleness(0, 0) == 2
+        assert schedule.staleness(0, 1) == 0
+        assert schedule.staleness(3, 1) == 2
+        assert schedule.staleness(1, 3) == 2
+
+    def test_periodic_cluster_hiccup(self):
+        schedule = PeriodicDelay(tau=1, period=3, stagger=0)
+        for worker in range(5):
+            assert schedule.staleness(worker, 3) == 1
+            assert schedule.staleness(worker, 4) == 0
+
+    def test_periodic_validation(self):
+        with pytest.raises(ConfigurationError, match="period"):
+            PeriodicDelay(tau=1, period=0)
+        with pytest.raises(ConfigurationError, match="stagger"):
+            PeriodicDelay(tau=1, stagger=-1)
+
+    def test_random_requires_binding(self):
+        schedule = SeededRandomDelay(max_delay=3)
+        with pytest.raises(ConfigurationError, match="unbound"):
+            schedule.staleness(0, 0)
+
+    def test_random_is_pure_and_reproducible(self):
+        bound_a = SeededRandomDelay(max_delay=4).bind(
+            np.random.default_rng(7)
+        )
+        bound_b = SeededRandomDelay(max_delay=4).bind(
+            np.random.default_rng(7)
+        )
+        grid_a = [
+            bound_a.staleness(w, t) for w in range(6) for t in range(20)
+        ]
+        # Query in a different order: values must not depend on call
+        # order (the loop and batched executors interleave differently).
+        grid_b = [
+            bound_b.staleness(w, t)
+            for w, t in sorted(
+                ((w, t) for w in range(6) for t in range(20)),
+                key=lambda pair: (pair[1], -pair[0]),
+            )
+        ]
+        lookup = {
+            (w, t): bound_b.staleness(w, t)
+            for w in range(6)
+            for t in range(20)
+        }
+        assert grid_a == [
+            lookup[(w, t)] for w in range(6) for t in range(20)
+        ]
+        assert all(0 <= tau <= 4 for tau in grid_a)
+        assert any(tau > 0 for tau in grid_a)
+        assert len(grid_b) == len(grid_a)
+
+    def test_random_different_entropy_differs(self):
+        a = SeededRandomDelay(max_delay=4).bind(np.random.default_rng(1))
+        b = SeededRandomDelay(max_delay=4).bind(np.random.default_rng(2))
+        draws_a = [a.staleness(w, t) for w in range(8) for t in range(16)]
+        draws_b = [b.staleness(w, t) for w in range(8) for t in range(16)]
+        assert draws_a != draws_b
+
+    def test_random_prob_zero_never_stale(self):
+        schedule = SeededRandomDelay(max_delay=5, prob=0.0).bind(
+            np.random.default_rng(0)
+        )
+        assert all(
+            schedule.staleness(w, t) == 0
+            for w in range(4)
+            for t in range(10)
+        )
+
+    def test_random_validation(self):
+        with pytest.raises(ConfigurationError, match="max_delay"):
+            SeededRandomDelay(max_delay=0)
+        with pytest.raises(ConfigurationError, match="prob"):
+            SeededRandomDelay(max_delay=2, prob=1.5)

@@ -82,3 +82,69 @@ class TestParameterServer:
         server.step(_messages([np.array([1.0])], round_index=1))
         # x = 0 - 1.0*1 - 0.5*1
         np.testing.assert_allclose(server.params, [-1.5])
+
+
+class TestBoundedStaleness:
+    def test_window_accepts_bounded_stale_messages(self):
+        server = ParameterServer(
+            np.zeros(2), Average(), ConstantSchedule(0.1), max_staleness=2
+        )
+        server.step(_messages([np.ones(2)], round_index=0))
+        server.step(_messages([np.ones(2)], round_index=1))
+        # Round 2 may carry a message as old as round 0.
+        server.step(_messages([np.ones(2)], round_index=0))
+        assert server.round_index == 3
+
+    def test_window_rejects_too_stale_and_future(self):
+        server = ParameterServer(
+            np.zeros(2), Average(), ConstantSchedule(0.1), max_staleness=1
+        )
+        server.step(_messages([np.ones(2)], round_index=0))
+        server.step(_messages([np.ones(2)], round_index=1))
+        with pytest.raises(SimulationError, match="staleness window"):
+            server.step(_messages([np.ones(2)], round_index=0))
+        with pytest.raises(SimulationError, match="staleness window"):
+            server.step(_messages([np.ones(2)], round_index=5))
+
+    def test_negative_max_staleness_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="max_staleness"):
+            ParameterServer(
+                np.zeros(2), Average(), ConstantSchedule(0.1),
+                max_staleness=-1,
+            )
+
+    def test_params_at_returns_historical_vectors(self):
+        server = ParameterServer(
+            np.zeros(1), Average(), ConstantSchedule(1.0), max_staleness=2
+        )
+        np.testing.assert_array_equal(server.params_at(0), [0.0])
+        server.step(_messages([np.array([1.0])], round_index=0))
+        server.step(_messages([np.array([1.0])], round_index=1))
+        np.testing.assert_array_equal(server.params_at(2), [-2.0])
+        np.testing.assert_array_equal(server.params_at(1), [-1.0])
+        np.testing.assert_array_equal(server.params_at(0), [0.0])
+        with pytest.raises(SimulationError, match="retained window"):
+            server.params_at(3)
+
+    def test_params_at_outside_window_rejected(self):
+        server = ParameterServer(
+            np.zeros(1), Average(), ConstantSchedule(1.0), max_staleness=1
+        )
+        for t in range(3):
+            server.step(_messages([np.array([1.0])], round_index=t))
+        with pytest.raises(SimulationError, match="retained window"):
+            server.params_at(0)
+
+    def test_staleness_aware_aggregator_receives_staleness(self):
+        from repro.core.staleness import KardamFilter
+
+        rule = KardamFilter(Average(), dampening="inverse")
+        server = ParameterServer(
+            np.zeros(1), rule, ConstantSchedule(1.0), max_staleness=1
+        )
+        server.step(_messages([np.array([1.0])], round_index=0))
+        # A one-round-stale proposal is dampened by 1/(1+1).
+        server.step(_messages([np.array([1.0])], round_index=0))
+        np.testing.assert_allclose(server.params, [-1.5])

@@ -195,3 +195,117 @@ class TestRunning:
             sim.run(0)
         with pytest.raises(ConfigurationError):
             sim.run(5, eval_every=0)
+
+
+class TestHaltOnNonfinite:
+    def test_constructor_kwarg_reaches_the_server(self):
+        """Regression: TrainingSimulation never passed halt_on_nonfinite
+        to its ParameterServer — the guard was unreachable through the
+        public API and tests had to mutate sim.server post-hoc."""
+        _bowl, sim = _simulation(halt_on_nonfinite=True)
+        assert sim.server.halt_on_nonfinite is True
+        _bowl, default_sim = _simulation()
+        assert default_sim.server.halt_on_nonfinite is False
+
+    def test_guard_trips_through_public_api(self):
+        from repro.attacks.simple import NonFiniteAttack
+        from repro.exceptions import SimulationError
+
+        _bowl, sim = _simulation(
+            aggregator=Average(),
+            num_workers=9,
+            num_byzantine=2,
+            attack=NonFiniteAttack(),
+            halt_on_nonfinite=True,
+        )
+        with pytest.raises(SimulationError, match="non-finite"):
+            sim.run(5)
+
+
+class TestAsyncRounds:
+    def test_sync_construction_unchanged_by_delay_stream(self):
+        """Spawning the extra delay stream must not perturb worker or
+        attack streams: a sync run today matches a sync run built with
+        an explicitly-None schedule."""
+        _bowl, a = _simulation(seed=11)
+        _bowl, b = _simulation(seed=11, delay_schedule=None, max_staleness=0)
+        a.run(10)
+        b.run(10)
+        assert a.params.tobytes() == b.params.tobytes()
+
+    def test_delay_schedule_by_registry_name(self):
+        _bowl, sim = _simulation(
+            delay_schedule="constant", max_staleness=2
+        )
+        assert sim.is_async
+        history = sim.run(6)
+        assert len(history) == 6
+
+    def test_invalid_delay_schedule_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="delay_schedule"):
+            _simulation(delay_schedule=42)
+
+    def test_negative_max_staleness_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_staleness"):
+            _simulation(max_staleness=-1)
+
+    def test_zero_staleness_with_schedule_matches_sync(self):
+        """The degenerate async case (window closed) is bit-for-bit the
+        synchronous trajectory."""
+        _bowl, sync = _simulation(
+            num_workers=11, num_byzantine=2, attack=GaussianAttack(), seed=5
+        )
+        _bowl, degenerate = _simulation(
+            num_workers=11,
+            num_byzantine=2,
+            attack=GaussianAttack(),
+            seed=5,
+            delay_schedule="random",
+            max_staleness=0,
+        )
+        sync_history = sync.run(15)
+        degenerate_history = degenerate.run(15)
+        assert sync.params.tobytes() == degenerate.params.tobytes()
+        assert all(
+            a == b for a, b in zip(sync_history, degenerate_history)
+        )
+
+    def test_stale_rounds_differ_from_sync(self):
+        _bowl, sync = _simulation(seed=3)
+        _bowl, stale = _simulation(
+            seed=3, delay_schedule="constant", max_staleness=3
+        )
+        sync.run(12)
+        stale.run(12)
+        assert sync.params.tobytes() != stale.params.tobytes()
+
+    def test_attack_context_sees_staleness(self):
+        from repro.attacks.base import Attack
+
+        seen = {}
+
+        class Probe(Attack):
+            name = "probe"
+
+            def craft(self, context):
+                seen["honest_staleness"] = context.honest_staleness
+                seen["byzantine_staleness"] = context.byzantine_staleness
+                seen["honest_params"] = context.honest_params
+                return np.zeros(
+                    (context.num_byzantine, context.dimension)
+                )
+
+        _bowl, sim = _simulation(
+            aggregator=Average(),
+            num_workers=9,
+            num_byzantine=2,
+            attack=Probe(),
+            delay_schedule="constant",
+            max_staleness=2,
+        )
+        sim.run_round()  # round 0: no history yet, staleness clipped to 0
+        assert seen["honest_staleness"].tolist() == [0] * 7
+        sim.run_round()  # the default constant schedule lags tau = 1
+        assert seen["honest_staleness"].tolist() == [1] * 7
+        assert seen["byzantine_staleness"].tolist() == [1, 1]
+        assert seen["honest_params"].shape == (7, 6)

@@ -1,0 +1,289 @@
+"""Async-rounds engine tests: grid axes, degenerate identity, differential.
+
+The two load-bearing guarantees:
+
+* ``max_staleness = 0`` async mode (a delay schedule configured, but the
+  bounded-staleness window closed) is **bit-for-bit identical** to the
+  synchronous loop on the reference grid — the degenerate case must not
+  fork trajectories;
+* the batched executor reproduces the loop executor's async
+  trajectories bit-for-bit, with staleness-aware (Kardam) cells riding
+  the per-scenario fallback, reported via ``native_fraction``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.simulator import TrainingSimulation
+from repro.engine import BatchedSimulation, ScenarioGrid, run_grid
+from repro.engine.runner import build_scenario_simulation
+from repro.exceptions import ConfigurationError, SimulationError
+
+
+def _reference_grid(**overrides) -> ScenarioGrid:
+    """A small grid covering selection, statistical and kardam rules
+    under two attacks."""
+    settings = dict(
+        seeds=(0, 1),
+        attacks=(
+            ("gaussian", {"sigma": 150.0}),
+            ("omniscient", {"scale": 5.0}),
+        ),
+        aggregators=(
+            ("krum", {}),
+            ("coordinate-median", {}),
+            ("kardam", {"inner": "krum"}),
+        ),
+        f_values=(2,),
+        num_workers=11,
+        dimension=12,
+        sigma=0.4,
+        num_rounds=12,
+        learning_rate=0.1,
+        lr_timescale=100.0,
+    )
+    settings.update(overrides)
+    return ScenarioGrid(**settings)
+
+
+def _identical(result_a, result_b, *, by_position=False) -> bool:
+    labels_a = [spec.label for spec in result_a.specs]
+    labels_b = [spec.label for spec in result_b.specs]
+    pairs = (
+        zip(labels_a, labels_b) if by_position else zip(labels_a, labels_a)
+    )
+    for label_a, label_b in pairs:
+        if (
+            result_a.final_params[label_a].tobytes()
+            != result_b.final_params[label_b].tobytes()
+        ):
+            return False
+        history_a = result_a.histories[label_a]
+        history_b = result_b.histories[label_b]
+        if len(history_a) != len(history_b):
+            return False
+        if any(a != b for a, b in zip(history_a, history_b)):
+            return False
+    return True
+
+
+class TestGridAxes:
+    def test_sync_labels_unchanged(self):
+        grid = _reference_grid()
+        for spec in grid.scenarios():
+            assert "stale" not in spec.label
+            assert spec.async_label is None
+
+    def test_async_label_encodes_window_and_schedule(self):
+        grid = _reference_grid(
+            max_staleness=2,
+            delay_schedule="constant",
+            delay_kwargs={"tau": 2},
+        )
+        spec = grid.scenarios()[0]
+        assert spec.label.endswith("|stale<=2|constant(tau=2)")
+
+    def test_staleness_axis_expands_cells(self):
+        base = _reference_grid()
+        swept = _reference_grid(
+            max_staleness=0,
+            max_staleness_values=(0, 1, 4),
+            delay_schedule="random",
+            delay_kwargs={"max_delay": 4},
+        )
+        assert len(swept) == 3 * len(base)
+        assert len(swept.scenarios()) == len(swept)
+        labels = {spec.label for spec in swept.scenarios()}
+        assert len(labels) == len(swept)
+
+    def test_delay_schedules_axis(self):
+        grid = _reference_grid(
+            max_staleness=3,
+            delay_schedules=(
+                (None, {}),
+                ("constant", {"tau": 2}),
+                ("random", {"max_delay": 3}),
+            ),
+        )
+        assert len(grid) == 3 * len(_reference_grid())
+
+    def test_axis_conflicts_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            _reference_grid(
+                max_staleness=1, max_staleness_values=(0, 1)
+            )
+        with pytest.raises(ConfigurationError, match="not both"):
+            _reference_grid(
+                delay_schedule="constant",
+                delay_schedules=(("constant", {}),),
+            )
+
+    def test_bad_delay_spec_fails_at_declaration(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            _reference_grid(delay_schedule="no-such-schedule")
+        with pytest.raises(ConfigurationError, match="delay schedule"):
+            _reference_grid(
+                delay_schedule="constant", delay_kwargs={"bogus": 1}
+            )
+        with pytest.raises(ConfigurationError, match="max_staleness"):
+            _reference_grid(max_staleness=-1)
+
+    def test_delay_kwargs_without_schedule_rejected(self):
+        with pytest.raises(ConfigurationError, match="without a"):
+            _reference_grid(delay_kwargs={"tau": 1})
+
+
+class TestDegenerateIdentity:
+    """max_staleness = 0 async mode == the synchronous loop, bit for bit."""
+
+    def test_zero_staleness_matches_sync_loop(self):
+        sync = run_grid(_reference_grid(), mode="loop", eval_every=4)
+        degenerate = run_grid(
+            _reference_grid(
+                max_staleness=0,
+                delay_schedule="random",
+                delay_kwargs={"max_delay": 4},
+            ),
+            mode="loop",
+            eval_every=4,
+        )
+        assert _identical(sync, degenerate, by_position=True)
+
+    def test_zero_staleness_matches_sync_batched(self):
+        sync = run_grid(_reference_grid(), mode="batched", eval_every=4)
+        degenerate = run_grid(
+            _reference_grid(
+                max_staleness=0,
+                delay_schedule="random",
+                delay_kwargs={"max_delay": 4},
+            ),
+            mode="batched",
+            eval_every=4,
+        )
+        assert _identical(sync, degenerate, by_position=True)
+
+
+class TestAsyncDifferential:
+    """Loop and batched executors agree bit-for-bit on async grids."""
+
+    @pytest.mark.parametrize(
+        "delay_schedule,delay_kwargs",
+        [
+            ("constant", {"tau": 2}),
+            ("periodic", {"tau": 3, "period": 3}),
+            ("random", {"max_delay": 4}),
+        ],
+    )
+    def test_loop_equals_batched(self, delay_schedule, delay_kwargs):
+        grid = _reference_grid(
+            max_staleness=3,
+            delay_schedule=delay_schedule,
+            delay_kwargs=delay_kwargs,
+        )
+        loop = run_grid(grid, mode="loop", eval_every=4)
+        batched = run_grid(grid, mode="batched", eval_every=4)
+        assert _identical(loop, batched)
+
+    def test_staleness_sweep_loop_equals_batched(self):
+        grid = _reference_grid(
+            max_staleness_values=(0, 1, 4),
+            delay_schedule="random",
+            delay_kwargs={"max_delay": 4},
+        )
+        loop = run_grid(grid, mode="loop", eval_every=4)
+        batched = run_grid(grid, mode="batched", eval_every=4)
+        assert _identical(loop, batched)
+
+    def test_kardam_cells_fall_back_native_cells_stay(self):
+        grid = _reference_grid(
+            max_staleness=2,
+            delay_schedule="constant",
+            delay_kwargs={"tau": 2},
+        )
+        batched = run_grid(grid, mode="batched", eval_every=4)
+        # 2 of 3 aggregator entries have native kernels; kardam rides
+        # the loop fallback.
+        assert batched.native_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_minibatch_workload_async_differential(self):
+        grid = ScenarioGrid(
+            seeds=(0,),
+            workloads=(
+                ("logistic-spambase", {"num_train": 96, "num_eval": 32,
+                                       "batch_size": 8}),
+            ),
+            attacks=(("gaussian", {"sigma": 20.0}),),
+            aggregators=(("krum", {}), ("kardam", {"inner": "krum"})),
+            f_values=(2,),
+            num_workers=9,
+            num_rounds=8,
+            max_staleness=2,
+            delay_schedule="random",
+            delay_kwargs={"max_delay": 3},
+        )
+        loop = run_grid(grid, mode="loop", eval_every=4)
+        batched = run_grid(grid, mode="batched", eval_every=4)
+        assert _identical(loop, batched)
+
+    def test_staleness_actually_changes_trajectories(self):
+        sync = run_grid(_reference_grid(), mode="batched", eval_every=4)
+        stale = run_grid(
+            _reference_grid(
+                max_staleness=4,
+                delay_schedule="constant",
+                delay_kwargs={"tau": 4},
+            ),
+            mode="batched",
+            eval_every=4,
+        )
+        assert any(
+            sync.final_params[s.label].tobytes()
+            != stale.final_params[a.label].tobytes()
+            for s, a in zip(sync.specs, stale.specs)
+        )
+
+
+class TestAsyncSimulation:
+    def test_stale_messages_within_window_accepted(self):
+        spec = _reference_grid(
+            max_staleness=2,
+            delay_schedule="constant",
+            delay_kwargs={"tau": 2},
+        ).scenarios()[0]
+        sim = build_scenario_simulation(spec)
+        history = sim.run(6, eval_every=3)
+        assert len(history) == 6
+
+    def test_effective_staleness_clips_to_window_and_time(self):
+        spec = _reference_grid(
+            max_staleness=1,
+            delay_schedule="constant",
+            delay_kwargs={"tau": 5},
+        ).scenarios()[0]
+        sim = build_scenario_simulation(spec)
+        assert sim.effective_staleness(0, 0) == 0  # no history yet
+        assert sim.effective_staleness(0, 10) == 1  # clipped to window
+
+    def test_batched_history_window_is_bounded(self):
+        grid = _reference_grid(
+            max_staleness=3,
+            delay_schedule="random",
+            delay_kwargs={"max_delay": 3},
+        )
+        sims = [build_scenario_simulation(s) for s in grid.scenarios()[:3]]
+        batched = BatchedSimulation(sims)
+        batched.run(10, eval_every=5)
+        assert len(batched._history) <= 4
+
+    def test_freshness_guard_still_trips_after_async_batch(self):
+        grid = _reference_grid(
+            max_staleness=2,
+            delay_schedule="constant",
+            delay_kwargs={"tau": 1},
+        )
+        sims = [build_scenario_simulation(s) for s in grid.scenarios()[:2]]
+        BatchedSimulation(sims).run(3, eval_every=2)
+        with pytest.raises(ConfigurationError, match="freshly built"):
+            BatchedSimulation(sims)

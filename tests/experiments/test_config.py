@@ -67,3 +67,49 @@ class TestPartitionKnobs:
     def test_rejects_nonpositive_alpha(self):
         with pytest.raises(ConfigurationError, match="dirichlet_alpha"):
             _config(dirichlet_alpha=0.0)
+
+
+class TestAsyncConfigFields:
+    def test_defaults_are_synchronous(self):
+        config = SGDExperimentConfig(
+            num_workers=10, num_byzantine=0, num_rounds=5, aggregator="krum"
+        )
+        assert config.max_staleness == 0
+        assert config.delay_schedule is None
+        assert config.halt_on_nonfinite is False
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_staleness"):
+            SGDExperimentConfig(
+                num_workers=10, num_byzantine=0, num_rounds=5,
+                aggregator="krum", max_staleness=-1,
+            )
+
+    def test_delay_kwargs_require_schedule(self):
+        with pytest.raises(ConfigurationError, match="delay_kwargs"):
+            SGDExperimentConfig(
+                num_workers=10, num_byzantine=0, num_rounds=5,
+                aggregator="krum", delay_kwargs={"tau": 1},
+            )
+
+    def test_bad_delay_schedule_fails_at_declaration(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            SGDExperimentConfig(
+                num_workers=10, num_byzantine=0, num_rounds=5,
+                aggregator="krum", delay_schedule="no-such-schedule",
+            )
+        with pytest.raises(ConfigurationError, match="delay schedule"):
+            SGDExperimentConfig(
+                num_workers=10, num_byzantine=0, num_rounds=5,
+                aggregator="krum", delay_schedule="constant",
+                delay_kwargs={"bogus": 1},
+            )
+
+    def test_valid_async_config_accepted(self):
+        config = SGDExperimentConfig(
+            num_workers=10, num_byzantine=0, num_rounds=5,
+            aggregator="krum", max_staleness=3,
+            delay_schedule="random", delay_kwargs={"max_delay": 3},
+            halt_on_nonfinite=True,
+        )
+        assert config.max_staleness == 3

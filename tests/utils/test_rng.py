@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.utils.rng import as_generator, spawn_generators
 
 
@@ -63,3 +64,33 @@ class TestSpawnGenerators:
         gens = spawn_generators(root, 2)
         assert len(gens) == 2
         assert not np.array_equal(gens[0].random(10), gens[1].random(10))
+
+    def test_spawn_from_generator_reproducible(self):
+        """Regression: every SeedLike alternative must actually spawn —
+        a Generator seed used to depend on numpy having Generator.spawn
+        and anything else leaked SeedSequence's raw TypeError."""
+        a = [g.random(4) for g in spawn_generators(np.random.default_rng(9), 3)]
+        b = [g.random(4) for g in spawn_generators(np.random.default_rng(9), 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_seed_sequence(self):
+        gens = spawn_generators(np.random.SeedSequence(4), 2)
+        assert len(gens) == 2
+
+    def test_invalid_seed_type_raises_configuration_error(self):
+        """Regression: a float/str seed raised SeedSequence's raw
+        TypeError; it must be a ConfigurationError naming the accepted
+        types (and the annotation's alternatives must all work)."""
+        for bad in (3.5, "abc", [1, 2], object()):
+            with pytest.raises(ConfigurationError, match="seed must be"):
+                spawn_generators(bad, 2)
+
+    def test_prefix_stability(self):
+        """The first k children are identical however many streams are
+        spawned — the simulator relies on this to add streams without
+        perturbing existing worker/attack streams."""
+        short = [g.random(4) for g in spawn_generators(7, 3)]
+        long = [g.random(4) for g in spawn_generators(7, 5)[:3]]
+        for x, y in zip(short, long):
+            np.testing.assert_array_equal(x, y)
