@@ -1,61 +1,61 @@
 """Attack gallery: every adversary vs every aggregation rule.
 
-For each (rule, attack) pair, Monte-Carlo-measures the two conditions of
-(α, f)-Byzantine resilience (Definition 3.2) and prints a matrix of who
-survives what.  This is the fastest way to see *why* Krum's shape —
-distance filtering, then selection — matters.
+Two views of the same question — who survives what:
 
-Run:  python examples/attack_gallery.py
+1. the Monte-Carlo (α, f)-resilience matrix of Definition 3.2, for a
+   curated slice of adversaries resolved through the attack registry;
+2. the full attack × defense robustness league — every registered
+   attack against every registered rule, rendered with the tournament
+   reporter (the same machinery behind ``BENCH_tournament.json``).
+
+This is the fastest way to see *why* Krum's shape — distance filtering,
+then selection — matters, and where the adaptive adversaries bite.
+
+Run:  PYTHONPATH=src python examples/attack_gallery.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    Average,
-    ClosestToAll,
-    CollusionAttack,
-    CoordinateWiseMedian,
-    GaussianAttack,
-    GeometricMedian,
-    InnerProductAttack,
-    Krum,
-    LittleIsEnoughAttack,
-    MultiKrum,
-    OmniscientAttack,
-    SignFlipAttack,
-    TrimmedMean,
-)
 from repro.analysis import estimate_resilience
+from repro.attacks.registry import make_attack
+from repro.core.registry import make_aggregator
 from repro.experiments import format_table
+from repro.experiments.reporting import format_league_table
+from repro.tournament import AsyncCell, TournamentRunner
 
 N, F = 13, 3
 DIMENSION = 4
 SIGMA = 0.02
 TRIALS = 300
 
+# Registry specs, not hand-built instances: the gallery exercises the
+# same (name, kwargs) surface grids and the tournament resolve.
+RULES = (
+    ("krum", {"f": F}),
+    ("multi-krum", {"f": F, "m": 6}),
+    ("average", {}),
+    ("closest-to-all", {}),
+    ("coordinate-median", {}),
+    ("trimmed-mean", {"f": F}),
+    ("geometric-median", {}),
+)
+ATTACKS = (
+    ("gaussian", {"sigma": 200.0}),
+    ("omniscient", {"scale": 10.0}),
+    ("sign-flip", {"scale": 5.0}),
+    ("collusion", {"decoy_distance": 100.0, "against_gradient": True}),
+    ("inner-product", {"epsilon": 0.5}),
+    ("little-is-enough", {"z": 1.0}),
+)
+SELECTION_RULES = ("krum", "multi-krum", "closest-to-all")
 
-def main() -> None:
-    rules = {
-        "krum": Krum(f=F),
-        "multi-krum": MultiKrum(f=F, m=6),
-        "average": Average(),
-        "closest-to-all": ClosestToAll(),
-        "coord-median": CoordinateWiseMedian(),
-        "trimmed-mean": TrimmedMean(f=F),
-        "geom-median": GeometricMedian(),
-    }
-    attacks = {
-        "gaussian": GaussianAttack(sigma=200.0),
-        "omniscient": OmniscientAttack(scale=10.0),
-        "sign-flip": SignFlipAttack(scale=5.0),
-        "collusion": CollusionAttack(decoy_distance=100.0, against_gradient=True),
-        "inner-product": InnerProductAttack(epsilon=0.5),
-        "little-is-enough": LittleIsEnoughAttack(z=1.0),
-    }
 
+def resilience_matrix() -> None:
+    attacks = {name: make_attack(name, kwargs) for name, kwargs in ATTACKS}
     condition_rows, selection_rows = [], []
-    for rule_label, rule in rules.items():
-        condition_row, selection_row = [rule_label], [rule_label]
+    for rule_name, rule_kwargs in RULES:
+        rule = make_aggregator(rule_name, **rule_kwargs)
+        condition_row, selection_row = [rule_name], [rule_name]
         for attack in attacks.values():
             report = estimate_resilience(
                 rule,
@@ -70,9 +70,6 @@ def main() -> None:
             condition_row.append("ok" if report.satisfied else "FAIL")
             selection_row.append(
                 f"{100 * report.byzantine_selection_rate:.0f}%"
-                if report.byzantine_selection_rate or rule_label
-                in ("krum", "multi-krum", "closest-to-all")
-                else "-"
             )
         condition_rows.append(condition_row)
         selection_rows.append(selection_row)
@@ -91,8 +88,7 @@ def main() -> None:
     print(
         format_table(
             ["rule \\ attack", *attacks.keys()],
-            [row for row in selection_rows if row[0] in
-             ("krum", "multi-krum", "closest-to-all")],
+            [row for row in selection_rows if row[0] in SELECTION_RULES],
             title="Byzantine-proposal selection rate (selection-based rules)",
         )
     )
@@ -105,6 +101,37 @@ def main() -> None:
         "\nByzantine ~100% of rounds, and with gradient-aimed decoys its"
         "\ncondition (i) fails too); Krum holds throughout."
     )
+
+
+def robustness_league() -> None:
+    """The full-registry league on a small synchronous slate — every
+    registered attack (adaptive adversaries included) against every
+    registered rule, with breakdowns isolated into reasoned rows."""
+    runner = TournamentRunner(
+        seeds=(0,),
+        num_workers=N + 2,  # bulyan needs n >= 4f + 3
+        num_byzantine=F,
+        num_rounds=20,
+        eval_every=5,
+        workloads=(("quadratic", {"dimension": DIMENSION, "sigma": 0.3}),),
+        async_cells=(AsyncCell(),),
+    )
+    result = runner.run()
+    assert result.covers_product()
+    print(format_league_table(result, title="Robustness league (sync slate)"))
+    print(
+        "\nReading: 'vs baseline' is each pairing's final error over the"
+        "\nsame rule's attack-free run; breakdown rows mark rules the"
+        "\nattack destroyed (non-finite or >25x baseline).  The adaptive"
+        "\nadversaries (staleness-gaming, lipschitz-mimicry, probe) adapt"
+        "\nto the defense; the tournament measures whether it holds anyway."
+    )
+
+
+def main() -> None:
+    resilience_matrix()
+    print()
+    robustness_league()
 
 
 if __name__ == "__main__":

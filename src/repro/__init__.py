@@ -32,14 +32,17 @@ from repro.attacks import (
     CollusionAttack,
     CompositeAttack,
     CrashAttack,
+    DefenseProbingAttack,
     GaussianAttack,
     InnerProductAttack,
     LabelFlipAttack,
     LinearHijackAttack,
+    LipschitzMimicryAttack,
     LittleIsEnoughAttack,
     NonFiniteAttack,
     OmniscientAttack,
     SignFlipAttack,
+    StalenessGamingAttack,
     StragglerAttack,
 )
 from repro.backend import (
@@ -128,6 +131,9 @@ __all__ = [
     "LabelFlipAttack",
     "LittleIsEnoughAttack",
     "InnerProductAttack",
+    "StalenessGamingAttack",
+    "LipschitzMimicryAttack",
+    "DefenseProbingAttack",
     # distributed
     "ParameterServer",
     "TrainingSimulation",

@@ -17,8 +17,17 @@ Era-accurate attacks (used by the reproduction benches):
 
 Extensions (post-2017 attacks, for the ablation benches):
 :class:`LittleIsEnoughAttack`, :class:`InnerProductAttack`.
+
+Adaptive adversaries (keyed to the defenses, for the tournament):
+:class:`StalenessGamingAttack`, :class:`LipschitzMimicryAttack`,
+:class:`DefenseProbingAttack`.
 """
 
+from repro.attacks.adaptive import (
+    DefenseProbingAttack,
+    LipschitzMimicryAttack,
+    StalenessGamingAttack,
+)
 from repro.attacks.base import Attack, AttackContext, BenignAttack
 from repro.attacks.collusion import CollusionAttack
 from repro.attacks.composite import CompositeAttack
@@ -51,6 +60,9 @@ __all__ = [
     "LabelFlipAttack",
     "LittleIsEnoughAttack",
     "InnerProductAttack",
+    "StalenessGamingAttack",
+    "LipschitzMimicryAttack",
+    "DefenseProbingAttack",
     "register_attack",
     "available_attacks",
     "make_attack",

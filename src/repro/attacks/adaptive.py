@@ -1,0 +1,356 @@
+"""Adaptive adversaries that exploit the defenses themselves.
+
+The static attacks pick their poison once; the defenses added since —
+Kardam dampening, the empirical-Lipschitz filter, selection-based rules —
+are adaptive, so a faithful robustness evaluation needs adversaries that
+adapt back.  Three strategies, each keyed to one defensive mechanism:
+
+* :class:`StalenessGamingAttack` rides the dampening curve ``Λ(τ)``:
+  it pre-amplifies its proposal by ``1 / Λ(τ)`` so a Kardam-style
+  wrapper dampens it back to exactly the intended push, while an
+  unfiltered rule receives the amplified vector raw.
+* :class:`LipschitzMimicryAttack` estimates the honest workers'
+  empirical Lipschitz rates from the omniscient context and steers the
+  aggregate toward ``−scale · ∇Q`` only as fast as the filter's
+  quantile window allows, so its own growth rate never looks like an
+  outlier.
+* :class:`DefenseProbingAttack` wraps any inner attack and adapts an
+  amplitude multiplier each round from the
+  ``AttackContext.selected_last_round`` feedback: scale up while the
+  choice function keeps accepting the proposal, back off toward the
+  honest barycenter when it gets filtered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.core.staleness import DAMPENING_MODES
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "StalenessGamingAttack",
+    "LipschitzMimicryAttack",
+    "DefenseProbingAttack",
+]
+
+
+class StalenessGamingAttack(Attack):
+    """Pre-amplify by the inverse dampening factor ``1 / Λ(τ)``.
+
+    Each Byzantine slot submitting with staleness ``τ`` sends
+    ``−(scale / Λ(τ)) · ∇Q`` (honest barycenter when the exact gradient
+    is hidden).  A staleness-aware rule using the same dampening mode
+    shrinks the proposal back to a constant ``−scale · ∇Q`` — the attack
+    never loses strength to the dampening — while any rule that ignores
+    staleness receives the amplified vector at full magnitude, degrading
+    the worse the more the adversary lags.  In a synchronous round
+    (``byzantine_staleness`` absent) ``τ = 0`` and ``Λ = 1``, so the
+    attack degenerates to a plain sign flip.
+
+    Stateless: the timing information lives in the context.
+    """
+
+    def __init__(
+        self, scale: float = 1.0, dampening: str = "inverse", gamma: float = 0.5
+    ):
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        if dampening not in DAMPENING_MODES:
+            raise ConfigurationError(
+                f"dampening must be one of {DAMPENING_MODES}, got {dampening!r}"
+            )
+        if not 0.0 < float(gamma) <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.scale = float(scale)
+        self.dampening = dampening
+        self.gamma = float(gamma)
+        extras = "" if dampening == "inverse" else f",dampening={dampening}"
+        if dampening == "exponential" and self.gamma != 0.5:
+            extras += f",gamma={self.gamma:g}"
+        self.name = f"staleness-gaming(scale={self.scale:g}{extras})"
+
+    def _inverse_dampening(self, staleness: np.ndarray) -> np.ndarray:
+        """``1 / Λ(τ)`` per Byzantine slot (the amplification factor)."""
+        staleness = np.asarray(staleness, dtype=np.float64)
+        if self.dampening == "none":
+            return np.ones_like(staleness)
+        if self.dampening == "inverse":
+            return 1.0 + staleness
+        return self.gamma ** (-staleness)
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        gradient = (
+            context.true_gradient
+            if context.true_gradient is not None
+            else context.honest_mean
+        )
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if context.byzantine_staleness is None:
+            staleness = np.zeros(context.num_byzantine, dtype=np.int64)
+        else:
+            staleness = context.byzantine_staleness
+        amplification = self._inverse_dampening(staleness)
+        proposals = (-self.scale * amplification)[:, None] * gradient[None, :]
+        return self._output(context, proposals)
+
+
+class LipschitzMimicryAttack(Attack):
+    """Steer the mean while staying inside the Lipschitz quantile window.
+
+    The empirical-Lipschitz filter drops a slot whose growth rate
+    ``‖v(t) − v(t−1)‖ / ‖x(t) − x(t−1)‖`` exceeds a quantile of the
+    recently accepted rates.  This adversary runs the same estimator on
+    the honest proposals it observes (the omniscient context exposes
+    them, with the stale parameters each was computed at), takes the
+    ``quantile`` of its own rate window shrunk by ``margin``, and moves
+    its proposal toward ``−scale · ∇Q`` no faster than that budget per
+    round.  Its rate therefore sits *inside* the filter's learned
+    distribution while the proposal drifts adversarial.
+
+    The first round sends the honest barycenter (perfect mimicry, and
+    the anchor the drift starts from).  Stateful across rounds — one
+    instance per simulation cell.
+    """
+
+    stateful = True
+
+    #: How many of its own past parameter snapshots the adversary keeps
+    #: for stale-parameter lookups; comfortably above any realistic
+    #: bounded-staleness window.
+    _PARAMS_MEMORY = 64
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        quantile: float = 0.9,
+        window: int = 256,
+        margin: float = 0.9,
+    ):
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        if not 0.0 < float(quantile) <= 1.0:
+            raise ConfigurationError(
+                f"quantile must be in (0, 1], got {quantile}"
+            )
+        if int(window) < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if margin <= 0:
+            raise ConfigurationError(f"margin must be positive, got {margin}")
+        self.scale = float(scale)
+        self.quantile = float(quantile)
+        self.window = int(window)
+        self.margin = float(margin)
+        self.name = (
+            f"lipschitz-mimicry(scale={self.scale:g},"
+            f"quantile={self.quantile:g})"
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        # x_t by round index, for reconstructing the stale parameters a
+        # lagging Byzantine slot is judged at.
+        self._params_by_round: dict[int, np.ndarray] = {}
+        # Per honest worker id: previous (gradient, params) observation.
+        self._prev_honest: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Observed honest growth rates (the filter's window, mimicked).
+        self._rates: deque[float] = deque(maxlen=self.window)
+        # Our previous shared proposal, and per Byzantine slot the
+        # parameters that proposal was judged against.
+        self._prev_vector: np.ndarray | None = None
+        self._prev_judged: dict[int, np.ndarray] = {}
+
+    def _judged_params(
+        self, context: AttackContext, slot: int, tau: int
+    ) -> np.ndarray:
+        """The parameters slot ``slot``'s proposal is filtered at:
+        ``x_{t−τ}`` when retained, else the freshest known vector."""
+        stored = self._params_by_round.get(context.round_index - tau)
+        return context.params if stored is None else stored
+
+    def _observe_honest(self, context: AttackContext) -> None:
+        honest_params = context.honest_params
+        for row, worker_id in enumerate(context.honest_indices):
+            gradient = context.honest_gradients[row]
+            params = (
+                context.params
+                if honest_params is None
+                else honest_params[row]
+            )
+            previous = self._prev_honest.get(int(worker_id))
+            if previous is not None:
+                prev_gradient, prev_params = previous
+                displacement = float(np.linalg.norm(params - prev_params))
+                if displacement > 0.0:
+                    rate = (
+                        float(np.linalg.norm(gradient - prev_gradient))
+                        / displacement
+                    )
+                    if np.isfinite(rate):
+                        self._rates.append(rate)
+            self._prev_honest[int(worker_id)] = (
+                gradient.copy(),
+                params.copy(),
+            )
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        t = context.round_index
+        self._params_by_round[t] = np.asarray(
+            context.params, dtype=np.float64
+        ).copy()
+        for old in [
+            r for r in self._params_by_round if r < t - self._PARAMS_MEMORY
+        ]:
+            del self._params_by_round[old]
+        self._observe_honest(context)
+
+        gradient = (
+            context.true_gradient
+            if context.true_gradient is not None
+            else context.honest_mean
+        )
+        target = -self.scale * np.asarray(gradient, dtype=np.float64)
+
+        if context.byzantine_staleness is None:
+            staleness = np.zeros(context.num_byzantine, dtype=np.int64)
+        else:
+            staleness = context.byzantine_staleness
+        judged = {
+            int(slot): self._judged_params(context, int(slot), int(tau))
+            for slot, tau in zip(context.byzantine_indices, staleness)
+        }
+
+        if self._prev_vector is None:
+            # Perfect mimicry on the first round: indistinguishable from
+            # a correct worker, and the anchor the drift starts from.
+            vector = context.honest_mean.copy()
+        else:
+            # The filter measures each slot's rate against how far *its*
+            # judged parameters moved; the tightest slot constrains the
+            # shared proposal.
+            displacements = [
+                float(np.linalg.norm(judged[slot] - self._prev_judged[slot]))
+                for slot in judged
+                if slot in self._prev_judged
+            ]
+            positive = [d for d in displacements if d > 0.0]
+            step = target - self._prev_vector
+            step_norm = float(np.linalg.norm(step))
+            if not positive or not self._rates:
+                # No measurable rate this round (parameters static, or
+                # no honest observations yet): the filter has nothing to
+                # reject, jump straight to the target.
+                vector = target
+            else:
+                threshold = float(
+                    np.quantile(
+                        np.asarray(self._rates, dtype=np.float64),
+                        self.quantile,
+                    )
+                )
+                allowed = self.margin * threshold * min(positive)
+                if step_norm <= allowed or step_norm == 0.0:
+                    vector = target
+                else:
+                    vector = self._prev_vector + (allowed / step_norm) * step
+
+        self._prev_vector = vector.copy()
+        self._prev_judged = {
+            slot: params.copy() for slot, params in judged.items()
+        }
+        return self._output(
+            context, np.tile(vector, (context.num_byzantine, 1))
+        )
+
+
+class DefenseProbingAttack(Attack):
+    """Adapt an inner attack's amplitude to the selection feedback.
+
+    Each round the wrapper reads ``context.selected_last_round``: if any
+    of its slots was selected by the choice function, the defense
+    accepted the previous proposal and the scale multiplies by ``grow``;
+    if every slot was rejected, it multiplies by ``shrink``.  The inner
+    attack's proposals are then interpolated away from the honest
+    barycenter: ``mean + scale · (inner − mean)``, so ``scale → 0``
+    degenerates to benign-looking behaviour and ``scale > 1``
+    extrapolates beyond the inner attack.  Against selection-based rules
+    (krum, multi-krum, bulyan) this walks the amplitude to the largest
+    value the rule still accepts.
+
+    Rules that select nothing (statistical rules like the medians or
+    plain averaging report an empty selected set) always read as
+    "rejected", so the probe decays toward benign against them — the
+    honest outcome for an adversary whose probe signal is silent.
+
+    Stateful across rounds — one instance per simulation cell.
+    """
+
+    stateful = True
+
+    def __init__(
+        self,
+        inner: Attack | None = None,
+        *,
+        grow: float = 2.0,
+        shrink: float = 0.5,
+        initial_scale: float = 1.0,
+        min_scale: float = 1e-3,
+        max_scale: float = 1e3,
+    ):
+        if inner is None:
+            from repro.attacks.simple import SignFlipAttack
+
+            inner = SignFlipAttack()
+        if not isinstance(inner, Attack):
+            raise ConfigurationError(
+                f"inner must be an Attack, got {type(inner).__name__}"
+            )
+        if grow < 1.0:
+            raise ConfigurationError(f"grow must be >= 1, got {grow}")
+        if not 0.0 < float(shrink) <= 1.0:
+            raise ConfigurationError(
+                f"shrink must be in (0, 1], got {shrink}"
+            )
+        if initial_scale <= 0:
+            raise ConfigurationError(
+                f"initial_scale must be positive, got {initial_scale}"
+            )
+        if not 0.0 < float(min_scale) <= float(max_scale):
+            raise ConfigurationError(
+                f"need 0 < min_scale <= max_scale, got "
+                f"{min_scale} and {max_scale}"
+            )
+        self.inner = inner
+        self.grow = float(grow)
+        self.shrink = float(shrink)
+        self.initial_scale = float(
+            np.clip(initial_scale, min_scale, max_scale)
+        )
+        self.min_scale = float(min_scale)
+        self.max_scale = float(max_scale)
+        self.name = f"probe({inner.name})"
+        self.reset()
+
+    def reset(self) -> None:
+        self._scale = self.initial_scale
+        self.inner.reset()
+
+    @property
+    def scale(self) -> float:
+        """The current amplitude multiplier (probing state)."""
+        return self._scale
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        feedback = context.selected_last_round
+        if feedback is not None:
+            if bool(np.any(feedback)):
+                self._scale = min(self._scale * self.grow, self.max_scale)
+            else:
+                self._scale = max(self._scale * self.shrink, self.min_scale)
+        base = self.inner.craft(context)
+        mean = context.honest_mean[None, :]
+        proposals = mean + self._scale * (base - mean)
+        return self._output(context, proposals)

@@ -40,6 +40,15 @@ class AttackContext:
     honest_staleness: np.ndarray | None = None  # (n - f,) ints
     byzantine_staleness: np.ndarray | None = None  # (f,) ints
     honest_params: np.ndarray | None = None  # (n - f, d) stale x per victim
+    # Defense feedback: whether each Byzantine slot's previous-round
+    # proposal was among the indices the choice function *selected*
+    # (aligned with ``byzantine_indices``).  ``None`` on the first round
+    # and for callers that do not track selection.  The adversary can
+    # observe the server's public parameter trajectory, so exposing the
+    # selection verdict adds no knowledge the paper's omniscient model
+    # does not already grant — it is what makes defense-probing attacks
+    # expressible.
+    selected_last_round: np.ndarray | None = None  # (f,) bools
 
     @property
     def num_byzantine(self) -> int:
@@ -99,12 +108,24 @@ class AttackContext:
                 f"honest_params shape {self.honest_params.shape} does not "
                 f"match honest_gradients {self.honest_gradients.shape}"
             )
+        if self.selected_last_round is not None and len(
+            self.selected_last_round
+        ) != len(self.byzantine_indices):
+            raise DimensionMismatchError(
+                f"{len(self.selected_last_round)} selection flags vs "
+                f"{len(self.byzantine_indices)} byzantine workers"
+            )
 
 
 class Attack(ABC):
     """Strategy producing the f Byzantine proposals for one round."""
 
     name: str = "attack"
+    #: True for attacks that carry mutable per-run state across rounds.
+    #: Stateful attacks must implement :meth:`reset` so one instance can
+    #: be reused across sequential runs, and must not be shared between
+    #: concurrently-executing scenarios.
+    stateful: bool = False
 
     @abstractmethod
     def craft(self, context: AttackContext) -> np.ndarray:
@@ -112,6 +133,14 @@ class Attack(ABC):
 
         Must return exactly ``context.num_byzantine`` rows of dimension
         ``context.dimension``.
+        """
+
+    def reset(self) -> None:
+        """Discard per-run state so the instance can start a fresh run.
+
+        Stateless attacks inherit this no-op; stateful ones override it.
+        Simulations call it once at construction time, so reusing an
+        attack instance sequentially is deterministic.
         """
 
     def _output(self, context: AttackContext, vectors: np.ndarray) -> np.ndarray:

@@ -41,6 +41,11 @@ class CompositeAttack(Attack):
             f"{count}x{attack.name}" for attack, count in parts
         ) + ")"
         self._total = total
+        self.stateful = any(attack.stateful for attack, _count in parts)
+
+    def reset(self) -> None:
+        for attack, _count in self.parts:
+            attack.reset()
 
     def craft(self, context: AttackContext) -> np.ndarray:
         if context.num_byzantine != self._total:
@@ -63,6 +68,18 @@ class CompositeAttack(Attack):
                 rng=context.rng,
                 aggregator=context.aggregator,
                 true_gradient=context.true_gradient,
+                honest_staleness=context.honest_staleness,
+                byzantine_staleness=(
+                    None
+                    if context.byzantine_staleness is None
+                    else context.byzantine_staleness[offset : offset + count]
+                ),
+                honest_params=context.honest_params,
+                selected_last_round=(
+                    None
+                    if context.selected_last_round is None
+                    else context.selected_last_round[offset : offset + count]
+                ),
             )
             proposals[offset : offset + count] = attack.craft(sub_context)
             offset += count

@@ -113,8 +113,43 @@ def _composite_attack(parts) -> Attack:
     return CompositeAttack(built)
 
 
+def _probe_attack(
+    inner: str = "sign-flip",
+    inner_kwargs: Mapping[str, object] | None = None,
+    *,
+    grow: float = 2.0,
+    shrink: float = 0.5,
+    initial_scale: float = 1.0,
+    min_scale: float = 1e-3,
+    max_scale: float = 1e3,
+) -> Attack:
+    """Registry adapter for
+    :class:`~repro.attacks.adaptive.DefenseProbingAttack`: the wrapped
+    attack is named through this registry, e.g.
+    ``("probe", {"inner": "little-is-enough"})``."""
+    from repro.attacks.adaptive import DefenseProbingAttack
+
+    wrapped = make_attack(inner, inner_kwargs)
+    if wrapped is None:
+        raise ConfigurationError(
+            "probe cannot wrap the attack-free arm (inner=None)"
+        )
+    return DefenseProbingAttack(
+        wrapped,
+        grow=grow,
+        shrink=shrink,
+        initial_scale=initial_scale,
+        min_scale=min_scale,
+        max_scale=max_scale,
+    )
+
+
 def _register_builtins() -> None:
     # Imported lazily to avoid a circular import at package load.
+    from repro.attacks.adaptive import (
+        LipschitzMimicryAttack,
+        StalenessGamingAttack,
+    )
     from repro.attacks.base import BenignAttack
     from repro.attacks.collusion import CollusionAttack
     from repro.attacks.modern import InnerProductAttack, LittleIsEnoughAttack
@@ -138,6 +173,9 @@ def _register_builtins() -> None:
     register_attack("omniscient", OmniscientAttack)
     register_attack("little-is-enough", LittleIsEnoughAttack)
     register_attack("inner-product", InnerProductAttack)
+    register_attack("staleness-gaming", StalenessGamingAttack)
+    register_attack("lipschitz-mimicry", LipschitzMimicryAttack)
+    register_attack("probe", _probe_attack)
 
 
 _register_builtins()

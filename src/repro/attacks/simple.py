@@ -90,6 +90,8 @@ class StragglerAttack(Attack):
     tolerate it; plain averaging merely slows down.
     """
 
+    stateful = True
+
     def __init__(self, delay: int = 5):
         if delay < 1:
             raise ConfigurationError(f"delay must be >= 1, got {delay}")

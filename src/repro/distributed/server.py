@@ -78,6 +78,10 @@ class ParameterServer:
         # ``used_params`` in synchronous and degenerate-async runs.
         self._history: deque[np.ndarray] = deque(maxlen=self.max_staleness + 1)
         self._history.append(self._params.copy())
+        #: Worker indices the choice function selected in the most recent
+        #: completed round (``None`` before the first step).  Public
+        #: feedback channel for defense-probing adversaries.
+        self.last_selected: np.ndarray | None = None
 
     @property
     def params(self) -> np.ndarray:
@@ -165,4 +169,5 @@ class ParameterServer:
             )
         self.round_index += 1
         self._history.append(self._params.copy())
+        self.last_selected = np.asarray(result.selected, dtype=np.int64).copy()
         return result

@@ -173,6 +173,11 @@ class TrainingSimulation:
                 f"dimension {self.server.dimension}"
             )
         self.attack = attack
+        if self.attack is not None:
+            # Fresh run: discard any state a reused attack instance may
+            # carry from a previous simulation (stragglers' queues,
+            # probing scales, ...), so sequential reuse is deterministic.
+            self.attack.reset()
         self.true_gradient_fn = true_gradient_fn
         self.evaluate = evaluate
 
@@ -288,6 +293,14 @@ class TrainingSimulation:
                         ]
                     )
                     if is_async
+                    else None
+                ),
+                selected_last_round=(
+                    np.isin(
+                        np.asarray(self.byzantine_ids, dtype=np.int64),
+                        self.server.last_selected,
+                    )
+                    if self.server.last_selected is not None
                     else None
                 ),
             )

@@ -92,6 +92,10 @@ class _Scenario:
     honest_ids: np.ndarray  # ascending honest worker ids
     byzantine_ids: np.ndarray  # ascending Byzantine worker ids
     byzantine_set: frozenset[int]
+    # Worker indices the scenario's rule selected in the previous round
+    # (None before the first) — the executor's analogue of
+    # ``ParameterServer.last_selected``, feeding defense-probing attacks.
+    last_selected: np.ndarray | None = None
 
 
 class _Group:
@@ -172,6 +176,20 @@ class BatchedSimulation:
                 raise ConfigurationError(
                     f"simulations must be freshly built; one already ran "
                     f"{sim.server.round_index} round(s)"
+                )
+        # A stateful attack instance interleaves its per-round state
+        # across every scenario that shares it, silently diverging from
+        # the per-scenario loop execution — reject the sharing outright.
+        seen_stateful: dict[int, int] = {}
+        for slot, sim in enumerate(sims):
+            if sim.attack is None or not sim.attack.stateful:
+                continue
+            other = seen_stateful.setdefault(id(sim.attack), slot)
+            if other != slot:
+                raise ConfigurationError(
+                    f"stateful attack {sim.attack.name!r} is shared by "
+                    f"scenarios {other} and {slot}; build one instance "
+                    f"per scenario"
                 )
         self.batch_size = len(sims)
         self.chunk_size = chunk_size
@@ -434,6 +452,11 @@ class BatchedSimulation:
                 else staleness_row[scenario.byzantine_ids]
             ),
             honest_params=honest_params,
+            selected_last_round=(
+                np.isin(scenario.byzantine_ids, scenario.last_selected)
+                if scenario.last_selected is not None
+                else None
+            ),
         )
         crafted = sim.attack.craft(context)
         self._proposals[slot][scenario.byzantine_ids] = crafted
@@ -525,6 +548,9 @@ class BatchedSimulation:
                     f"proposal reached the update"
                 )
             chosen = tuple(int(i) for i in selected[slot])
+            scenario.last_selected = np.asarray(
+                selected[slot], dtype=np.int64
+            ).copy()
             records[scenario.index] = RoundRecord(
                 round_index=t,
                 learning_rate=float(rates[slot]),

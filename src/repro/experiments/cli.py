@@ -9,6 +9,9 @@ Usage examples::
         --aggregator average --workers 16 --byzantine 5 --attack gaussian \
         --partition dirichlet --dirichlet-alpha 0.3
 
+    python -m repro.experiments.cli --tournament --workers 15 \
+        --byzantine 3 --rounds 40 --eval-every 5
+
 The named datasets resolve through the engine's workload registry
 (``mnist-like`` → the ``mlp-mnist`` workload, ``spambase-like`` →
 ``logistic-spambase``; ``blobs`` is a CLI-local softmax task), so the
@@ -35,24 +38,21 @@ from repro.data.synthetic import make_blobs
 from repro.engine.simulation import BatchedSimulation
 from repro.engine.workloads import make_workload
 from repro.exceptions import ReproError
+from repro.attacks.registry import available_attacks
 from repro.experiments.builders import build_dataset_simulation
-from repro.experiments.reporting import format_series, format_table
+from repro.experiments.reporting import (
+    format_league_table,
+    format_series,
+    format_table,
+)
 from repro.models.softmax import SoftmaxRegressionModel
+from repro.tournament import TournamentRunner
 
 __all__ = ["main", "build_parser"]
 
 _DATASETS = ("mnist-like", "spambase-like", "blobs")
-_ATTACKS = (
-    "gaussian",
-    "omniscient",
-    "sign-flip",
-    "crash",
-    "straggler",
-    "collusion",
-    "inner-product",
-    "little-is-enough",
-    "benign",
-)
+# Attacks needing structured kwargs the flag surface cannot express.
+_CLI_ATTACK_EXCLUDES = ("composite",)
 
 # Which registered workload realizes each named dataset choice.
 _DATASET_WORKLOADS = {
@@ -79,7 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--workers", type=int, default=20)
     parser.add_argument("--byzantine", type=int, default=0)
-    parser.add_argument("--attack", choices=_ATTACKS, default=None)
+    parser.add_argument(
+        "--attack",
+        choices=[
+            name
+            for name in available_attacks()
+            if name not in _CLI_ATTACK_EXCLUDES
+        ],
+        default=None,
+    )
     parser.add_argument("--rounds", type=int, default=200)
     parser.add_argument("--batch-size", type=int, default=32)
     parser.add_argument("--learning-rate", type=float, default=0.3)
@@ -138,7 +146,55 @@ def build_parser() -> argparse.ArgumentParser:
         "routes the run through the batched executor (trajectory-"
         "identical on numpy; torch needs the optional [torch] extra)",
     )
+    parser.add_argument(
+        "--tournament",
+        action="store_true",
+        help="run the attack x defense robustness league instead of a "
+        "single experiment: every registered attack against every "
+        "registered rule over --workers/--byzantine/--rounds/--seed, "
+        "printed as a markdown league table (see "
+        "benchmarks/bench_tournament.py for the persisted variant)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="with --tournament, also write the league payload as JSON "
+        "to this path",
+    )
     return parser
+
+
+def _run_tournament(args: argparse.Namespace) -> int:
+    """The --tournament mode: full-registry league on the CLI's knobs."""
+    runner = TournamentRunner(
+        seeds=(args.seed,),
+        num_workers=args.workers,
+        num_byzantine=args.byzantine,
+        num_rounds=args.rounds,
+        eval_every=args.eval_every,
+    )
+    result = runner.run()
+    print(
+        format_league_table(
+            result,
+            title=(
+                f"Robustness league — n={args.workers}, "
+                f"f={args.byzantine}, {args.rounds} rounds, "
+                f"seed {args.seed}"
+            ),
+        )
+    )
+    if not result.covers_product():
+        print("error: league is missing pairings", file=sys.stderr)
+        return 1
+    if args.output is not None:
+        import json
+
+        with open(args.output, "w") as handle:
+            json.dump(result.to_payload(), handle, indent=1)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
 
 
 def _delay_schedule(args: argparse.Namespace):
@@ -228,6 +284,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     backend_report = None
     try:
+        if args.tournament:
+            return _run_tournament(args)
         aggregator = _build_aggregator(args)
         attack = make_attack(args.attack, {})
         if args.byzantine > 0 and attack is None:

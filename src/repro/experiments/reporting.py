@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_league_table"]
 
 
 def format_table(
@@ -78,6 +78,65 @@ def format_series(
         for i in idx
     ]
     return format_table(headers, table_rows, title=name)
+
+
+def format_league_table(result, *, title: str | None = None) -> str:
+    """Render a tournament's league as a GitHub-markdown table.
+
+    ``result`` is a :class:`~repro.tournament.TournamentResult` (or any
+    object with a compatible ``rows`` attribute).  Rows are grouped by
+    attack in slate order; within an attack, defenses keep slate order
+    so reruns diff cleanly.  The breakdown column flags pairings that
+    diverged or raised, with the recorded reason.
+    """
+    rows = list(result.rows)
+    if not rows:
+        raise ConfigurationError("league table needs at least one row")
+    headers = [
+        "Attack",
+        "Defense",
+        "Final error",
+        "vs baseline",
+        "Rounds to 2x-baseline",
+        "Breakdown",
+    ]
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        ratio = "-" if row.error_ratio is None else f"{row.error_ratio:.2f}x"
+        reach = (
+            "-"
+            if row.rounds_to_threshold is None
+            else f"{row.rounds_to_threshold:.0f}"
+        )
+        if row.reached_fraction not in (0.0, 1.0):
+            reach += f" ({row.reached_fraction:.0%} of cells)"
+        breakdown = "no"
+        if row.breakdown:
+            breakdown = (
+                f"**yes** ({row.breakdown_reason})"
+                if row.breakdown_reason
+                else "**yes**"
+            )
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row.attack,
+                    row.defense,
+                    _fmt(row.final_error),
+                    ratio,
+                    reach,
+                    breakdown,
+                ]
+            )
+            + " |"
+        )
+    return "\n".join(lines)
 
 
 def _fmt(value: object) -> str:

@@ -1,0 +1,26 @@
+"""Attack × defense tournament — the robustness league.
+
+:class:`TournamentRunner` measures every registered attack against
+every registered defense over a declarative slate and condenses each
+pairing into a :class:`LeagueRow`; ``benchmarks/bench_tournament.py``
+persists the league to ``BENCH_tournament.json`` and
+:func:`repro.experiments.reporting.format_league_table` renders it.
+"""
+
+from repro.tournament.runner import (
+    AsyncCell,
+    LeagueRow,
+    TournamentResult,
+    TournamentRunner,
+    default_attack_slate,
+    default_defense_slate,
+)
+
+__all__ = [
+    "AsyncCell",
+    "LeagueRow",
+    "TournamentResult",
+    "TournamentRunner",
+    "default_attack_slate",
+    "default_defense_slate",
+]

@@ -1,0 +1,221 @@
+"""Unit tests for the adaptive adversaries.
+
+Each attack is keyed to one defensive mechanism, so the tests pin the
+adaptive logic itself: the staleness-gaming amplification law per
+dampening mode, the mimicry attacker's rate budget, and the probe's
+scale walk driven by ``selected_last_round`` feedback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    DefenseProbingAttack,
+    LipschitzMimicryAttack,
+    SignFlipAttack,
+    StalenessGamingAttack,
+    make_attack,
+)
+from repro.exceptions import ConfigurationError
+
+from tests.attacks.test_base import make_context
+
+
+class TestStalenessGaming:
+    def test_sync_round_is_plain_sign_flip(self, rng):
+        """No staleness info ⇒ τ = 0 ⇒ Λ = 1 ⇒ −scale · ∇Q."""
+        gradient = np.array([1.0, -2.0, 0.5, 3.0])
+        ctx = make_context(rng, true_gradient=gradient)
+        out = StalenessGamingAttack(scale=2.0).craft(ctx)
+        np.testing.assert_allclose(out, np.tile(-2.0 * gradient, (2, 1)))
+
+    @pytest.mark.parametrize(
+        ("dampening", "gamma", "expected"),
+        [
+            ("none", 0.5, [1.0, 1.0, 1.0]),
+            ("inverse", 0.5, [1.0, 3.0, 6.0]),  # 1 + tau
+            ("exponential", 0.5, [1.0, 4.0, 32.0]),  # gamma**-tau
+        ],
+    )
+    def test_amplification_matches_inverse_dampening(
+        self, rng, dampening, gamma, expected
+    ):
+        gradient = np.ones(4)
+        ctx = make_context(
+            rng,
+            num_byzantine=3,
+            byzantine_indices=np.arange(8, 11),
+            num_workers=11,
+            true_gradient=gradient,
+            byzantine_staleness=np.array([0, 2, 5]),
+        )
+        out = StalenessGamingAttack(dampening=dampening, gamma=gamma).craft(ctx)
+        np.testing.assert_allclose(
+            out, -np.asarray(expected)[:, None] * gradient[None, :]
+        )
+
+    def test_falls_back_to_honest_mean(self, rng):
+        ctx = make_context(rng)
+        out = StalenessGamingAttack().craft(ctx)
+        np.testing.assert_allclose(out, np.tile(-ctx.honest_mean, (2, 1)))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            StalenessGamingAttack(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            StalenessGamingAttack(dampening="cubic")
+        with pytest.raises(ConfigurationError):
+            StalenessGamingAttack(dampening="exponential", gamma=0.0)
+
+
+class TestLipschitzMimicry:
+    def test_first_round_is_honest_mean(self, rng):
+        ctx = make_context(rng, true_gradient=np.ones(4))
+        out = LipschitzMimicryAttack().craft(ctx)
+        np.testing.assert_allclose(out, np.tile(ctx.honest_mean, (2, 1)))
+
+    def test_step_respects_rate_budget(self, rng):
+        """After observing honest rates, the proposal's per-round movement
+        never exceeds margin · quantile(rates) · displacement."""
+        attack = LipschitzMimicryAttack(scale=50.0, margin=0.9)
+        honest = 1.0 + 0.1 * rng.standard_normal((8, 4))
+        prev_vector = None
+        prev_params = None
+        for t in range(6):
+            params = np.full(4, 0.1 * t)
+            ctx = make_context(
+                rng,
+                round_index=t,
+                params=params,
+                honest_gradients=honest + 0.01 * t,
+                true_gradient=np.ones(4),
+            )
+            out = attack.craft(ctx)
+            vector = out[0]
+            np.testing.assert_allclose(out, np.tile(vector, (2, 1)))
+            if prev_vector is not None and attack._rates:
+                threshold = float(
+                    np.quantile(np.asarray(attack._rates), attack.quantile)
+                )
+                displacement = float(
+                    np.linalg.norm(params - prev_params)
+                )
+                budget = attack.margin * threshold * displacement
+                step = float(np.linalg.norm(vector - prev_vector))
+                assert step <= budget * (1 + 1e-9)
+            prev_vector = vector
+            prev_params = params
+
+    def test_jumps_to_target_when_params_static(self, rng):
+        """Zero displacement ⇒ the filter measures no rate ⇒ free jump."""
+        attack = LipschitzMimicryAttack(scale=2.0)
+        gradient = np.ones(4)
+        for t in range(2):
+            ctx = make_context(
+                rng,
+                round_index=t,
+                params=np.zeros(4),
+                true_gradient=gradient,
+            )
+            out = attack.craft(ctx)
+        np.testing.assert_allclose(out, np.tile(-2.0 * gradient, (2, 1)))
+
+    def test_reset_restores_first_round(self, rng):
+        attack = LipschitzMimicryAttack()
+        ctx = make_context(rng, true_gradient=np.ones(4))
+        first = attack.craft(ctx)
+        attack.craft(make_context(rng, round_index=1, true_gradient=np.ones(4)))
+        attack.reset()
+        again = attack.craft(ctx)
+        assert first.tobytes() == again.tobytes()
+
+    def test_params_memory_is_pruned(self, rng):
+        attack = LipschitzMimicryAttack()
+        for t in range(attack._PARAMS_MEMORY + 10):
+            attack.craft(
+                make_context(
+                    rng, round_index=t, params=np.full(4, float(t))
+                )
+            )
+        assert len(attack._params_by_round) <= attack._PARAMS_MEMORY + 1
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            LipschitzMimicryAttack(scale=-1.0)
+        with pytest.raises(ConfigurationError):
+            LipschitzMimicryAttack(quantile=1.5)
+        with pytest.raises(ConfigurationError):
+            LipschitzMimicryAttack(window=0)
+        with pytest.raises(ConfigurationError):
+            LipschitzMimicryAttack(margin=0.0)
+
+
+class TestDefenseProbing:
+    def _context(self, rng, selected, round_index=0):
+        return make_context(
+            rng,
+            round_index=round_index,
+            selected_last_round=selected,
+        )
+
+    def test_grows_on_acceptance(self, rng):
+        attack = DefenseProbingAttack(grow=2.0, shrink=0.5)
+        attack.craft(self._context(rng, np.array([True, False])))
+        assert attack.scale == pytest.approx(2.0)
+        attack.craft(self._context(rng, np.array([True, True]), 1))
+        assert attack.scale == pytest.approx(4.0)
+
+    def test_shrinks_on_rejection(self, rng):
+        attack = DefenseProbingAttack(grow=2.0, shrink=0.5)
+        attack.craft(self._context(rng, np.array([False, False])))
+        assert attack.scale == pytest.approx(0.5)
+
+    def test_no_feedback_keeps_scale(self, rng):
+        attack = DefenseProbingAttack(initial_scale=3.0)
+        attack.craft(self._context(rng, None))
+        assert attack.scale == pytest.approx(3.0)
+
+    def test_scale_is_clamped(self, rng):
+        attack = DefenseProbingAttack(
+            grow=10.0, shrink=0.1, min_scale=0.5, max_scale=2.0
+        )
+        attack.craft(self._context(rng, np.array([True, True])))
+        assert attack.scale == pytest.approx(2.0)
+        attack.reset()
+        attack.craft(self._context(rng, np.array([False, False])))
+        assert attack.scale == pytest.approx(0.5)
+
+    def test_output_interpolates_from_honest_mean(self, rng):
+        """mean + scale · (inner − mean), with the sign-flip inner."""
+        attack = DefenseProbingAttack(SignFlipAttack(scale=1.0), initial_scale=0.5)
+        ctx = self._context(rng, None)
+        out = attack.craft(ctx)
+        expected = ctx.honest_mean + 0.5 * (-ctx.honest_mean - ctx.honest_mean)
+        np.testing.assert_allclose(out, np.tile(expected, (2, 1)))
+
+    def test_reset_restores_initial_scale_and_inner(self, rng):
+        attack = DefenseProbingAttack(initial_scale=1.0)
+        attack.craft(self._context(rng, np.array([True, True])))
+        assert attack.scale != 1.0
+        attack.reset()
+        assert attack.scale == pytest.approx(1.0)
+
+    def test_registry_resolves_inner(self):
+        attack = make_attack(
+            "probe", {"inner": "little-is-enough", "grow": 3.0}
+        )
+        assert isinstance(attack, DefenseProbingAttack)
+        assert attack.grow == 3.0
+        assert "little-is-enough" in attack.name
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            DefenseProbingAttack(grow=0.5)
+        with pytest.raises(ConfigurationError):
+            DefenseProbingAttack(shrink=0.0)
+        with pytest.raises(ConfigurationError):
+            DefenseProbingAttack(initial_scale=-1.0)
+        with pytest.raises(ConfigurationError):
+            DefenseProbingAttack(min_scale=2.0, max_scale=1.0)
+        with pytest.raises(ConfigurationError):
+            DefenseProbingAttack(inner="sign-flip")  # type: ignore[arg-type]

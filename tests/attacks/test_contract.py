@@ -1,0 +1,189 @@
+"""Registry-wide attack-contract sweep.
+
+Every name in ``available_attacks()`` must honour the craft contract:
+an ``(f, d)`` float64 output, no mutation of the context's arrays,
+determinism under a fixed RNG (with ``reset()`` restoring stateful
+attacks to a fresh run), and an empty block at ``f = 0`` for attacks
+whose adversary model permits an empty coalition.  The sweep is
+registry-driven, so a newly registered attack is contract-tested by
+construction — forgetting to extend this file is impossible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackContext
+from repro.attacks.registry import available_attacks, make_attack
+
+DIMENSION = 5
+NUM_HONEST = 6
+
+#: Per-name kwargs for attacks whose factory needs more than defaults.
+DEFAULT_KWARGS: dict[str, dict] = {
+    "composite": {"parts": (("crash", {}, 1), ("sign-flip", {}, 2))},
+}
+
+#: Minimum coalition size an attack's adversary model requires.
+MIN_F: dict[str, int] = {
+    "collusion": 2,  # needs a colluding majority of >= 2
+    "composite": 3,  # the DEFAULT_KWARGS parts sum to exactly 3
+}
+
+#: Attacks whose f is pinned by construction (cannot craft other sizes).
+FIXED_F = {"composite"}
+
+
+def build_attack(name: str):
+    return make_attack(name, DEFAULT_KWARGS.get(name, {}))
+
+
+def make_context(
+    *,
+    num_byzantine: int,
+    seed: int = 0,
+    round_index: int = 0,
+    with_async: bool = False,
+    with_selection: bool = False,
+    params_scale: float = 1.0,
+) -> AttackContext:
+    """A deterministic, fully-populated context (true gradient included,
+    so gradient-steering attacks take their omniscient branch)."""
+    rng = np.random.default_rng(seed + 7919 * round_index)
+    n = NUM_HONEST + num_byzantine
+    honest = 1.0 + 0.1 * rng.standard_normal((NUM_HONEST, DIMENSION))
+    params = params_scale * (1.0 + rng.standard_normal(DIMENSION))
+    byzantine = np.arange(NUM_HONEST, n, dtype=np.int64)
+    context = AttackContext(
+        round_index=round_index,
+        params=params,
+        honest_gradients=honest,
+        byzantine_indices=byzantine,
+        honest_indices=np.arange(NUM_HONEST, dtype=np.int64),
+        num_workers=n,
+        rng=np.random.default_rng(seed),
+        true_gradient=params.copy(),
+        honest_staleness=(
+            np.arange(NUM_HONEST, dtype=np.int64) % 3 if with_async else None
+        ),
+        byzantine_staleness=(
+            np.arange(num_byzantine, dtype=np.int64) % 3
+            if with_async
+            else None
+        ),
+        honest_params=(
+            params + 0.01 * rng.standard_normal((NUM_HONEST, DIMENSION))
+            if with_async
+            else None
+        ),
+        selected_last_round=(
+            (np.arange(num_byzantine) % 2 == 0)
+            if with_selection and num_byzantine
+            else None
+        ),
+    )
+    context.validate()
+    return context
+
+
+def craft_rounds(attack, *, rounds: int = 3, seed: int = 0, **kwargs):
+    """Craft over several evolving rounds (exercises stateful paths)."""
+    return [
+        attack.craft(
+            make_context(
+                num_byzantine=3, seed=seed, round_index=t, **kwargs
+            )
+        )
+        for t in range(rounds)
+    ]
+
+
+@pytest.mark.parametrize("name", available_attacks())
+class TestAttackContract:
+    def test_output_shape_and_dtype(self, name):
+        attack = build_attack(name)
+        for out in craft_rounds(attack):
+            assert out.shape == (3, DIMENSION)
+            assert out.dtype == np.float64
+
+    def test_async_context_output_shape(self, name):
+        attack = build_attack(name)
+        for out in craft_rounds(attack, with_async=True, with_selection=True):
+            assert out.shape == (3, DIMENSION)
+            assert out.dtype == np.float64
+
+    def test_does_not_mutate_context(self, name):
+        attack = build_attack(name)
+        context = make_context(
+            num_byzantine=3, with_async=True, with_selection=True
+        )
+        arrays = {
+            field: np.asarray(getattr(context, field)).copy()
+            for field in (
+                "params",
+                "honest_gradients",
+                "byzantine_indices",
+                "honest_indices",
+                "true_gradient",
+                "honest_staleness",
+                "byzantine_staleness",
+                "honest_params",
+                "selected_last_round",
+            )
+        }
+        attack.craft(context)
+        for field, before in arrays.items():
+            after = np.asarray(getattr(context, field))
+            assert after.tobytes() == before.tobytes(), (
+                f"{name} mutated context.{field}"
+            )
+
+    def test_deterministic_under_fixed_rng(self, name):
+        """Two fresh instances on identical context streams agree
+        bit for bit (attack RNG is the only sanctioned entropy)."""
+        first = craft_rounds(build_attack(name), seed=11)
+        second = craft_rounds(build_attack(name), seed=11)
+        for a, b in zip(first, second):
+            assert a.tobytes() == b.tobytes()
+
+    def test_reset_restores_fresh_run(self, name):
+        """One instance re-used sequentially (reset between runs, as the
+        simulator does) matches a fresh instance."""
+        attack = build_attack(name)
+        craft_rounds(attack, seed=3)
+        attack.reset()
+        reused = craft_rounds(attack, seed=3)
+        fresh = craft_rounds(build_attack(name), seed=3)
+        for a, b in zip(reused, fresh):
+            assert a.tobytes() == b.tobytes()
+
+    def test_stateful_flag_is_honest(self, name):
+        """Attacks declaring themselves stateless must craft identically
+        without a reset; this catches hidden state behind
+        ``stateful = False`` (which would silently break the batched
+        engine's sharing assumptions)."""
+        attack = build_attack(name)
+        if attack.stateful:
+            pytest.skip("stateful attacks are covered by the reset test")
+        first = craft_rounds(attack, seed=5)
+        second = craft_rounds(attack, seed=5)
+        for a, b in zip(first, second):
+            assert a.tobytes() == b.tobytes()
+
+    def test_f0_returns_empty_block(self, name):
+        if name in MIN_F and MIN_F[name] > 0:
+            pytest.skip(f"{name} requires f >= {MIN_F[name]}")
+        attack = build_attack(name)
+        out = attack.craft(make_context(num_byzantine=0))
+        assert out.shape == (0, DIMENSION)
+        assert out.dtype == np.float64
+
+    def test_min_f_boundary(self, name):
+        """The smallest admissible coalition still crafts a full block."""
+        if name in FIXED_F:
+            pytest.skip(f"{name} pins f by construction")
+        f = max(MIN_F.get(name, 1), 1)
+        attack = build_attack(name)
+        out = attack.craft(make_context(num_byzantine=f))
+        assert out.shape == (f, DIMENSION)

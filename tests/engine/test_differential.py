@@ -436,6 +436,40 @@ class TestGridTrajectories:
         )
         self._assert_identical(grid, chunk_size=2)
 
+    def test_adaptive_attacks_in_grid(self):
+        """Acceptance criterion of the adaptive adversary suite: the
+        stateful adaptive attacks — and the ``selected_last_round``
+        feedback the probe consumes — thread identically through the
+        loop and batched executors, synchronous and stale arms alike.
+        (kardam wraps ``average`` here: the Lipschitz filter can drop
+        enough rows to break an inner krum's ``2f + 2 < n`` bound.)"""
+        grid = ScenarioGrid(
+            seeds=(0, 11),
+            attacks=(
+                ("staleness-gaming", {"scale": 2.0}),
+                ("lipschitz-mimicry", {}),
+                ("probe", {"inner": "sign-flip"}),
+                ("probe", {"inner": "little-is-enough"}),
+            ),
+            aggregators=(
+                ("krum", {}),
+                ("multi-krum", {"m": 3}),
+                ("average", {}),
+                ("kardam", {"inner": "average", "lipschitz_quantile": 0.9}),
+            ),
+            f_values=(2,),
+            max_staleness_values=(0, 3),
+            delay_schedules=(
+                (None, {}),
+                ("periodic", {"tau": 2, "period": 3}),
+            ),
+            num_workers=9,
+            dimension=6,
+            sigma=0.3,
+            num_rounds=10,
+        )
+        self._assert_identical(grid, chunk_size=4)
+
 
 class TestCompareAggregatorsEngine:
     """The rewired compare_aggregators: batched == loop on dataset SGD."""
