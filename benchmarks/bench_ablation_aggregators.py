@@ -11,6 +11,7 @@ little-is-enough attack that nudges coordinate statistics).
 
 from __future__ import annotations
 
+from benchmarks.conftest import emit, run_once
 from repro.analysis.resilience import estimate_resilience
 from repro.attacks.collusion import CollusionAttack
 from repro.attacks.modern import LittleIsEnoughAttack
@@ -27,8 +28,6 @@ from repro.baselines.medians import (
 from repro.core.bulyan import Bulyan
 from repro.core.krum import Krum, MultiKrum
 from repro.experiments.reporting import format_table
-
-from benchmarks.conftest import emit, run_once
 
 N, F = 13, 3
 DIMENSION = 4

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from benchmarks.conftest import emit, run_once
 from repro.attacks.omniscient import OmniscientAttack
 from repro.core.krum import Krum
 from repro.distributed.schedules import InverseTimeSchedule
@@ -18,8 +19,6 @@ from repro.distributed.simulator import TrainingSimulation
 from repro.experiments.reporting import format_table
 from repro.gradients.momentum import MomentumEstimator
 from repro.models.quadratic import QuadraticBowl
-
-from benchmarks.conftest import emit, run_once
 
 N, F, DIMENSION = 15, 3, 10
 SIGMA = 0.3  # deliberately noisy so the momentum effect is visible

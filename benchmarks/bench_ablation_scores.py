@@ -12,13 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from benchmarks.conftest import emit, run_once
 from repro.attacks.random_noise import GaussianAttack
 from repro.core.krum import Krum, MultiKrum, krum_scores
 from repro.experiments.builders import build_quadratic_simulation
 from repro.experiments.reporting import format_table
 from repro.models.quadratic import QuadraticBowl
-
-from benchmarks.conftest import emit, run_once
 
 N, F, DIMENSION = 13, 3, 8
 

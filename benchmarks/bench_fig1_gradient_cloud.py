@@ -10,13 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from benchmarks.conftest import emit, run_once
 from repro.attacks.base import AttackContext
 from repro.attacks.random_noise import GaussianAttack
 from repro.core.krum import Krum
 from repro.experiments.reporting import format_table
 from repro.models.quadratic import QuadraticBowl
-
-from benchmarks.conftest import emit, run_once
 
 DIMENSION = 2  # Figure 1 is drawn in the plane
 NUM_WORKERS = 12

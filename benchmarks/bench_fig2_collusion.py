@@ -10,13 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.collusion import CollusionAttack
+from benchmarks.conftest import emit, run_once
 from repro.attacks.base import AttackContext
+from repro.attacks.collusion import CollusionAttack
 from repro.baselines.distance_based import ClosestToAll
 from repro.core.krum import Krum
 from repro.experiments.reporting import format_table
-
-from benchmarks.conftest import emit, run_once
 
 TRIALS = 200
 DIMENSION = 10
@@ -42,11 +41,10 @@ def _selection_rates(n, f, decoy_distance, seed=0):
             rng=rng,
         )
         stack = np.vstack([honest, attack.craft(context)])
-        if int(ClosestToAll().aggregate_detailed(stack).selected[0]) >= num_honest:
+        if int(flawed_rule.aggregate_detailed(stack).selected[0]) >= num_honest:
             flawed_hits += 1
         if int(krum_rule.aggregate_detailed(stack).selected[0]) >= num_honest:
             krum_hits += 1
-    del flawed_rule
     return flawed_hits / TRIALS, krum_hits / TRIALS
 
 

@@ -16,6 +16,7 @@ faster.
 
 from __future__ import annotations
 
+from benchmarks.conftest import emit, run_once
 from repro.attacks.omniscient import OmniscientAttack
 from repro.attacks.random_noise import GaussianAttack
 from repro.baselines.average import Average
@@ -27,8 +28,6 @@ from repro.experiments.builders import build_dataset_simulation
 from repro.experiments.reporting import format_series, format_table
 from repro.models.logistic import LogisticRegressionModel
 from repro.models.mlp import MLPClassifier
-
-from benchmarks.conftest import emit, run_once
 
 NUM_WORKERS = 20
 F = 6  # ~33 % of 20; satisfies 2f + 2 < n

@@ -9,14 +9,13 @@ n-fold variance reduction of the mean.  Increasing the mini-batch size
 
 from __future__ import annotations
 
+from benchmarks.conftest import emit, run_once
 from repro.baselines.average import Average
 from repro.core.krum import Krum
 from repro.data.mnist_like import make_mnist_like
 from repro.experiments.builders import build_dataset_simulation
 from repro.experiments.reporting import format_table
 from repro.models.mlp import MLPClassifier
-
-from benchmarks.conftest import emit, run_once
 
 NUM_WORKERS = 20
 CONFIGURED_F = 6  # Krum still *configured* for f=6 — that's the cost

@@ -9,6 +9,7 @@ curve approaches averaging's attack-free curve while remaining robust.
 
 from __future__ import annotations
 
+from benchmarks.conftest import emit, run_once
 from repro.attacks.random_noise import GaussianAttack
 from repro.baselines.average import Average
 from repro.core.krum import MultiKrum
@@ -16,8 +17,6 @@ from repro.data.mnist_like import make_mnist_like
 from repro.experiments.builders import build_dataset_simulation
 from repro.experiments.reporting import format_table
 from repro.models.mlp import MLPClassifier
-
-from benchmarks.conftest import emit, run_once
 
 NUM_WORKERS = 20
 F = 4

@@ -12,14 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from benchmarks.conftest import emit, run_once
 from repro.attacks.hijack import LinearHijackAttack
 from repro.baselines.average import Average
 from repro.core.krum import Krum
 from repro.experiments.builders import build_quadratic_simulation
 from repro.experiments.reporting import format_series, format_table
 from repro.models.quadratic import QuadraticBowl
-
-from benchmarks.conftest import emit, run_once
 
 DIMENSION = 20
 NUM_WORKERS = 11

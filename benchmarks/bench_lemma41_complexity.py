@@ -9,12 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from benchmarks.conftest import emit, run_once
 from repro.baselines.majority import MinimalDiameterSubset
 from repro.core.krum import Krum, krum_scores
 from repro.experiments.reporting import format_table
 from repro.utils.timing import Timer, fit_power_law
-
-from benchmarks.conftest import emit, run_once
 
 REPEATS = 5
 

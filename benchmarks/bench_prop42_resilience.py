@@ -15,6 +15,7 @@ cross-checks explicitly.
 
 from __future__ import annotations
 
+from benchmarks.conftest import emit, run_once
 from repro.analysis.resilience import estimate_resilience
 from repro.attacks.collusion import CollusionAttack
 from repro.attacks.modern import InnerProductAttack, LittleIsEnoughAttack
@@ -25,8 +26,6 @@ from repro.baselines.average import Average
 from repro.core.krum import Krum
 from repro.core.theory import eta
 from repro.experiments.reporting import format_table
-
-from benchmarks.conftest import emit, run_once
 
 TRIALS = 400
 DIMENSION = 4

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from benchmarks.conftest import emit, run_once
 from repro.analysis.convergence import has_converged
 from repro.attacks.omniscient import OmniscientAttack
 from repro.baselines.average import Average
@@ -18,8 +19,6 @@ from repro.core.theory import krum_variance_bound, max_tolerable_f
 from repro.experiments.builders import build_quadratic_simulation
 from repro.experiments.reporting import format_series, format_table
 from repro.models.quadratic import QuadraticBowl
-
-from benchmarks.conftest import emit, run_once
 
 DIMENSION = 10
 NUM_WORKERS = 25

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
 from repro.exceptions import ByzantineToleranceError, ConfigurationError
+from repro.utils.rng import as_generator
 
 __all__ = ["CollusionAttack"]
 
@@ -75,7 +76,7 @@ class CollusionAttack(Attack):
             )
             direction = -np.asarray(gradient, dtype=np.float64)
         else:
-            direction_rng = np.random.default_rng(self.direction_seed)
+            direction_rng = as_generator(self.direction_seed)
             direction = direction_rng.standard_normal(context.dimension)
         norm = float(np.linalg.norm(direction))
         if norm < 1e-30:

@@ -11,6 +11,7 @@ from collections.abc import Callable
 
 from repro.core.aggregator import Aggregator
 from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_factory_kwargs
 
 __all__ = [
     "make_aggregator",
@@ -44,8 +45,15 @@ def aggregator_factory(name: str) -> Callable[..., Aggregator]:
 
 
 def make_aggregator(name: str, **kwargs: object) -> Aggregator:
-    """Build a rule by registry name, e.g. ``make_aggregator("krum", f=2)``."""
-    return aggregator_factory(name)(**kwargs)
+    """Build a rule by registry name, e.g. ``make_aggregator("krum", f=2)``.
+
+    Keyword arguments that do not fit the factory's signature raise
+    :class:`ConfigurationError` naming the rule and the parameters it
+    accepts — the shared registry contract.
+    """
+    factory = aggregator_factory(name)
+    check_factory_kwargs("aggregator", name, factory, kwargs)
+    return factory(**kwargs)
 
 
 def _kardam_factory(

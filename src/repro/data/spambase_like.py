@@ -58,7 +58,7 @@ def make_spambase_like(
     # subsets come from the structure seed so the distribution itself is
     # independent of the sampling seed.
     num_freq = NUM_WORD_FEATURES + NUM_CHAR_FEATURES
-    feature_perm = np.random.default_rng(structure_seed).permutation(num_freq)
+    feature_perm = as_generator(structure_seed).permutation(num_freq)
     spam_cues = feature_perm[: num_freq // 3]
     ham_cues = feature_perm[num_freq // 3 : 2 * num_freq // 3]
 

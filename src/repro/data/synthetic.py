@@ -33,7 +33,7 @@ def make_blobs(
             f"need at least one sample per class: {num_samples} < {num_classes}"
         )
     rng = as_generator(seed)
-    centers = np.random.default_rng(center_seed).uniform(
+    centers = as_generator(center_seed).uniform(
         -center_box, center_box, size=(num_classes, num_features)
     )
     labels = rng.integers(0, num_classes, size=num_samples)

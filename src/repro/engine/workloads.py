@@ -44,10 +44,10 @@ from collections.abc import Callable, Mapping, Sequence
 from repro.attacks.base import Attack
 from repro.core.aggregator import Aggregator
 from repro.data.dataset import Dataset
-from repro.distributed.delays import DelaySchedule
 from repro.data.mnist_like import IMAGE_SIDE, make_mnist_like
 from repro.data.partition import PARTITION_PROTOCOLS
 from repro.data.spambase_like import NUM_FEATURES, make_spambase_like
+from repro.distributed.delays import DelaySchedule
 from repro.distributed.simulator import TrainingSimulation
 from repro.exceptions import ConfigurationError
 from repro.experiments.builders import (

@@ -15,6 +15,7 @@ __all__ = [
     "InvalidVectorError",
     "ConvergenceError",
     "SimulationError",
+    "LifecycleError",
 ]
 
 
@@ -59,3 +60,12 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The distributed-training simulation reached an invalid state."""
+
+
+class LifecycleError(ReproError, RuntimeError):
+    """An object was used out of protocol order.
+
+    Raised e.g. by the neural-network layers when ``backward`` is called
+    without a preceding ``forward`` (the one-backward-per-forward
+    contract).
+    """

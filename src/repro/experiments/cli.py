@@ -26,19 +26,18 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.attacks.registry import make_attack
+from repro.attacks.registry import available_attacks, make_attack
 from repro.backend import available_backends, resolve_backend
 from repro.core.registry import available_aggregators, make_aggregator
 from repro.data.partition import PARTITION_PROTOCOLS
+from repro.data.synthetic import make_blobs
 from repro.distributed.delays import (
     available_delay_schedules,
     make_delay_schedule,
 )
-from repro.data.synthetic import make_blobs
 from repro.engine.simulation import BatchedSimulation
 from repro.engine.workloads import make_workload
 from repro.exceptions import ReproError
-from repro.attacks.registry import available_attacks
 from repro.experiments.builders import build_dataset_simulation
 from repro.experiments.reporting import (
     format_league_table,

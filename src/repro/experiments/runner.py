@@ -7,8 +7,8 @@ from dataclasses import replace
 from repro.attacks.registry import make_attack
 from repro.backend import make_backend
 from repro.core.registry import make_aggregator
-from repro.distributed.delays import make_delay_schedule
 from repro.data.dataset import Dataset
+from repro.distributed.delays import make_delay_schedule
 from repro.distributed.metrics import TrainingHistory
 from repro.distributed.simulator import TrainingSimulation
 from repro.engine.simulation import BatchedSimulation

@@ -1,0 +1,30 @@
+"""Built-in lint rules: importing this package registers them.
+
+Each rule module registers itself with
+:mod:`repro.lint.registry` at import time, mirroring how the
+aggregator/attack/workload/backend/delay registries self-register their
+built-ins.
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import register_rule
+from repro.lint.rules.backend_purity import BackendPurityRule
+from repro.lint.rules.error_taxonomy import ErrorTaxonomyRule
+from repro.lint.rules.registry_contract import RegistryFactoryContractRule
+from repro.lint.rules.rng_discipline import RngDisciplineRule
+from repro.lint.rules.stateful_attack import StatefulAttackRule
+
+__all__ = [
+    "BackendPurityRule",
+    "RngDisciplineRule",
+    "ErrorTaxonomyRule",
+    "StatefulAttackRule",
+    "RegistryFactoryContractRule",
+]
+
+register_rule(BackendPurityRule.name, BackendPurityRule)
+register_rule(RngDisciplineRule.name, RngDisciplineRule)
+register_rule(ErrorTaxonomyRule.name, ErrorTaxonomyRule)
+register_rule(StatefulAttackRule.name, StatefulAttackRule)
+register_rule(RegistryFactoryContractRule.name, RegistryFactoryContractRule)

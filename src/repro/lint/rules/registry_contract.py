@@ -1,0 +1,119 @@
+"""registry-factory-contract: factory kwargs never leak raw TypeErrors.
+
+Every name-based registry promises the same thing: building an entry
+with keyword arguments that do not fit its factory's signature raises
+:class:`ConfigurationError` naming the entry and its accepted
+parameters — not the factory's raw ``TypeError`` (a bad scenario spec is
+a configuration mistake, and engine code that condenses ``ReproError``
+into breakdown rows must be able to see it as one).  This rule checks
+every ``make_*`` function that splats kwargs into a call: it must either
+route them through :func:`repro.utils.validation.check_factory_kwargs`
+or wrap the call's ``TypeError`` in a ``ConfigurationError``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.base import LintRule, ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["RegistryFactoryContractRule"]
+
+
+def _has_kwargs_splat(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and any(keyword.arg is None for keyword in node.keywords)
+        for node in ast.walk(func)
+    )
+
+
+def _calls_check_factory_kwargs(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute) else None
+            )
+            if name == "check_factory_kwargs":
+                return True
+    return False
+
+
+def _handler_catches_typeerror(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True  # bare except catches TypeError too
+    candidates = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+    for candidate in candidates:
+        name = (
+            candidate.id
+            if isinstance(candidate, ast.Name)
+            else candidate.attr
+            if isinstance(candidate, ast.Attribute)
+            else None
+        )
+        if name in ("TypeError", "Exception", "BaseException"):
+            return True
+    return False
+
+
+def _raises_configuration_error(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            callee = exc.func if isinstance(exc, ast.Call) else exc
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute) else None
+            )
+            if name == "ConfigurationError":
+                return True
+    return False
+
+
+def _wraps_typeerror(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try):
+            for handler in node.handlers:
+                if _handler_catches_typeerror(
+                    handler
+                ) and _raises_configuration_error(handler):
+                    return True
+    return False
+
+
+class RegistryFactoryContractRule(LintRule):
+    """make_* factories validate kwargs or wrap TypeError."""
+
+    name = "registry-factory-contract"
+    description = (
+        "every make_* factory that splats kwargs routes them through "
+        "check_factory_kwargs or wraps TypeError in ConfigurationError"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) or not node.name.startswith("make_"):
+                continue
+            if not _has_kwargs_splat(node):
+                continue
+            if _calls_check_factory_kwargs(node) or _wraps_typeerror(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{node.name} splats kwargs into a factory call without "
+                f"check_factory_kwargs or a TypeError->ConfigurationError "
+                f"wrapper — bad kwargs would leak a raw TypeError instead "
+                f"of the registry's ConfigurationError contract",
+            )

@@ -13,7 +13,11 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    LifecycleError,
+)
 from repro.nn.initializers import he_normal, zeros
 from repro.nn.parameter import Parameter
 
@@ -76,7 +80,7 @@ class Dense(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._inputs is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         grad_output = np.asarray(grad_output, dtype=np.float64)
         self.weight.grad = self._inputs.T @ grad_output
         if self.bias is not None:
@@ -104,7 +108,7 @@ class ReLU(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         return np.where(self._mask, grad_output, 0.0)
 
 
@@ -124,7 +128,7 @@ class LeakyReLU(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         return np.where(self._mask, grad_output, self.slope * grad_output)
 
 
@@ -140,7 +144,7 @@ class Tanh(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         return grad_output * (1.0 - self._output**2)
 
 
@@ -162,7 +166,7 @@ class Sigmoid(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         return grad_output * self._output * (1.0 - self._output)
 
 

@@ -11,7 +11,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.exceptions import DimensionMismatchError
+from repro.exceptions import DimensionMismatchError, LifecycleError
 
 __all__ = [
     "Loss",
@@ -53,7 +53,7 @@ class MeanSquaredError(Loss):
 
     def backward(self) -> np.ndarray:
         if self._diff is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         return self._diff / self._batch
 
 
@@ -95,7 +95,7 @@ class SoftmaxCrossEntropy(Loss):
 
     def backward(self) -> np.ndarray:
         if self._probs is None or self._targets is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         batch = self._probs.shape[0]
         grad = self._probs.copy()
         grad[np.arange(batch), self._targets] -= 1.0
@@ -105,7 +105,7 @@ class SoftmaxCrossEntropy(Loss):
     def last_probabilities(self) -> np.ndarray:
         """Class probabilities from the most recent forward pass."""
         if self._probs is None:
-            raise RuntimeError("no forward pass has been run")
+            raise LifecycleError("no forward pass has been run")
         return self._probs
 
 
@@ -139,5 +139,5 @@ class BinaryCrossEntropyWithLogits(Loss):
 
     def backward(self) -> np.ndarray:
         if self._grad is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         return self._grad

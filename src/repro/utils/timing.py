@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
 __all__ = ["Timer", "fit_power_law"]
 
 
@@ -60,8 +62,10 @@ def fit_power_law(sizes: np.ndarray, times: np.ndarray) -> float:
     sizes = np.asarray(sizes, dtype=np.float64)
     times = np.asarray(times, dtype=np.float64)
     if sizes.shape != times.shape or sizes.ndim != 1 or sizes.size < 2:
-        raise ValueError("need matching 1-d arrays with at least 2 samples")
+        raise DimensionMismatchError(
+            "need matching 1-d arrays with at least 2 samples"
+        )
     if np.any(sizes <= 0) or np.any(times <= 0):
-        raise ValueError("sizes and times must be strictly positive")
+        raise ConfigurationError("sizes and times must be strictly positive")
     slope, _intercept = np.polyfit(np.log(sizes), np.log(times), deg=1)
     return float(slope)

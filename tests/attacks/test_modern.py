@@ -31,7 +31,6 @@ class TestLittleIsEnough:
     def test_can_fool_krum_selection(self):
         """With enough colluders, the crafted point wins Krum's score —
         the known limitation this attack exploits."""
-        rng = np.random.default_rng(0)
         wins = 0
         trials = 20
         for t in range(trials):

@@ -156,7 +156,7 @@ class TestRunning:
 
     def test_quadratic_descent_without_byzantine(self):
         bowl, sim = _simulation(aggregator=Average(), sigma=0.05)
-        history = sim.run(200, eval_every=50)
+        sim.run(200, eval_every=50)
         assert bowl.distance_to_optimum(sim.params) < 0.5
 
     def test_selection_tracked_for_krum(self):

@@ -11,8 +11,7 @@ Two structural invariants of batching:
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.baselines.average import Average

@@ -1,8 +1,7 @@
 """Hypothesis property tests for Krum (the paper's core invariants)."""
 
 import numpy as np
-from hypothesis import assume, given, settings
-from hypothesis import strategies as st
+from hypothesis import assume, given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.krum import Krum, MultiKrum, krum_scores, krum_scores_reference

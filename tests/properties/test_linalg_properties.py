@@ -1,8 +1,7 @@
 """Hypothesis property tests for the linear-algebra kernel."""
 
 import numpy as np
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.utils.linalg import (
