@@ -1,0 +1,410 @@
+"""Server-tier bench — Byzantine parameter servers vs replicated median.
+
+Sweeps the parameter-server tier axes ``num_servers ∈ {1, 3}`` ×
+``byzantine_servers ∈ {0, 1}`` under the sign-flip broadcast attack on
+the quadratic reference workload, for three gradient-aggregation rules
+(krum, coordinate-median, average) — the worker-side defense is the
+ByzSGD-style coordinate-wise median over the replica broadcasts, built
+into :class:`~repro.servers.ReplicatedServerGroup`.
+
+Three claims are asserted alongside the measurement:
+
+* **headline** — a single Byzantine server defeats the single-server
+  run for *every* gradient rule (no worker-side aggregator can save a
+  training loop whose broadcast parameters are corrupted), while three
+  replicas with one Byzantine member recover to within
+  ``RECOVER_MAX`` × the attack-free baseline: the coordinate median of
+  ``{x, x, −x}`` is exactly ``x``, so the recovery is in fact
+  bit-identical to the attack-free trajectory;
+* **degenerate identity** — the grid restricted to ``num_servers=1,
+  byzantine_servers=0, num_shards=1`` reproduces the axis-free grid's
+  trajectories (and labels) bit-for-bit;
+* **differential identity** — the batched executor reproduces the loop
+  executor's server-tier trajectories bit-for-bit, and sharded
+  averaging (``num_shards=4``) is bitwise identical to unsharded
+  averaging (the rule is coordinate-separable, so the shard cut is an
+  implementation detail).
+
+Writes the measurement to ``BENCH_server_tier.json`` at the repo root.
+
+Standalone usage (CI smoke / regenerating the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_server_tier.py          # full grid
+    PYTHONPATH=src python benchmarks/bench_server_tier.py --smoke  # tiny grid
+    PYTHONPATH=src python benchmarks/bench_server_tier.py --smoke \\
+        --output BENCH_server_tier.smoke.json   # CI artifact
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import ScenarioGrid, run_grid
+from repro.experiments.reporting import format_table
+
+try:
+    from benchmarks.conftest import emit, run_once
+except ImportError:  # executed as a script: python benchmarks/bench_server_tier.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import emit, run_once
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_server_tier.json"
+
+AGGREGATORS = (
+    ("krum", {}),
+    ("coordinate-median", {}),
+    ("average", {}),
+)
+SERVER_ATTACK = ("sign-flip-broadcast", {})
+
+# Headline thresholds: one Byzantine server among one must leave every
+# rule at >= DEGRADE_MIN x its attack-free baseline (the sign-flipped
+# broadcast turns gradient descent into geometric divergence), while
+# three replicas with one Byzantine member must recover to within
+# RECOVER_MAX x.  Measured: ~1e4x degraded vs exactly 1.0x recovered
+# (median{x, x, -x} = x bitwise) at the full grid.
+DEGRADE_MIN = 4.0
+RECOVER_MAX = 2.0
+
+
+def _grid(
+    *,
+    seeds=(0, 1, 2),
+    num_rounds=100,
+    dimension=20,
+    server_axes: bool = True,
+    num_shards: int = 1,
+    aggregators=AGGREGATORS,
+) -> ScenarioGrid:
+    extra = {}
+    if server_axes:
+        extra.update(
+            num_servers_values=(1, 3),
+            byzantine_servers_values=(0, 1),
+            server_attacks=(SERVER_ATTACK,),
+        )
+    return ScenarioGrid(
+        seeds=seeds,
+        aggregators=aggregators,
+        f_values=(0,),
+        num_workers=15,
+        dimension=dimension,
+        sigma=0.5,
+        num_rounds=num_rounds,
+        learning_rate=0.1,
+        lr_timescale=None,
+        num_shards=num_shards,
+        **extra,
+    )
+
+
+def _identical_trajectories(result_a, result_b, *, by_position=False) -> bool:
+    labels_a = [spec.label for spec in result_a.specs]
+    labels_b = (
+        [spec.label for spec in result_b.specs] if by_position else labels_a
+    )
+    for label_a, label_b in zip(labels_a, labels_b):
+        if (
+            result_a.final_params[label_a].tobytes()
+            != result_b.final_params[label_b].tobytes()
+        ):
+            return False
+        history_a = result_a.histories[label_a]
+        history_b = result_b.histories[label_b]
+        if len(history_a) != len(history_b) or any(
+            a != b for a, b in zip(history_a, history_b)
+        ):
+            return False
+    return True
+
+
+def _tier_rows(result) -> list[dict]:
+    """Mean final distance-to-optimum per (aggregator, num_servers,
+    byzantine_servers) cell group, averaged over seeds."""
+    groups: dict[tuple, list] = defaultdict(list)
+    for spec in result.specs:
+        history = result.histories[spec.label]
+        final = history.evaluated[-1]
+        key = (spec.aggregator, spec.num_servers, spec.byzantine_servers)
+        groups[key].append(final.extras.get("dist_to_opt"))
+    rows = []
+    for (aggregator, num_servers, byzantine_servers), dists in sorted(
+        groups.items()
+    ):
+        rows.append(
+            {
+                "aggregator": aggregator,
+                "num_servers": num_servers,
+                "byzantine_servers": byzantine_servers,
+                "server_attack": (
+                    SERVER_ATTACK[0] if byzantine_servers > 0 else None
+                ),
+                "dist_to_opt_mean": float(np.mean(dists)),
+                "seeds": len(dists),
+            }
+        )
+    return rows
+
+
+def _headline(rows: list[dict]) -> list[dict]:
+    """Per-aggregator baseline / degraded / recovered ratios."""
+    by_cell = {
+        (row["aggregator"], row["num_servers"], row["byzantine_servers"]):
+        row["dist_to_opt_mean"]
+        for row in rows
+    }
+    headline = []
+    for name, _kwargs in AGGREGATORS:
+        baseline = by_cell[(name, 1, 0)]
+        degraded = by_cell[(name, 1, 1)]
+        recovered = by_cell[(name, 3, 1)]
+        floor = max(baseline, 1e-12)
+        headline.append(
+            {
+                "aggregator": name,
+                "baseline_dist": baseline,
+                "degraded_dist": degraded,
+                "recovered_dist": recovered,
+                "degraded_ratio": degraded / floor,
+                "recovered_ratio": recovered / floor,
+            }
+        )
+    return headline
+
+
+def run_tier(grid: ScenarioGrid, degenerate_grids) -> dict:
+    """Execute the tier grid in both modes, check the degenerate cell
+    against the axis-free grid and sharded vs unsharded averaging, and
+    summarize."""
+    loop_result = run_grid(grid, mode="loop", eval_every=25)
+    batched_result = run_grid(grid, mode="batched", eval_every=25)
+    speedup = loop_result.wall_time / max(batched_result.wall_time, 1e-12)
+
+    # Degenerate cell: the tier grid with its axes pinned at (1, 0, 1)
+    # must reproduce the axis-free grid bit for bit — same labels, same
+    # trajectories (the differential suite pins this too; the bench
+    # re-checks it on the bench configuration).
+    pinned_grid, axis_free_grid = degenerate_grids
+    pinned = run_grid(pinned_grid, mode="batched", eval_every=25)
+    axis_free = run_grid(axis_free_grid, mode="batched", eval_every=25)
+    degenerate_identical = [
+        spec.label for spec in pinned.specs
+    ] == [spec.label for spec in axis_free.specs] and _identical_trajectories(
+        pinned, axis_free
+    )
+
+    # Sharding a coordinate-separable rule must not change anything:
+    # sharded(average) over 4 shards == average, bitwise.
+    unsharded = run_grid(
+        _grid(
+            seeds=tuple(grid.seeds),
+            num_rounds=grid.num_rounds,
+            dimension=grid.dimension,
+            server_axes=False,
+            aggregators=(("average", {}),),
+        ),
+        mode="loop",
+        eval_every=25,
+    )
+    sharded = run_grid(
+        _grid(
+            seeds=tuple(grid.seeds),
+            num_rounds=grid.num_rounds,
+            dimension=grid.dimension,
+            server_axes=False,
+            num_shards=4,
+            aggregators=(("average", {}),),
+        ),
+        mode="loop",
+        eval_every=25,
+    )
+    sharding_identical = _identical_trajectories(
+        unsharded, sharded, by_position=True
+    )
+
+    rows = _tier_rows(batched_result)
+    return {
+        "grid": {
+            "cells": len(grid),
+            "num_workers": grid.num_workers,
+            "dimension": grid.dimension,
+            "num_rounds": grid.num_rounds,
+            "seeds": list(grid.seeds),
+            "aggregators": [name for name, _ in AGGREGATORS],
+            "num_servers_values": list(grid.num_servers_values),
+            "byzantine_servers_values": list(grid.byzantine_servers_values),
+            "server_attack": SERVER_ATTACK[0],
+        },
+        "backend": batched_result.backend,
+        "loop_seconds": round(loop_result.wall_time, 4),
+        "batched_seconds": round(batched_result.wall_time, 4),
+        "speedup": round(speedup, 2),
+        "trajectories_identical": _identical_trajectories(
+            loop_result, batched_result
+        ),
+        "degenerate_equals_axis_free": degenerate_identical,
+        "sharded_average_equals_average": sharding_identical,
+        "tier": rows,
+        "headline": _headline(rows),
+        "degrade_min": DEGRADE_MIN,
+        "recover_max": RECOVER_MAX,
+        "python": platform.python_version(),
+    }
+
+
+def _emit_summary(summary: dict) -> None:
+    emit(
+        format_table(
+            [
+                "cells", "n", "d", "rounds", "loop s", "batched s",
+                "identical", "degenerate==plain", "sharded==plain",
+            ],
+            [
+                [
+                    summary["grid"]["cells"],
+                    summary["grid"]["num_workers"],
+                    summary["grid"]["dimension"],
+                    summary["grid"]["num_rounds"],
+                    summary["loop_seconds"],
+                    summary["batched_seconds"],
+                    summary["trajectories_identical"],
+                    summary["degenerate_equals_axis_free"],
+                    summary["sharded_average_equals_average"],
+                ]
+            ],
+            title="Server tier — replicated Byzantine parameter servers",
+        )
+    )
+    emit(
+        format_table(
+            ["aggregator", "baseline", "1 server, 1 byz", "3 servers, 1 byz"],
+            [
+                [
+                    row["aggregator"],
+                    f"{row['baseline_dist']:.4g}",
+                    f"{row['degraded_ratio']:.3g}x",
+                    f"{row['recovered_ratio']:.3g}x",
+                ]
+                for row in summary["headline"]
+            ],
+            title="Broadcast sign-flip: degrade vs replicated-median recovery",
+        )
+    )
+
+
+def _check(summary: dict) -> list[str]:
+    failures = []
+    if not summary["trajectories_identical"]:
+        failures.append(
+            "batched engine diverged from the per-scenario loop on the "
+            "server-tier grid"
+        )
+    if not summary["degenerate_equals_axis_free"]:
+        failures.append(
+            "the degenerate tier cell (1 server, 0 byzantine, 1 shard) "
+            "forked from the axis-free grid"
+        )
+    if not summary["sharded_average_equals_average"]:
+        failures.append(
+            "sharded(average) over 4 shards diverged from unsharded "
+            "averaging on a coordinate-separable rule"
+        )
+    for row in summary["headline"]:
+        if row["degraded_ratio"] < DEGRADE_MIN:
+            failures.append(
+                f"one Byzantine server should degrade {row['aggregator']} "
+                f"to >= {DEGRADE_MIN}x its attack-free baseline, got "
+                f"{row['degraded_ratio']:.3g}x"
+            )
+        if row["recovered_ratio"] > RECOVER_MAX:
+            failures.append(
+                f"worker-side median over 3 replicas should recover "
+                f"{row['aggregator']} to <= {RECOVER_MAX}x baseline, got "
+                f"{row['recovered_ratio']:.3g}x"
+            )
+    return failures
+
+
+def _degenerate_grids(grid: ScenarioGrid):
+    pinned = ScenarioGrid(
+        seeds=tuple(grid.seeds),
+        aggregators=AGGREGATORS,
+        f_values=(0,),
+        num_workers=grid.num_workers,
+        dimension=grid.dimension,
+        sigma=0.5,
+        num_rounds=grid.num_rounds,
+        learning_rate=0.1,
+        lr_timescale=None,
+        num_servers_values=(1,),
+        byzantine_servers_values=(0,),
+        num_shards_values=(1,),
+    )
+    axis_free = _grid(
+        seeds=tuple(grid.seeds),
+        num_rounds=grid.num_rounds,
+        dimension=grid.dimension,
+        server_axes=False,
+    )
+    return pinned, axis_free
+
+
+def bench_server_tier(benchmark):
+    grid = _grid()
+    summary = run_once(
+        benchmark, lambda: run_tier(grid, _degenerate_grids(grid))
+    )
+    _emit_summary(summary)
+    RESULT_PATH.write_text(json.dumps(summary, indent=1) + "\n")
+    for failure in _check(summary):
+        raise AssertionError(failure)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a small grid (1 seed, 10 rounds) without writing "
+        "BENCH_server_tier.json — the CI sanity check",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the summary JSON to this path (used by CI to "
+        "upload the smoke measurement as a workflow artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        grid = _grid(seeds=(0,), num_rounds=10)
+    else:
+        grid = _grid()
+    summary = run_tier(grid, _degenerate_grids(grid))
+    _emit_summary(summary)
+    print(json.dumps(summary, indent=1))
+    if args.output is not None:
+        args.output.write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"wrote {args.output}")
+    failures = _check(summary)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    if not args.smoke:
+        RESULT_PATH.write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,6 +89,21 @@ from repro.exceptions import (
     ReproError,
     SimulationError,
 )
+from repro.servers import (
+    RandomNoiseBroadcastAttack,
+    ReplicatedServerGroup,
+    ServerAttack,
+    ServerAttackContext,
+    ShardedAggregator,
+    ShardedParameterState,
+    SignFlipBroadcastAttack,
+    StaleReplayBroadcastAttack,
+    available_server_attacks,
+    make_server_attack,
+    register_server_attack,
+    replica_view,
+    shard_bounds,
+)
 
 __version__ = "1.0.0"
 
@@ -138,6 +153,20 @@ __all__ = [
     "ParameterServer",
     "TrainingSimulation",
     "TrainingHistory",
+    # server tier
+    "ReplicatedServerGroup",
+    "ShardedParameterState",
+    "ShardedAggregator",
+    "shard_bounds",
+    "replica_view",
+    "ServerAttack",
+    "ServerAttackContext",
+    "SignFlipBroadcastAttack",
+    "StaleReplayBroadcastAttack",
+    "RandomNoiseBroadcastAttack",
+    "register_server_attack",
+    "available_server_attacks",
+    "make_server_attack",
     # array backends
     "ArrayBackend",
     "NumpyBackend",

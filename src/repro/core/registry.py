@@ -65,6 +65,7 @@ def _kardam_factory(
     drop_above: int | None = None,
     lipschitz_quantile: float | None = None,
     window: int = 256,
+    strict: bool = False,
 ):
     """Registry adapter for :class:`~repro.core.staleness.KardamFilter`.
 
@@ -73,22 +74,30 @@ def _kardam_factory(
     (the grid passes the cell's f to any factory accepting it) and is
     forwarded to the inner rule when *its* factory accepts an ``f`` —
     so ``("kardam", {"inner": "krum"})`` picks up the cell's f exactly
-    like a bare ``("krum", {})`` entry would.
+    like a bare ``("krum", {})`` entry would.  When the inner factory
+    accepts ``f``, the filter also gets an ``inner_builder`` so its
+    effective-``f`` degradation rebuilds the rule through this registry
+    (preserving the cell's other inner kwargs); ``strict=True`` disables
+    the degradation.
     """
     import inspect
 
     from repro.core.staleness import KardamFilter
 
     kwargs = dict(inner_kwargs or {})
-    if f is not None and "f" not in kwargs:
-        try:
-            accepts_f = "f" in inspect.signature(
-                aggregator_factory(inner)
-            ).parameters
-        except (TypeError, ValueError):
-            accepts_f = False
-        if accepts_f:
-            kwargs["f"] = f
+    try:
+        accepts_f = "f" in inspect.signature(
+            aggregator_factory(inner)
+        ).parameters
+    except (TypeError, ValueError):
+        accepts_f = False
+    if f is not None and "f" not in kwargs and accepts_f:
+        kwargs["f"] = f
+    inner_builder = None
+    if accepts_f:
+        inner_builder = lambda f_eff: make_aggregator(  # noqa: E731
+            inner, **{**kwargs, "f": f_eff}
+        )
     return KardamFilter(
         make_aggregator(inner, **kwargs),
         dampening=dampening,
@@ -96,6 +105,8 @@ def _kardam_factory(
         drop_above=drop_above,
         lipschitz_quantile=lipschitz_quantile,
         window=window,
+        strict=strict,
+        inner_builder=inner_builder,
     )
 
 

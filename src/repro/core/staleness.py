@@ -23,11 +23,16 @@ trajectories, which the async differential tests pin bit-for-bit.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 
 import numpy as np
 
 from repro.core.aggregator import AggregationResult, Aggregator
-from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.exceptions import (
+    ByzantineToleranceError,
+    ConfigurationError,
+    DimensionMismatchError,
+)
 
 __all__ = ["StalenessAwareAggregator", "KardamFilter", "DAMPENING_MODES"]
 
@@ -96,6 +101,16 @@ class KardamFilter(StalenessAwareAggregator):
     for that round (liveness over filtering — the dampening still
     applies), mirroring Kardam's guarantee that the server always makes
     progress.
+
+    When the filters *partially* drop rows, the surviving stack can be
+    too small for the inner rule's ``2f + 2 < n`` precondition even
+    though the full stack satisfied it.  By default the filter then
+    degrades gracefully: it rebuilds the inner rule at the largest
+    effective ``f`` the surviving stack tolerates (``inner_builder(
+    f_eff)`` when supplied, else ``type(inner)(f=f_eff)``) and
+    aggregates with that — the filtered rows are, after all, the ones
+    Kardam vouches for.  ``strict=True`` restores the old behavior and
+    re-raises the :class:`~repro.exceptions.ByzantineToleranceError`.
     """
 
     def __init__(
@@ -107,6 +122,8 @@ class KardamFilter(StalenessAwareAggregator):
         drop_above: int | None = None,
         lipschitz_quantile: float | None = None,
         window: int = 256,
+        strict: bool = False,
+        inner_builder: Callable[[int], Aggregator] | None = None,
     ):
         if not isinstance(inner, Aggregator):
             raise ConfigurationError(
@@ -134,7 +151,22 @@ class KardamFilter(StalenessAwareAggregator):
             )
         if int(window) < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not isinstance(strict, bool):
+            raise ConfigurationError(
+                f"strict must be a bool, got {type(strict).__name__}"
+            )
+        if inner_builder is not None and not callable(inner_builder):
+            raise ConfigurationError(
+                "inner_builder must be callable (f_eff -> Aggregator), "
+                f"got {type(inner_builder).__name__}"
+            )
         self.inner = inner
+        self.strict = strict
+        self.inner_builder = inner_builder
+        # Effective-f fallback aggregators, built lazily the first time
+        # the filtered stack undershoots the inner precondition and
+        # cached so repeated shortfalls reuse one instance per f_eff.
+        self._degraded: dict[int, Aggregator] = {}
         self.dampening = dampening
         self.gamma = float(gamma)
         self.drop_above = None if drop_above is None else int(drop_above)
@@ -160,6 +192,8 @@ class KardamFilter(StalenessAwareAggregator):
             extras.append(f"lipschitz_quantile={self.lipschitz_quantile}")
             if self.window != 256:
                 extras.append(f"window={self.window}")
+        if self.strict:
+            extras.append("strict=True")
         suffix = ("," + ",".join(extras)) if extras else ""
         return f"kardam({self.inner.name}{suffix})"
 
@@ -238,7 +272,7 @@ class KardamFilter(StalenessAwareAggregator):
                 filtered
                 * self.dampening_factor(kept_staleness)[:, None]
             )
-        result = self.inner.aggregate_detailed(filtered)
+        result = self._aggregate_filtered(filtered)
         if kept.size == vectors.shape[0]:
             return result
         # Rows were dropped: map the inner rule's selected indices (and
@@ -251,6 +285,52 @@ class KardamFilter(StalenessAwareAggregator):
         return AggregationResult(
             vector=result.vector, selected=selected, scores=scores
         )
+
+    def _aggregate_filtered(self, filtered: np.ndarray) -> AggregationResult:
+        """Run the inner rule on the surviving stack, degrading its
+        effective ``f`` when the filters left too few rows for the
+        declared precondition (``strict=True`` re-raises instead)."""
+        num_rows = int(filtered.shape[0])
+        try:
+            self.inner.check_tolerance(num_rows)
+        except ByzantineToleranceError:
+            if self.strict:
+                raise
+            degraded = self._degraded_inner(num_rows)
+            if degraded is None:
+                raise
+            return degraded.aggregate_detailed(filtered)
+        return self.inner.aggregate_detailed(filtered)
+
+    def _degraded_inner(self, num_rows: int) -> Aggregator | None:
+        """Largest-``f`` rebuild of the inner rule whose precondition
+        admits ``num_rows`` proposals, or ``None`` when no rebuild does
+        (the caller then re-raises the original tolerance error).
+        Candidates come from ``inner_builder`` when supplied, else from
+        ``type(self.inner)(f=f_eff)``; either failing to build a given
+        ``f_eff`` just moves the search down."""
+        declared = getattr(self.inner, "f", None)
+        if declared is None:
+            return None
+        for f_eff in range(int(declared) - 1, -1, -1):
+            candidate = self._degraded.get(f_eff)
+            if candidate is None:
+                try:
+                    if self.inner_builder is not None:
+                        candidate = self.inner_builder(f_eff)
+                    else:
+                        candidate = type(self.inner)(f=f_eff)
+                except (ConfigurationError, TypeError):
+                    continue
+                if not isinstance(candidate, Aggregator):
+                    continue
+                self._degraded[f_eff] = candidate
+            try:
+                candidate.check_tolerance(num_rows)
+            except ByzantineToleranceError:
+                continue
+            return candidate
+        return None
 
     def _lipschitz_keep(
         self,

@@ -15,6 +15,14 @@ staleness is ``min(τ, t, max_staleness)`` (a worker cannot predate
 round 0, and the bounded-staleness protocol caps the lag — the
 stale-synchronous-parallel contract), so ``max_staleness = 0`` is the
 synchronous loop bit for bit, whatever schedule is configured.
+
+The server side is a :class:`~repro.servers.ReplicatedServerGroup`:
+``num_servers`` replicas of which up to ``byzantine_servers`` broadcast
+corrupted parameters (crafted by a registered server attack), defended
+by a worker-side coordinate median over the replica broadcasts, with
+``num_shards`` splitting aggregation across coordinate slices.  The
+degenerate tier ``num_servers=1, byzantine_servers=0, num_shards=1`` is
+the paper's single reliable server, bit for bit.
 """
 
 from __future__ import annotations
@@ -29,10 +37,11 @@ from repro.distributed.delays import DelaySchedule, make_delay_schedule
 from repro.distributed.messages import GradientMessage, ParameterBroadcast
 from repro.distributed.metrics import RoundRecord, TrainingHistory
 from repro.distributed.schedules import LearningRateSchedule
-from repro.distributed.server import ParameterServer
 from repro.distributed.worker import ByzantineWorker, HonestWorker
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.gradients.base import GradientEstimator
+from repro.servers.attacks import ServerAttack
+from repro.servers.replication import ReplicatedServerGroup
 from repro.utils.linalg import stack_vectors
 from repro.utils.rng import SeedLike, spawn_generators
 
@@ -82,9 +91,19 @@ class TrainingSimulation:
         worker fresh.  Randomized schedules are bound to a stream
         spawned from the root seed, so the delay pattern is reproducible
         from the cell's seed alone.
+    num_servers:
+        Parameter-server replica count (1 = the paper's single server).
+    byzantine_servers:
+        How many replicas broadcast corrupted parameters; requires
+        ``server_attack`` when positive.
+    num_shards:
+        Coordinate shards for per-shard aggregation (1 = unsharded).
+    server_attack:
+        A :class:`~repro.servers.ServerAttack` instance or registry name
+        crafting the corrupted replica broadcasts.
     seed:
-        Root seed; worker streams, the attack stream and the delay
-        stream are spawned from it independently.
+        Root seed; worker streams, the attack stream, the delay stream
+        and the server-attack stream are spawned from it independently.
     """
 
     def __init__(
@@ -102,6 +121,10 @@ class TrainingSimulation:
         halt_on_nonfinite: bool = False,
         max_staleness: int = 0,
         delay_schedule: DelaySchedule | str | None = None,
+        num_servers: int = 1,
+        byzantine_servers: int = 0,
+        num_shards: int = 1,
+        server_attack: ServerAttack | str | None = None,
         seed: SeedLike = 0,
     ):
         if num_byzantine < 0:
@@ -129,11 +152,12 @@ class TrainingSimulation:
             i for i in range(self.num_workers) if i not in set(self.byzantine_ids)
         ]
 
-        # num_honest worker streams, the attack stream, and one delay
-        # stream used to bind randomized delay schedules.  Spawning is
-        # sequential, so the worker and attack streams are identical to
-        # the pre-async layout — synchronous trajectories are unchanged.
-        streams = spawn_generators(seed, self.num_honest + 2)
+        # num_honest worker streams, the attack stream, one delay stream
+        # used to bind randomized delay schedules, and the server-attack
+        # stream.  Spawning is sequential and prefix-stable, so the
+        # earlier streams are identical to the pre-tier (and pre-async)
+        # layouts — existing trajectories are unchanged.
+        streams = spawn_generators(seed, self.num_honest + 3)
         self.attack_rng = streams[self.num_honest]
         self.honest_workers = [
             HonestWorker(worker_id, estimator, rng)
@@ -159,10 +183,15 @@ class TrainingSimulation:
             else delay_schedule.bind(streams[self.num_honest + 1])
         )
 
-        self.server = ParameterServer(
+        self.server = ReplicatedServerGroup(
             initial_params,
             aggregator,
             schedule,
+            num_servers=num_servers,
+            byzantine_servers=byzantine_servers,
+            num_shards=num_shards,
+            server_attack=server_attack,
+            rng=streams[self.num_honest + 2],
             halt_on_nonfinite=halt_on_nonfinite,
             max_staleness=self.max_staleness,
         )

@@ -41,6 +41,7 @@ from repro.engine.workloads import (
     workload_key,
 )
 from repro.exceptions import ConfigurationError
+from repro.servers.registry import make_server_attack
 
 __all__ = ["ScenarioSpec", "ScenarioGrid"]
 
@@ -133,6 +134,11 @@ class ScenarioSpec:
     max_staleness: int = 0
     delay_schedule: str | None = None
     delay_kwargs: dict = field(default_factory=dict)
+    num_servers: int = 1
+    byzantine_servers: int = 0
+    num_shards: int = 1
+    server_attack: str | None = None
+    server_attack_kwargs: dict = field(default_factory=dict)
     halt_on_nonfinite: bool = False
 
     def __post_init__(self) -> None:
@@ -153,6 +159,34 @@ class ScenarioSpec:
         # Validates the (name, kwargs) pair at declaration time; also
         # rejects delay kwargs without a schedule name.
         make_delay_schedule(self.delay_schedule, self.delay_kwargs)
+        # Server-tier knobs: same pairing discipline as the worker-side
+        # num_byzantine/attack pair, validated at declaration time.
+        if self.num_servers < 1:
+            raise ConfigurationError(
+                f"num_servers must be >= 1, got {self.num_servers}"
+            )
+        if not 0 <= self.byzantine_servers <= self.num_servers:
+            raise ConfigurationError(
+                f"need 0 <= byzantine_servers <= num_servers, got "
+                f"byzantine_servers={self.byzantine_servers} with "
+                f"num_servers={self.num_servers}"
+            )
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.byzantine_servers > 0 and self.server_attack is None:
+            raise ConfigurationError(
+                f"byzantine_servers={self.byzantine_servers} requires a "
+                f"server_attack"
+            )
+        if self.byzantine_servers == 0 and self.server_attack is not None:
+            raise ConfigurationError(
+                "a server_attack was supplied but byzantine_servers=0"
+            )
+        # Validates the (name, kwargs) pair at declaration time; also
+        # rejects server-attack kwargs without an attack name.
+        make_server_attack(self.server_attack, self.server_attack_kwargs)
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would raise on the kwargs
@@ -198,13 +232,37 @@ class ScenarioSpec:
         return f"stale<={self.max_staleness}|{delay}"
 
     @property
+    def server_label(self) -> str | None:
+        """The label segment identifying this cell's server tier, or
+        ``None`` for the (default) single reliable server — so
+        pre-tier labels are exactly what they were before the server
+        axes existed.
+        """
+        if (
+            self.num_servers == 1
+            and self.byzantine_servers == 0
+            and self.num_shards == 1
+        ):
+            return None
+        attack = (
+            _encode_kwargs(self.server_attack, self.server_attack_kwargs)
+            if self.server_attack is not None
+            else "no-server-attack"
+        )
+        return (
+            f"servers={self.num_servers}/byz={self.byzantine_servers}"
+            f"/shards={self.num_shards}|{attack}"
+        )
+
+    @property
     def label(self) -> str:
         """Unique human-readable cell identifier used in result dicts.
 
-        Encodes the workload, the kwargs of the rule and the attack, and
-        — for asynchronous cells — the staleness bound and delay
-        schedule (collision-safely — see :func:`_encode_kwargs`) so
-        grids can sweep workload, rule, attack *and* delay parameters
+        Encodes the workload, the kwargs of the rule and the attack,
+        for asynchronous cells the staleness bound and delay schedule,
+        and for server-tier cells the replica/shard topology and server
+        attack (collision-safely — see :func:`_encode_kwargs`) so grids
+        can sweep workload, rule, attack, delay *and* server parameters
         without label collisions.
         """
         agg = _encode_kwargs(self.aggregator, self.aggregator_kwargs)
@@ -217,8 +275,10 @@ class ScenarioSpec:
             f"seed={self.seed}|{self.workload_label}|{attack}|{agg}"
             f"|f={self.num_byzantine}"
         )
-        suffix = self.async_label
-        return base if suffix is None else f"{base}|{suffix}"
+        for suffix in (self.async_label, self.server_label):
+            if suffix is not None:
+                base = f"{base}|{suffix}"
+        return base
 
 
 def _accepts_f(factory: object) -> bool:
@@ -250,6 +310,17 @@ class ScenarioGrid:
     ``max_staleness``/``delay_schedule``+``delay_kwargs`` knobs, which
     themselves default to the synchronous model, keeping pre-async grids
     (and their cell labels) unchanged.
+
+    The server tier adds four more, resolved the same way:
+    ``num_servers_values`` (replica counts), ``byzantine_servers_values``
+    (corrupted-replica counts; every combination must satisfy
+    ``byzantine_servers <= num_servers``, checked at declaration),
+    ``num_shards_values`` (per-shard aggregation) and ``server_attacks``
+    (``(registry_name, kwargs)`` pairs from
+    :mod:`repro.servers.registry`).  ``byzantine_servers = 0`` collapses
+    the server-attack axis to one attack-free entry, exactly as ``f = 0``
+    collapses the worker-attack axis, and the all-default singular knobs
+    keep pre-tier grids (and their cell labels) unchanged.
 
     Example::
 
@@ -286,6 +357,15 @@ class ScenarioGrid:
     delay_schedule: str | None = None
     delay_kwargs: Mapping = field(default_factory=dict)
     delay_schedules: Sequence[tuple[str | None, Mapping]] | None = None
+    num_servers: int = 1
+    num_servers_values: Sequence[int] | None = None
+    byzantine_servers: int = 0
+    byzantine_servers_values: Sequence[int] | None = None
+    num_shards: int = 1
+    num_shards_values: Sequence[int] | None = None
+    server_attack: str | None = None
+    server_attack_kwargs: Mapping = field(default_factory=dict)
+    server_attacks: Sequence[tuple[str, Mapping]] | None = None
     halt_on_nonfinite: bool = False
 
     def __post_init__(self) -> None:
@@ -400,6 +480,88 @@ class ScenarioGrid:
         for name, kwargs in delay_axis:
             make_delay_schedule(name, kwargs)
         object.__setattr__(self, "delay_schedules", delay_axis)
+        # Resolve the server-tier axes: plural sweeps exclude the
+        # singular knobs, mirroring the asynchrony axes above.
+        servers_axis = self._scalar_axis(
+            "num_servers", default=1, minimum=1
+        )
+        byzantine_axis = self._scalar_axis(
+            "byzantine_servers", default=0, minimum=0
+        )
+        shards_axis = self._scalar_axis("num_shards", default=1, minimum=1)
+        # Every (num_servers, byzantine_servers) combination the product
+        # will emit must be a valid cell, so the cheapest-to-satisfy
+        # bound governs: checked eagerly to keep ``len(grid)`` exact.
+        for b in byzantine_axis:
+            if b > min(servers_axis):
+                raise ConfigurationError(
+                    f"byzantine_servers={b} exceeds num_servers="
+                    f"{min(servers_axis)}; every swept combination must "
+                    f"satisfy byzantine_servers <= num_servers"
+                )
+        if self.server_attacks is not None:
+            if self.server_attack is not None or self.server_attack_kwargs:
+                raise ConfigurationError(
+                    "pass either server_attack/server_attack_kwargs or a "
+                    "server_attacks axis, not both"
+                )
+            if not self.server_attacks:
+                raise ConfigurationError(
+                    "grid needs at least one server attack spec"
+                )
+            server_attack_axis = tuple(
+                (name, dict(kwargs)) for name, kwargs in self.server_attacks
+            )
+        elif self.server_attack is not None:
+            server_attack_axis = (
+                (self.server_attack, dict(self.server_attack_kwargs)),
+            )
+        else:
+            if self.server_attack_kwargs:
+                raise ConfigurationError(
+                    f"server-attack kwargs "
+                    f"{dict(self.server_attack_kwargs)!r} were given "
+                    f"without a server attack name"
+                )
+            server_attack_axis = ()
+        for name, kwargs in server_attack_axis:
+            make_server_attack(name, kwargs)
+        if any(b > 0 for b in byzantine_axis) and not server_attack_axis:
+            raise ConfigurationError(
+                "grid sweeps byzantine_servers > 0 but declares no "
+                "server attacks"
+            )
+        object.__setattr__(self, "num_servers_values", servers_axis)
+        object.__setattr__(self, "byzantine_servers_values", byzantine_axis)
+        object.__setattr__(self, "num_shards_values", shards_axis)
+        object.__setattr__(self, "server_attacks", server_attack_axis)
+
+    def _scalar_axis(
+        self, name: str, *, default: int, minimum: int
+    ) -> tuple[int, ...]:
+        """Resolve a singular-knob / plural-axis pair of integer fields
+        (``name`` and ``name + "_values"``) into the swept tuple."""
+        plural = f"{name}_values"
+        values = getattr(self, plural)
+        singular = getattr(self, name)
+        if values is not None:
+            if singular != default:
+                raise ConfigurationError(
+                    f"pass either {name} or a {plural} axis, not both"
+                )
+            if not values:
+                raise ConfigurationError(
+                    f"grid needs at least one {name} value"
+                )
+            axis = tuple(int(v) for v in values)
+        else:
+            axis = (int(singular),)
+        for value in axis:
+            if value < minimum:
+                raise ConfigurationError(
+                    f"{name} values must be >= {minimum}, got {value}"
+                )
+        return axis
 
     def _aggregator_kwargs(self, name: str, kwargs: Mapping, f: int) -> dict:
         """Resolve a rule's kwargs for a cell, injecting the cell's f
@@ -418,47 +580,65 @@ class ScenarioGrid:
         """
         cells: list[ScenarioSpec] = []
         attack_specs: Iterable[tuple[str, Mapping] | None]
+        server_specs: Iterable[tuple[str, Mapping] | None]
         outer = product(
             self.seeds,
             self.workloads,
             self.max_staleness_values,
             self.delay_schedules,
+            self.num_servers_values,
+            self.byzantine_servers_values,
+            self.num_shards_values,
         )
         for seed, (workload_name, workload_kwargs), max_staleness, (
             delay_name,
             delay_kwargs,
-        ) in outer:
-            for f in self.f_values:
-                attack_specs = self.attacks if f > 0 else (None,)
-                for attack_spec in attack_specs:
-                    for agg_name, agg_kwargs in self.aggregators:
-                        attack_name = None
-                        attack_kwargs: dict = {}
-                        if attack_spec is not None:
-                            attack_name, raw = attack_spec
-                            attack_kwargs = dict(raw)
-                        cells.append(
-                            ScenarioSpec(
-                                seed=int(seed),
-                                aggregator=agg_name,
-                                aggregator_kwargs=self._aggregator_kwargs(
-                                    agg_name, agg_kwargs, f
-                                ),
-                                attack=attack_name,
-                                attack_kwargs=attack_kwargs,
-                                num_workers=self.num_workers,
-                                num_byzantine=int(f),
-                                workload=workload_name,
-                                workload_kwargs=dict(workload_kwargs),
-                                learning_rate=self.learning_rate,
-                                lr_timescale=self.lr_timescale,
-                                byzantine_slots=self.byzantine_slots,
-                                max_staleness=int(max_staleness),
-                                delay_schedule=delay_name,
-                                delay_kwargs=dict(delay_kwargs),
-                                halt_on_nonfinite=self.halt_on_nonfinite,
+        ), num_servers, byzantine_servers, num_shards in outer:
+            server_specs = (
+                self.server_attacks if byzantine_servers > 0 else (None,)
+            )
+            for server_spec in server_specs:
+                server_name = None
+                server_kwargs: dict = {}
+                if server_spec is not None:
+                    server_name, raw = server_spec
+                    server_kwargs = dict(raw)
+                for f in self.f_values:
+                    attack_specs = self.attacks if f > 0 else (None,)
+                    for attack_spec in attack_specs:
+                        for agg_name, agg_kwargs in self.aggregators:
+                            attack_name = None
+                            attack_kwargs: dict = {}
+                            if attack_spec is not None:
+                                attack_name, raw = attack_spec
+                                attack_kwargs = dict(raw)
+                            cells.append(
+                                ScenarioSpec(
+                                    seed=int(seed),
+                                    aggregator=agg_name,
+                                    aggregator_kwargs=self._aggregator_kwargs(
+                                        agg_name, agg_kwargs, f
+                                    ),
+                                    attack=attack_name,
+                                    attack_kwargs=attack_kwargs,
+                                    num_workers=self.num_workers,
+                                    num_byzantine=int(f),
+                                    workload=workload_name,
+                                    workload_kwargs=dict(workload_kwargs),
+                                    learning_rate=self.learning_rate,
+                                    lr_timescale=self.lr_timescale,
+                                    byzantine_slots=self.byzantine_slots,
+                                    max_staleness=int(max_staleness),
+                                    delay_schedule=delay_name,
+                                    delay_kwargs=dict(delay_kwargs),
+                                    num_servers=int(num_servers),
+                                    byzantine_servers=int(byzantine_servers),
+                                    num_shards=int(num_shards),
+                                    server_attack=server_name,
+                                    server_attack_kwargs=server_kwargs,
+                                    halt_on_nonfinite=self.halt_on_nonfinite,
+                                )
                             )
-                        )
         return cells
 
     def __len__(self) -> int:
@@ -467,11 +647,19 @@ class ScenarioGrid:
         per_workload = len(self.aggregators) * (
             f_zero + f_pos * len(self.attacks)
         )
+        b_zero = sum(1 for b in self.byzantine_servers_values if b == 0)
+        b_pos = len(self.byzantine_servers_values) - b_zero
+        server_cells = (
+            len(self.num_servers_values)
+            * len(self.num_shards_values)
+            * (b_zero + b_pos * len(self.server_attacks))
+        )
         return (
             len(self.seeds)
             * len(self.workloads)
             * len(self.max_staleness_values)
             * len(self.delay_schedules)
+            * server_cells
             * per_workload
         )
 
@@ -488,6 +676,8 @@ class ScenarioGrid:
             make_workload(name, kwargs)
         for name, kwargs in self.delay_schedules:
             make_delay_schedule(name, kwargs)
+        for name, kwargs in self.server_attacks:
+            make_server_attack(name, kwargs)
         checked: set[tuple] = set()
         for spec in self.scenarios():
             key = (

@@ -36,6 +36,7 @@ from repro.engine.grid import ScenarioGrid, ScenarioSpec
 from repro.engine.simulation import BatchedSimulation
 from repro.engine.workloads import Workload, make_workload, workload_key
 from repro.exceptions import ConfigurationError
+from repro.servers.registry import make_server_attack
 
 __all__ = ["GridResult", "build_scenario_simulation", "run_grid"]
 
@@ -97,6 +98,12 @@ def build_scenario_simulation(
         byzantine_slots=spec.byzantine_slots,
         max_staleness=spec.max_staleness,
         delay_schedule=delay_schedule,
+        num_servers=spec.num_servers,
+        byzantine_servers=spec.byzantine_servers,
+        num_shards=spec.num_shards,
+        server_attack=make_server_attack(
+            spec.server_attack, spec.server_attack_kwargs
+        ),
         halt_on_nonfinite=spec.halt_on_nonfinite,
         seed=spec.seed,
     )

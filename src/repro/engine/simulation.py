@@ -51,6 +51,20 @@ blocks through the same staleness-aware interface the
 under staleness keep their native kernels.  ``native_fraction`` reports
 the split.
 
+Server-tier scenarios (``num_servers``/``byzantine_servers`` on the
+simulation) batch the same way: each round the executor asks the
+scenario's :class:`~repro.servers.ReplicatedServerGroup` for the
+round's *worker view* — the coordinate median over replica broadcasts,
+computed from the executor's own parameter row — exactly once, and
+routes every worker read (fresh proposals, stale history reads, the
+worker attack's omniscient context and the used-parameter blocks of
+staleness-aware rules) through the per-scenario view window instead of
+the raw parameter history.  The canonical SGD update, records and
+evaluation stay on the raw row, mirroring the loop executor's canonical
+server state, and the server-attack RNG stream advances once per
+scenario-round in both executors — so the differential guarantee covers
+tier cells too.
+
 The input simulations are *consumed*: their worker and attack RNG
 streams advance exactly as if each had run individually, so do not reuse
 them afterwards.
@@ -96,6 +110,11 @@ class _Scenario:
     # (None before the first) — the executor's analogue of
     # ``ParameterServer.last_selected``, feeding defense-probing attacks.
     last_selected: np.ndarray | None = None
+    # Worker-view window of an active server tier (None for the
+    # degenerate single reliable server): the last max_staleness + 1
+    # coordinate-median views, views[-1] being the current round's —
+    # the executor's analogue of ReplicatedServerGroup._views.
+    views: deque[np.ndarray] | None = None
 
 
 class _Group:
@@ -191,6 +210,21 @@ class BatchedSimulation:
                     f"scenarios {other} and {slot}; build one instance "
                     f"per scenario"
                 )
+        # The same sharing hazard exists on the server side: a stateful
+        # server attack (stale-replay's broadcast history) interleaved
+        # across scenarios would replay the wrong scenario's parameters.
+        seen_server_stateful: dict[int, int] = {}
+        for slot, sim in enumerate(sims):
+            server_attack = getattr(sim.server, "server_attack", None)
+            if server_attack is None or not server_attack.stateful:
+                continue
+            other = seen_server_stateful.setdefault(id(server_attack), slot)
+            if other != slot:
+                raise ConfigurationError(
+                    f"stateful server attack {server_attack.name!r} is "
+                    f"shared by scenarios {other} and {slot}; build one "
+                    f"instance per scenario"
+                )
         self.batch_size = len(sims)
         self.chunk_size = chunk_size
         self.backend = resolve_backend(backend)
@@ -238,6 +272,11 @@ class BatchedSimulation:
                         sim.byzantine_ids, dtype=np.int64
                     ),
                     byzantine_set=frozenset(sim.byzantine_ids),
+                    views=(
+                        deque(maxlen=sim.max_staleness + 1)
+                        if getattr(sim.server, "tier_active", False)
+                        else None
+                    ),
                 )
             )
 
@@ -350,11 +389,16 @@ class BatchedSimulation:
                 else int(staleness_row[worker_id])
             )
             if tau not in params_cache:
-                source = (
-                    scenario.params
-                    if tau == 0
-                    else self._params_at(slot, tau)
-                )
+                if scenario.views is not None:
+                    # Tier scenario: workers read the replica-median
+                    # view window, never the raw parameter rows —
+                    # exactly what the group's broadcast()/params_at()
+                    # serve in the loop executor.
+                    source = scenario.views[-1 - tau]
+                elif tau == 0:
+                    source = scenario.params
+                else:
+                    source = self._params_at(slot, tau)
                 params_cache[tau] = source.copy()
             return params_cache[tau]
 
@@ -413,7 +457,13 @@ class BatchedSimulation:
         if sim.num_byzantine == 0:
             return
         assert sim.attack is not None
-        params = scenario.params.copy()
+        # The omniscient attack sees what was broadcast — under an
+        # active tier that is the worker view, not the canonical row.
+        params = (
+            scenario.views[-1].copy()
+            if scenario.views is not None
+            else scenario.params.copy()
+        )
         true_gradient = None
         if sim.true_gradient_fn is not None:
             if (
@@ -425,12 +475,20 @@ class BatchedSimulation:
                 true_gradient = sim.true_gradient_fn(params)
         honest_params = None
         if staleness_row is not None:
-            honest_params = np.stack(
-                [
-                    self._params_at(slot, int(staleness_row[i])).copy()
-                    for i in scenario.honest_ids
-                ]
-            )
+            if scenario.views is not None:
+                honest_params = np.stack(
+                    [
+                        scenario.views[-1 - int(staleness_row[i])].copy()
+                        for i in scenario.honest_ids
+                    ]
+                )
+            else:
+                honest_params = np.stack(
+                    [
+                        self._params_at(slot, int(staleness_row[i])).copy()
+                        for i in scenario.honest_ids
+                    ]
+                )
         context = AttackContext(
             round_index=self._round_index,
             params=params,
@@ -476,13 +534,18 @@ class BatchedSimulation:
         for offset in range(size):
             slot = group.start + offset
             row = rows[slot]
+            views = self._scenarios[slot].views
             if row is None:
-                used[offset] = self._history[-1][slot]
+                used[offset] = (
+                    views[-1] if views is not None else self._history[-1][slot]
+                )
                 continue
             staleness[offset] = row
             for worker_id in range(self.num_workers):
-                used[offset, worker_id] = self._params_at(
-                    slot, int(row[worker_id])
+                used[offset, worker_id] = (
+                    views[-1 - int(row[worker_id])]
+                    if views is not None
+                    else self._params_at(slot, int(row[worker_id]))
                 )
         return staleness, used
 
@@ -496,7 +559,16 @@ class BatchedSimulation:
         rates = np.empty(self.batch_size, dtype=self._float_dtype)
         rows: list[np.ndarray | None] = [None] * self.batch_size
         for slot, scenario in enumerate(self._scenarios):
-            rates[slot] = scenario.simulation.server.schedule(t)
+            server = scenario.simulation.server
+            rates[slot] = server.schedule(t)
+            if scenario.views is not None:
+                # Materialize the round's worker view exactly once per
+                # scenario, from the executor's canonical row — the
+                # same call (and the same one server-attack RNG draw)
+                # the loop executor's broadcast() makes.
+                scenario.views.append(
+                    server.corrupted_view(scenario.params, t)
+                )
             rows[slot] = self._staleness_row(slot, t)
             expected = self._fill_proposals(slot, rows[slot])
             self._craft_attack(slot, expected, rows[slot])

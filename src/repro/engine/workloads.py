@@ -59,6 +59,7 @@ from repro.models.logistic import LogisticRegressionModel
 from repro.models.mlp import MLPClassifier
 from repro.models.quadratic import QuadraticBowl
 from repro.models.softmax import SoftmaxRegressionModel
+from repro.servers.attacks import ServerAttack
 from repro.utils.validation import check_factory_kwargs
 
 __all__ = [
@@ -110,14 +111,21 @@ class Workload(ABC):
         seed: int,
         max_staleness: int = 0,
         delay_schedule: DelaySchedule | str | None = None,
+        num_servers: int = 1,
+        byzantine_servers: int = 0,
+        num_shards: int = 1,
+        server_attack: ServerAttack | str | None = None,
         halt_on_nonfinite: bool = False,
     ) -> TrainingSimulation:
         """Materialize one cell's simulation on this workload.
 
         ``max_staleness``/``delay_schedule`` select the asynchronous
-        round model (both default to the synchronous loop) and
-        ``halt_on_nonfinite`` arms the server's non-finite guard; all
-        three thread straight through to
+        round model (both default to the synchronous loop),
+        ``num_servers``/``byzantine_servers``/``num_shards``/
+        ``server_attack`` configure the parameter-server tier (defaults
+        are the paper's single reliable server) and
+        ``halt_on_nonfinite`` arms the server's non-finite guard; all of
+        them thread straight through to
         :class:`~repro.distributed.simulator.TrainingSimulation`.
         """
 
@@ -181,6 +189,10 @@ class QuadraticWorkload(Workload):
         seed,
         max_staleness=0,
         delay_schedule=None,
+        num_servers=1,
+        byzantine_servers=0,
+        num_shards=1,
+        server_attack=None,
         halt_on_nonfinite=False,
     ) -> TrainingSimulation:
         return build_quadratic_simulation(
@@ -195,6 +207,10 @@ class QuadraticWorkload(Workload):
             byzantine_slots=byzantine_slots,
             max_staleness=max_staleness,
             delay_schedule=delay_schedule,
+            num_servers=num_servers,
+            byzantine_servers=byzantine_servers,
+            num_shards=num_shards,
+            server_attack=server_attack,
             halt_on_nonfinite=halt_on_nonfinite,
             seed=seed,
         )
@@ -299,6 +315,10 @@ class DatasetWorkload(Workload):
         seed,
         max_staleness=0,
         delay_schedule=None,
+        num_servers=1,
+        byzantine_servers=0,
+        num_shards=1,
+        server_attack=None,
         halt_on_nonfinite=False,
     ) -> TrainingSimulation:
         train, evaluation = self.datasets
@@ -318,6 +338,10 @@ class DatasetWorkload(Workload):
             dirichlet_alpha=self.dirichlet_alpha,
             max_staleness=max_staleness,
             delay_schedule=delay_schedule,
+            num_servers=num_servers,
+            byzantine_servers=byzantine_servers,
+            num_shards=num_shards,
+            server_attack=server_attack,
             halt_on_nonfinite=halt_on_nonfinite,
             seed=seed,
         )

@@ -26,6 +26,7 @@ from repro.exceptions import ConfigurationError
 from repro.gradients.minibatch import MinibatchEstimator
 from repro.models.base import ClassifierMixin, Model
 from repro.models.quadratic import QuadraticBowl
+from repro.servers.attacks import ServerAttack
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
@@ -85,6 +86,10 @@ def build_quadratic_simulation(
     byzantine_slots: str | list[int] = "last",
     max_staleness: int = 0,
     delay_schedule: DelaySchedule | str | None = None,
+    num_servers: int = 1,
+    byzantine_servers: int = 0,
+    num_shards: int = 1,
+    server_attack: ServerAttack | str | None = None,
     halt_on_nonfinite: bool = False,
     seed: SeedLike = 0,
 ) -> TrainingSimulation:
@@ -119,6 +124,10 @@ def build_quadratic_simulation(
         evaluate=quadratic_evaluator(bowl),
         max_staleness=max_staleness,
         delay_schedule=delay_schedule,
+        num_servers=num_servers,
+        byzantine_servers=byzantine_servers,
+        num_shards=num_shards,
+        server_attack=server_attack,
         halt_on_nonfinite=halt_on_nonfinite,
         seed=seed,
     )
@@ -141,6 +150,10 @@ def build_dataset_simulation(
     dirichlet_alpha: float = 0.5,
     max_staleness: int = 0,
     delay_schedule: DelaySchedule | str | None = None,
+    num_servers: int = 1,
+    byzantine_servers: int = 0,
+    num_shards: int = 1,
+    server_attack: ServerAttack | str | None = None,
     halt_on_nonfinite: bool = False,
     seed: SeedLike = 0,
 ) -> TrainingSimulation:
@@ -207,6 +220,10 @@ def build_dataset_simulation(
         evaluate=evaluator,
         max_staleness=max_staleness,
         delay_schedule=delay_schedule,
+        num_servers=num_servers,
+        byzantine_servers=byzantine_servers,
+        num_shards=num_shards,
+        server_attack=server_attack,
         halt_on_nonfinite=halt_on_nonfinite,
         seed=seed,
     )

@@ -45,6 +45,7 @@ from repro.experiments.reporting import (
     format_table,
 )
 from repro.models.softmax import SoftmaxRegressionModel
+from repro.servers.registry import available_server_attacks
 from repro.tournament import TournamentRunner
 
 __all__ = ["main", "build_parser"]
@@ -130,6 +131,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="period of the periodic delay schedule",
+    )
+    parser.add_argument(
+        "--num-servers",
+        type=int,
+        default=1,
+        help="parameter-server replica count (1 = the paper's single "
+        "reliable server); workers take a coordinate median over the "
+        "replica broadcasts",
+    )
+    parser.add_argument(
+        "--byzantine-servers",
+        type=int,
+        default=0,
+        help="how many server replicas broadcast corrupted parameters; "
+        "pair with --server-attack",
+    )
+    parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=1,
+        help="coordinate shards for per-shard aggregation (1 = the "
+        "plain rule over full vectors)",
+    )
+    parser.add_argument(
+        "--server-attack",
+        choices=available_server_attacks(),
+        default=None,
+        help="broadcast-corruption strategy of the Byzantine server "
+        "replicas; pair with --byzantine-servers > 0",
     )
     parser.add_argument(
         "--halt-on-nonfinite",
@@ -239,6 +269,10 @@ def _build_simulation(args: argparse.Namespace, aggregator, attack):
             byzantine_slots="last",
             max_staleness=args.max_staleness,
             delay_schedule=delay_schedule,
+            num_servers=args.num_servers,
+            byzantine_servers=args.byzantine_servers,
+            num_shards=args.num_shards,
+            server_attack=args.server_attack,
             halt_on_nonfinite=args.halt_on_nonfinite,
             seed=args.seed,
         )
@@ -262,6 +296,10 @@ def _build_simulation(args: argparse.Namespace, aggregator, attack):
         dirichlet_alpha=args.dirichlet_alpha,
         max_staleness=args.max_staleness,
         delay_schedule=delay_schedule,
+        num_servers=args.num_servers,
+        byzantine_servers=args.byzantine_servers,
+        num_shards=args.num_shards,
+        server_attack=args.server_attack,
         halt_on_nonfinite=args.halt_on_nonfinite,
         seed=args.seed,
     )

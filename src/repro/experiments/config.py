@@ -8,6 +8,7 @@ from repro.backend import backend_factory
 from repro.data.partition import PARTITION_PROTOCOLS
 from repro.distributed.delays import delay_schedule_factory
 from repro.exceptions import ConfigurationError
+from repro.servers.registry import server_attack_factory
 from repro.utils.validation import check_factory_kwargs
 
 __all__ = ["SGDExperimentConfig"]
@@ -27,9 +28,12 @@ class SGDExperimentConfig:
     array backend's kernels.
 
     ``max_staleness``/``delay_schedule``+``delay_kwargs`` select the
-    asynchronous round model (both default to the synchronous loop) and
-    ``halt_on_nonfinite`` arms the parameter server's non-finite guard;
-    all thread through the builders to
+    asynchronous round model (both default to the synchronous loop),
+    ``num_servers``/``byzantine_servers``/``num_shards``/
+    ``server_attack``+``server_attack_kwargs`` configure the
+    parameter-server tier (defaults are the paper's single reliable
+    server) and ``halt_on_nonfinite`` arms the parameter server's
+    non-finite guard; all thread through the builders to
     :class:`~repro.distributed.TrainingSimulation`.
     """
 
@@ -53,6 +57,11 @@ class SGDExperimentConfig:
     max_staleness: int = 0
     delay_schedule: str | None = None
     delay_kwargs: dict = field(default_factory=dict)
+    num_servers: int = 1
+    byzantine_servers: int = 0
+    num_shards: int = 1
+    server_attack: str | None = None
+    server_attack_kwargs: dict = field(default_factory=dict)
     halt_on_nonfinite: bool = False
 
     def __post_init__(self) -> None:
@@ -104,6 +113,42 @@ class SGDExperimentConfig:
                 self.delay_schedule,
                 delay_schedule_factory(self.delay_schedule),
                 dict(self.delay_kwargs),
+            )
+        if self.num_servers < 1:
+            raise ConfigurationError(
+                f"num_servers must be >= 1, got {self.num_servers}"
+            )
+        if not 0 <= self.byzantine_servers <= self.num_servers:
+            raise ConfigurationError(
+                f"need 0 <= byzantine_servers <= num_servers, got "
+                f"byzantine_servers={self.byzantine_servers} with "
+                f"num_servers={self.num_servers}"
+            )
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.byzantine_servers > 0 and self.server_attack is None:
+            raise ConfigurationError(
+                "byzantine_servers > 0 requires a server_attack name"
+            )
+        if self.byzantine_servers == 0 and self.server_attack is not None:
+            raise ConfigurationError(
+                "a server_attack was supplied but byzantine_servers=0"
+            )
+        if self.server_attack is None:
+            if self.server_attack_kwargs:
+                raise ConfigurationError(
+                    "server_attack_kwargs requires a server_attack name; "
+                    f"got kwargs {self.server_attack_kwargs!r} with "
+                    f"server_attack=None"
+                )
+        else:
+            check_factory_kwargs(
+                "server attack",
+                self.server_attack,
+                server_attack_factory(self.server_attack),
+                dict(self.server_attack_kwargs),
             )
         if self.backend is None:
             if self.backend_kwargs:

@@ -5,9 +5,11 @@ The PR 6 reuse bug: an attack that accumulates instance state inside
 silently poisons the next run when the same instance is reused — unless
 it declares ``stateful = True`` (so the batched engine can refuse to
 share one instance across scenarios) and overrides ``reset()`` (so
-sequential reuse starts clean).  This rule finds ``Attack`` subclasses
-that write ``self.*`` outside ``__init__``/``reset`` and checks both
-declarations are present — on the class or an in-module ancestor.
+sequential reuse starts clean).  This rule finds ``Attack`` and
+``ServerAttack`` subclasses (worker-side and server-side attacks share
+the contract) that write ``self.*`` outside ``__init__``/``reset`` and
+checks both declarations are present — on the class or an in-module
+ancestor.
 """
 
 from __future__ import annotations
@@ -35,9 +37,14 @@ def _base_names(node: ast.ClassDef) -> set[str]:
     return names
 
 
+#: Root classes whose subclasses carry the stateful/reset contract:
+#: worker-side attacks and server-side broadcast attacks.
+_ATTACK_ROOTS = frozenset({"Attack", "ServerAttack"})
+
+
 def _attack_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
     """Classes deriving (transitively, by name, within the module) from
-    ``Attack``."""
+    ``Attack`` or ``ServerAttack``."""
     classes = {
         node.name: node
         for node in ast.walk(tree)
@@ -51,7 +58,7 @@ def _attack_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
             if name in attacks:
                 continue
             bases = _base_names(node)
-            if "Attack" in bases or bases & attacks:
+            if bases & _ATTACK_ROOTS or bases & attacks:
                 attacks.add(name)
                 changed = True
     return {name: classes[name] for name in attacks}
@@ -133,7 +140,7 @@ class StatefulAttackRule(LintRule):
 
     name = "stateful-attack-declaration"
     description = (
-        "Attack subclasses that write instance state outside "
+        "Attack/ServerAttack subclasses that write instance state outside "
         "__init__/reset must set stateful = True and override reset()"
     )
 

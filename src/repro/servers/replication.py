@@ -1,0 +1,309 @@
+"""The replicated parameter-server group — Byzantine servers in the model.
+
+:class:`ReplicatedServerGroup` promotes the single
+:class:`~repro.distributed.server.ParameterServer` to a server *tier* in
+the ByzSGD/Garfield mold:
+
+* ``num_servers`` replicas hold the parameter state.  Honest replicas
+  stay lock-step on one canonical vector ``x_t`` (they aggregate the
+  same proposals with the same deterministic rule), so the canonical
+  state is represented once.
+* up to ``byzantine_servers`` replicas are Byzantine: each round they
+  broadcast whatever their :class:`~repro.servers.attacks.ServerAttack`
+  crafts instead of ``x_t``.  Corruption perturbs only what workers
+  *receive* — the fault model is corrupted broadcasts, not divergent
+  honest state.
+* workers defend with a ByzSGD-style **coordinate-wise median** over the
+  ``num_servers`` replica broadcasts before computing gradients.  The
+  resulting *worker view* ``x̃_t`` is what this group broadcasts, what
+  stale workers read back (:meth:`params_at`), and what staleness-aware
+  filters receive as used parameters — exactly what the workers acted
+  on.
+* ``num_shards > 1`` additionally routes aggregation through
+  :class:`~repro.servers.sharding.ShardedAggregator`: each shard
+  aggregates only its coordinate slice of the proposal stack.
+
+The degenerate configuration ``num_servers=1, byzantine_servers=0,
+num_shards=1`` takes none of these paths: no view is computed, no RNG is
+consumed, no wrapper is installed — the group *is* the single-server
+engine bit for bit, the same guarantee discipline as ``max_staleness=0``
+(``tests/servers/test_server_differential.py`` pins it).
+
+With ``byzantine_servers = 0`` the view is exact for *any* replica
+count: the coordinate median of ``num_servers`` identical honest rows is
+the row itself (odd counts pick the middle element, even counts average
+two equal values), so honest replication alone never forks a trajectory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.aggregator import AggregationResult, Aggregator
+from repro.distributed.messages import GradientMessage, ParameterBroadcast
+from repro.distributed.schedules import LearningRateSchedule
+from repro.distributed.server import ParameterServer
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.servers.attacks import ServerAttack, ServerAttackContext
+from repro.servers.registry import make_server_attack
+from repro.servers.sharding import ShardedAggregator, ShardedParameterState
+
+__all__ = ["ReplicatedServerGroup", "replica_view"]
+
+
+def replica_view(broadcasts: np.ndarray) -> np.ndarray:
+    """The worker-side defense: coordinate-wise median over replica
+    broadcasts.
+
+    ``broadcasts`` is ``(num_servers, d)`` — one row per replica.  The
+    median is taken per coordinate (ByzSGD's worker-side aggregation),
+    so a minority of corrupted rows cannot move any coordinate outside
+    the honest range.  Permutation-invariant in replica order, and exact
+    (returns the common row bit-for-bit) when all rows agree.
+    """
+    broadcasts = np.asarray(broadcasts, dtype=np.float64)
+    if broadcasts.ndim != 2 or broadcasts.shape[0] < 1:
+        raise ConfigurationError(
+            f"broadcasts must be (num_servers, d) with at least one "
+            f"replica, got shape {broadcasts.shape}"
+        )
+    return np.median(broadcasts, axis=0)
+
+
+class ReplicatedServerGroup(ParameterServer):
+    """A parameter-server tier: replicas, Byzantine broadcasts, shards.
+
+    Parameters
+    ----------
+    num_servers:
+        Replica count (>= 1).
+    byzantine_servers:
+        How many replicas the adversary controls (the *last*
+        ``byzantine_servers`` replica ids); requires ``server_attack``
+        when positive.  ``byzantine_servers = num_servers`` is legal —
+        it is the configuration the single-server headline measurement
+        uses (one replica, fully corrupted).
+    num_shards:
+        Coordinate shards for per-shard aggregation; must not exceed the
+        parameter dimension.  ``1`` keeps the plain rule.
+    server_attack:
+        A :class:`~repro.servers.attacks.ServerAttack` instance or
+        registry name crafting the corrupted broadcasts.
+    rng:
+        The attack's dedicated RNG stream (required when
+        ``byzantine_servers > 0``); simulations spawn it from the cell's
+        root seed alongside the worker and worker-attack streams.
+
+    The remaining parameters match :class:`ParameterServer`.
+    """
+
+    def __init__(
+        self,
+        initial_params: np.ndarray,
+        aggregator: Aggregator,
+        schedule: LearningRateSchedule,
+        *,
+        num_servers: int = 1,
+        byzantine_servers: int = 0,
+        num_shards: int = 1,
+        server_attack: ServerAttack | str | None = None,
+        rng: np.random.Generator | None = None,
+        halt_on_nonfinite: bool = False,
+        max_staleness: int = 0,
+    ):
+        if int(num_servers) < 1:
+            raise ConfigurationError(
+                f"num_servers must be >= 1, got {num_servers}"
+            )
+        if not 0 <= int(byzantine_servers) <= int(num_servers):
+            raise ConfigurationError(
+                f"need 0 <= byzantine_servers <= num_servers, got "
+                f"byzantine_servers={byzantine_servers} with "
+                f"num_servers={num_servers}"
+            )
+        if isinstance(server_attack, str):
+            server_attack = make_server_attack(server_attack)
+        if server_attack is not None and not isinstance(
+            server_attack, ServerAttack
+        ):
+            raise ConfigurationError(
+                f"server_attack must be a ServerAttack, registry name or "
+                f"None, got {type(server_attack).__name__}"
+            )
+        if int(byzantine_servers) > 0 and server_attack is None:
+            raise ConfigurationError(
+                f"byzantine_servers={byzantine_servers} requires a "
+                f"server_attack"
+            )
+        if int(byzantine_servers) == 0 and server_attack is not None:
+            raise ConfigurationError(
+                "a server_attack was supplied but byzantine_servers=0"
+            )
+        if int(byzantine_servers) > 0 and rng is None:
+            raise ConfigurationError(
+                "byzantine_servers > 0 requires an rng stream for the "
+                "server attack"
+            )
+        self.num_servers = int(num_servers)
+        self.byzantine_servers = int(byzantine_servers)
+        self.num_shards = int(num_shards)
+        self.server_attack = server_attack
+        self._server_rng = rng
+        # The adversary controls the last replica ids (fixed placement —
+        # replica identity carries no tie-break semantics, unlike worker
+        # slots).
+        self.byzantine_server_ids = np.arange(
+            self.num_servers - self.byzantine_servers,
+            self.num_servers,
+            dtype=np.int64,
+        )
+        if self.num_shards > 1:
+            aggregator = ShardedAggregator(aggregator, self.num_shards)
+        super().__init__(
+            initial_params,
+            aggregator,
+            schedule,
+            halt_on_nonfinite=halt_on_nonfinite,
+            max_staleness=max_staleness,
+        )
+        # shard_bounds validates num_shards against the now-known
+        # dimension (every shard must own at least one coordinate).
+        self._sharded_state = (
+            ShardedParameterState(self._params, self.num_shards)
+            if self.num_shards > 1
+            else None
+        )
+        if self.server_attack is not None:
+            # Fresh run: discard any state a reused attack instance may
+            # carry from a previous simulation (replay histories, ...),
+            # mirroring the simulator's worker-attack reset.
+            self.server_attack.reset()
+        # Worker views of the last max_staleness + 1 rounds (only
+        # maintained while the tier is active); views[-1] is x̃_t once
+        # the current round's view is materialized.
+        self._views: deque[np.ndarray] = deque(maxlen=self.max_staleness + 1)
+        self._view_round = -1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def tier_active(self) -> bool:
+        """Whether broadcasts go through the replica-view path.
+
+        Sharding alone does not activate it — shards change the
+        aggregation, not what workers receive.
+        """
+        return self.num_servers > 1 or self.byzantine_servers > 0
+
+    @property
+    def sharded_state(self) -> ShardedParameterState | None:
+        """The canonical state decomposed into shard views (``None``
+        for the unsharded server)."""
+        if self._sharded_state is not None:
+            # Keep the decomposition in lock-step with the canonical
+            # vector (the base server replaces ``_params`` each step).
+            self._sharded_state = ShardedParameterState(
+                self._params, self.num_shards
+            )
+        return self._sharded_state
+
+    def replica_broadcasts(
+        self, params: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """The ``(num_servers, d)`` matrix of what each replica
+        broadcasts this round: honest replicas the canonical ``params``,
+        Byzantine replicas whatever the server attack crafts.
+
+        Consumes the server-attack RNG stream once per call, so callers
+        must invoke it exactly once per round (:meth:`corrupted_view`
+        does; the executors call that).
+        """
+        matrix = np.tile(
+            np.asarray(params, dtype=np.float64), (self.num_servers, 1)
+        )
+        if self.byzantine_servers > 0:
+            assert self.server_attack is not None
+            context = ServerAttackContext(
+                round_index=int(round_index),
+                params=np.asarray(params, dtype=np.float64).copy(),
+                num_servers=self.num_servers,
+                byzantine_indices=self.byzantine_server_ids,
+                rng=self._server_rng,
+            )
+            matrix[self.byzantine_server_ids] = self.server_attack.corrupt(
+                context
+            )
+        return matrix
+
+    def corrupted_view(
+        self, params: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """One round's worker view ``x̃_t``: the coordinate median over
+        the replica broadcasts of ``params`` at ``round_index``.
+
+        The batched executor calls this with its externally-tracked
+        parameter row; the loop path calls it through
+        :meth:`_ensure_view` with the canonical state.  Either way the
+        attack sees the same canonical ``x_t`` and the RNG stream
+        advances identically — the loop/batched differential guarantee.
+        """
+        return replica_view(self.replica_broadcasts(params, round_index))
+
+    def _ensure_view(self) -> None:
+        """Materialize the current round's worker view exactly once."""
+        if self._view_round == self.round_index:
+            return
+        if self._view_round not in (self.round_index - 1, -1):
+            raise SimulationError(
+                f"view history skipped from round {self._view_round} to "
+                f"{self.round_index}; broadcast() or step() must run "
+                f"every round"
+            )
+        self._views.append(
+            self.corrupted_view(self._params, self.round_index)
+        )
+        self._view_round = self.round_index
+
+    # ------------------------------------------------------------------
+
+    def params_at(self, round_index: int) -> np.ndarray:
+        """The *worker view* broadcast at the start of ``round_index``.
+
+        Under an active tier this is the coordinate-median view (what
+        stale workers actually computed against); the degenerate tier
+        serves the canonical history unchanged.
+        """
+        if not self.tier_active:
+            return super().params_at(round_index)
+        self._ensure_view()
+        offset = self.round_index - int(round_index)
+        if offset < 0 or offset >= len(self._views):
+            raise SimulationError(
+                f"round {round_index} is outside the retained window "
+                f"[{self.round_index - len(self._views) + 1}, "
+                f"{self.round_index}] (max_staleness={self.max_staleness})"
+            )
+        return self._views[-1 - offset].copy()
+
+    def broadcast(self) -> ParameterBroadcast:
+        """Start a round: publish the worker view ``x̃_t``."""
+        if not self.tier_active:
+            return super().broadcast()
+        self._ensure_view()
+        return ParameterBroadcast(
+            round_index=self.round_index, params=self._views[-1].copy()
+        )
+
+    def step(self, messages: list[GradientMessage]) -> AggregationResult:
+        """Finish a round on the canonical state.
+
+        Honest replicas aggregate the same proposals with the same
+        deterministic rule, so one canonical update stands for all of
+        them.  The view is materialized first so a caller that skipped
+        ``broadcast()`` still consumes the attack stream once per round.
+        """
+        if self.tier_active:
+            self._ensure_view()
+        return super().step(messages)

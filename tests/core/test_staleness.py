@@ -235,3 +235,122 @@ class TestValidationOfStaleInputs:
     def test_is_staleness_aware(self):
         assert isinstance(KardamFilter(Average()), StalenessAwareAggregator)
         assert not isinstance(Average(), StalenessAwareAggregator)
+
+
+class TestEffectiveFDegradation:
+    """The follow-on to the drop filters: when they leave too few rows
+    for the inner rule's ``2f + 2 < n`` precondition, the filter rebuilds
+    the inner rule at the largest admissible effective ``f`` instead of
+    dying mid-round; ``strict=True`` preserves the original error."""
+
+    def _stale_stack(self, rng, n=7):
+        vectors = rng.standard_normal((n, 4))
+        # drop_above=0 keeps only the fresh rows: 3 of 7.
+        staleness = np.array([0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+        return vectors, staleness
+
+    def test_default_degrades_instead_of_raising(self, rng):
+        """The previously-breaking pairing: Krum(f=2) is admissible for
+        the full n=7 stack but not for the 3 rows the hard staleness cut
+        keeps.  The filter now degrades to Krum(f=0) and answers."""
+        vectors, staleness = self._stale_stack(rng)
+        rule = KardamFilter(Krum(f=2), drop_above=0)
+        result = rule.aggregate_detailed_stale(vectors, staleness)
+        # f_eff = 1 needs n > 4, f_eff = 0 needs n > 2: the search lands
+        # on f = 0 for the 3-row stack.
+        assert 0 in rule._degraded
+        assert result.vector.shape == (4,)
+        # The winner is one of the kept (fresh) rows, reported in the
+        # caller's original row coordinates.
+        assert result.selected.tolist() == [
+            int(
+                Krum(f=0)
+                .aggregate_detailed(vectors[:3])
+                .selected[0]
+            )
+        ]
+
+    def test_strict_reraises_the_tolerance_error(self, rng):
+        vectors, staleness = self._stale_stack(rng)
+        rule = KardamFilter(Krum(f=2), drop_above=0, strict=True)
+        with pytest.raises(ByzantineToleranceError):
+            rule.aggregate_detailed_stale(vectors, staleness)
+
+    def test_strict_shows_in_the_name(self):
+        assert (
+            KardamFilter(Krum(f=2), drop_above=0, strict=True).name
+            == "kardam(krum(f=2),drop_above=0,strict=True)"
+        )
+        assert (
+            KardamFilter(Krum(f=2), drop_above=0).name
+            == "kardam(krum(f=2),drop_above=0)"
+        )
+
+    def test_full_stack_still_uses_the_declared_inner(self, rng):
+        """No drop, no degradation: the path is byte-identical to the
+        inner rule on the full stack."""
+        vectors = rng.standard_normal((7, 4))
+        rule = KardamFilter(Krum(f=2), drop_above=0)
+        out = rule.aggregate_detailed_stale(
+            vectors, np.zeros(7, dtype=np.int64)
+        )
+        expected = Krum(f=2).aggregate_detailed(vectors)
+        assert out.vector.tobytes() == expected.vector.tobytes()
+        assert not rule._degraded
+
+    def test_registry_wires_the_inner_builder(self, rng):
+        """Built through the registry, degradation rebuilds the inner
+        rule via the same registry (other inner kwargs preserved)."""
+        vectors = rng.standard_normal((9, 4))
+        # 5 fresh rows survive the cut: multi-krum(f=3) needs n > 8,
+        # f_eff=2 needs n > 6, f_eff=1 needs n > 4 — the search lands on
+        # f_eff=1 with the inner m untouched.
+        staleness = np.array([0, 0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+        rule = make_aggregator(
+            "kardam",
+            inner="multi-krum",
+            inner_kwargs={"m": 2},
+            f=3,
+            drop_above=0,
+        )
+        result = rule.aggregate_detailed_stale(vectors, staleness)
+        assert result.vector.shape == (4,)
+        degraded = rule._degraded[1]
+        assert degraded.f == 1
+        assert degraded.m == 2  # the non-f inner kwargs survived
+
+    def test_registry_strict_passthrough(self, rng):
+        vectors, staleness = self._stale_stack(rng)
+        rule = make_aggregator(
+            "kardam", inner="krum", f=2, drop_above=0, strict=True
+        )
+        with pytest.raises(ByzantineToleranceError):
+            rule.aggregate_detailed_stale(vectors, staleness)
+
+    def test_inner_without_f_reraises(self, rng):
+        """An inner rule with no declared f has nothing to degrade to:
+        the original error propagates even without strict."""
+
+        class Picky(Average):
+            def check_tolerance(self, num_workers):
+                if num_workers < 5:
+                    raise ByzantineToleranceError("need 5 rows")
+
+        vectors, staleness = self._stale_stack(rng)
+        rule = KardamFilter(Picky(), drop_above=0)
+        with pytest.raises(ByzantineToleranceError):
+            rule.aggregate_detailed_stale(vectors, staleness)
+
+    def test_degraded_candidates_are_cached(self, rng):
+        vectors, staleness = self._stale_stack(rng)
+        rule = KardamFilter(Krum(f=2), drop_above=0)
+        rule.aggregate_detailed_stale(vectors, staleness)
+        first = rule._degraded[0]
+        rule.aggregate_detailed_stale(vectors, staleness)
+        assert rule._degraded[0] is first
+
+    def test_invalid_strict_and_builder_arguments(self):
+        with pytest.raises(ConfigurationError, match="strict"):
+            KardamFilter(Average(), strict="yes")
+        with pytest.raises(ConfigurationError, match="inner_builder"):
+            KardamFilter(Average(), inner_builder=42)

@@ -366,6 +366,45 @@ class TestStatefulAttackDeclaration:
         )
         assert findings == []
 
+    def test_server_attack_subclasses_share_the_contract(self):
+        findings = run_rule(
+            "stateful-attack-declaration",
+            """
+            class ReplayLike(ServerAttack):
+                name = "replay-like"
+
+                def corrupt(self, context):
+                    self._history = getattr(self, "_history", [])
+                    self._history.append(context.params)
+                    return context.params[None, :]
+            """,
+        )
+        assert [f.rule for f in findings] == [
+            "stateful-attack-declaration"
+        ] * 2
+        messages = " ".join(f.message for f in findings)
+        assert "self.{_history}" in messages
+
+    def test_declared_stateful_server_attack_is_clean(self):
+        findings = run_rule(
+            "stateful-attack-declaration",
+            """
+            class ReplayLike(ServerAttack):
+                stateful = True
+
+                def __init__(self):
+                    self.reset()
+
+                def reset(self):
+                    self._history = []
+
+                def corrupt(self, context):
+                    self._history.append(context.params)
+                    return context.params[None, :]
+            """,
+        )
+        assert findings == []
+
     def test_declarations_inherit_within_module(self):
         findings = run_rule(
             "stateful-attack-declaration",

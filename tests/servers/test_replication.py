@@ -1,0 +1,268 @@
+"""The replicated server group: views, Byzantine broadcasts, recovery.
+
+Includes the hand-rolled property tests the issue asks for: the
+worker-side coordinate median is permutation-invariant in replica order,
+and exact (bit-for-bit the canonical broadcast) whenever
+``byzantine_servers = 0`` — for odd *and* even replica counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.average import Average
+from repro.distributed.messages import GradientMessage
+from repro.distributed.schedules import ConstantSchedule
+from repro.distributed.server import ParameterServer
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.servers.attacks import SignFlipBroadcastAttack
+from repro.servers.replication import ReplicatedServerGroup, replica_view
+
+DIMENSION = 6
+
+
+def build_group(**kwargs):
+    defaults = dict(
+        num_servers=1,
+        byzantine_servers=0,
+        num_shards=1,
+        server_attack=None,
+        rng=None,
+    )
+    defaults.update(kwargs)
+    return ReplicatedServerGroup(
+        np.arange(float(DIMENSION)),
+        Average(),
+        ConstantSchedule(0.1),
+        **defaults,
+    )
+
+
+def messages(server, seed=0):
+    rng = np.random.default_rng(seed + server.round_index)
+    return [
+        GradientMessage(
+            round_index=server.round_index,
+            worker_id=i,
+            vector=rng.standard_normal(DIMENSION),
+        )
+        for i in range(5)
+    ]
+
+
+class TestReplicaView:
+    def test_permutation_invariant_in_replica_order(self):
+        rng = np.random.default_rng(0)
+        broadcasts = rng.standard_normal((4, DIMENSION))
+        reference = replica_view(broadcasts)
+        for order in itertools.permutations(range(4)):
+            view = replica_view(broadcasts[list(order)])
+            assert view.tobytes() == reference.tobytes()
+
+    @pytest.mark.parametrize("num_servers", [1, 2, 3, 4, 7, 8])
+    def test_exact_over_identical_rows(self, num_servers):
+        """Median of k identical honest broadcasts is the broadcast,
+        bitwise — odd counts pick the middle row, even counts average
+        two equal values; neither perturbs a single bit."""
+        rng = np.random.default_rng(1)
+        row = rng.standard_normal(DIMENSION)
+        view = replica_view(np.tile(row, (num_servers, 1)))
+        assert view.tobytes() == row.tobytes()
+
+    def test_median_neutralizes_a_minority_sign_flip(self):
+        """median{x, x, −x} = x exactly: two honest replicas out-vote
+        the flipped broadcast coordinate by coordinate."""
+        rng = np.random.default_rng(2)
+        row = rng.standard_normal(DIMENSION)
+        broadcasts = np.stack([row, row, -row])
+        assert replica_view(broadcasts).tobytes() == row.tobytes()
+
+    def test_rejects_non_matrix_input(self):
+        with pytest.raises(ConfigurationError):
+            replica_view(np.zeros(DIMENSION))
+        with pytest.raises(ConfigurationError):
+            replica_view(np.zeros((0, DIMENSION)))
+
+
+class TestConstruction:
+    def test_byzantine_requires_attack(self):
+        with pytest.raises(ConfigurationError, match="requires a"):
+            build_group(
+                num_servers=3,
+                byzantine_servers=1,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_attack_requires_byzantine(self):
+        with pytest.raises(ConfigurationError, match="byzantine_servers=0"):
+            build_group(server_attack=SignFlipBroadcastAttack())
+
+    def test_byzantine_requires_rng(self):
+        with pytest.raises(ConfigurationError, match="rng"):
+            build_group(
+                num_servers=3,
+                byzantine_servers=1,
+                server_attack=SignFlipBroadcastAttack(),
+            )
+
+    def test_byzantine_bounded_by_replica_count(self):
+        with pytest.raises(ConfigurationError):
+            build_group(
+                num_servers=2,
+                byzantine_servers=3,
+                server_attack=SignFlipBroadcastAttack(),
+                rng=np.random.default_rng(0),
+            )
+
+    def test_fully_byzantine_group_is_legal(self):
+        group = build_group(
+            num_servers=1,
+            byzantine_servers=1,
+            server_attack=SignFlipBroadcastAttack(),
+            rng=np.random.default_rng(0),
+        )
+        assert group.byzantine_server_ids.tolist() == [0]
+
+    def test_attack_resolves_from_registry_name(self):
+        group = build_group(
+            num_servers=3,
+            byzantine_servers=1,
+            server_attack="sign-flip-broadcast",
+            rng=np.random.default_rng(0),
+        )
+        assert isinstance(group.server_attack, SignFlipBroadcastAttack)
+
+    def test_adversary_controls_the_last_replica_ids(self):
+        group = build_group(
+            num_servers=5,
+            byzantine_servers=2,
+            server_attack=SignFlipBroadcastAttack(),
+            rng=np.random.default_rng(0),
+        )
+        assert group.byzantine_server_ids.tolist() == [3, 4]
+
+
+class TestDegenerateTier:
+    def test_degenerate_group_matches_plain_server_bitwise(self):
+        """num_servers=1, byzantine_servers=0, num_shards=1 runs the
+        exact single-server engine: same broadcasts, same updates."""
+        group = build_group()
+        plain = ParameterServer(
+            np.arange(float(DIMENSION)), Average(), ConstantSchedule(0.1)
+        )
+        assert not group.tier_active
+        assert group.sharded_state is None
+        for _ in range(5):
+            assert (
+                group.broadcast().params.tobytes()
+                == plain.broadcast().params.tobytes()
+            )
+            group.step(messages(group))
+            plain.step(messages(plain))
+        assert group.params.tobytes() == plain.params.tobytes()
+
+    def test_honest_replication_alone_never_forks(self):
+        """byzantine_servers=0 with any replica count: the view is the
+        canonical state bitwise, so the trajectory is the plain one."""
+        group = build_group(num_servers=4)
+        plain = ParameterServer(
+            np.arange(float(DIMENSION)), Average(), ConstantSchedule(0.1)
+        )
+        assert group.tier_active
+        for _ in range(5):
+            assert (
+                group.broadcast().params.tobytes()
+                == plain.broadcast().params.tobytes()
+            )
+            group.step(messages(group))
+            plain.step(messages(plain))
+        assert group.params.tobytes() == plain.params.tobytes()
+
+
+class TestActiveTier:
+    def build_attacked(self, num_servers=3, byzantine_servers=1, **kwargs):
+        return build_group(
+            num_servers=num_servers,
+            byzantine_servers=byzantine_servers,
+            server_attack=SignFlipBroadcastAttack(),
+            rng=np.random.default_rng(0),
+            **kwargs,
+        )
+
+    def test_single_corrupted_server_broadcasts_the_attack(self):
+        group = self.build_attacked(num_servers=1, byzantine_servers=1)
+        view = group.broadcast().params
+        # Equality, not tobytes: np.median normalizes -0.0 to +0.0 at
+        # the zero coordinate of the flipped broadcast.
+        np.testing.assert_array_equal(
+            view, -np.arange(float(DIMENSION))
+        )
+
+    def test_three_replicas_recover_the_canonical_broadcast(self):
+        group = self.build_attacked()
+        view = group.broadcast().params
+        assert view.tobytes() == np.arange(float(DIMENSION)).tobytes()
+
+    def test_update_applies_to_canonical_state_not_the_view(self):
+        group = self.build_attacked(num_servers=1, byzantine_servers=1)
+        before = group.params
+        group.broadcast()
+        batch = messages(group)
+        group.step(batch)
+        stack = np.stack([m.vector for m in batch])
+        expected = before - 0.1 * stack.mean(axis=0)
+        assert group.params.tobytes() == expected.tobytes()
+
+    def test_view_is_computed_once_per_round(self):
+        """broadcast() twice in one round returns the same view and the
+        attack RNG advances once — the replay protocol the executors
+        rely on."""
+        group = build_group(
+            num_servers=3,
+            byzantine_servers=1,
+            server_attack="random-noise-broadcast",
+            rng=np.random.default_rng(7),
+        )
+        first = group.broadcast().params
+        second = group.broadcast().params
+        assert first.tobytes() == second.tobytes()
+
+    def test_params_at_serves_the_view_window(self):
+        group = self.build_attacked(
+            num_servers=1, byzantine_servers=1, max_staleness=2
+        )
+        views = []
+        for _ in range(3):
+            views.append(group.broadcast().params)
+            group.step(messages(group))
+        group.broadcast()
+        for offset in (1, 2):
+            stored = group.params_at(group.round_index - offset)
+            assert stored.tobytes() == views[-offset].tobytes()
+        # round 3's window holds rounds [1, 3]; round 0 has been evicted
+        with pytest.raises(SimulationError):
+            group.params_at(0)
+
+    def test_step_without_broadcast_still_consumes_the_attack_stream(self):
+        """A caller that skips broadcast() must not desync the RNG
+        stream: step() materializes the round's view itself."""
+        stepped = build_group(
+            num_servers=3,
+            byzantine_servers=1,
+            server_attack="random-noise-broadcast",
+            rng=np.random.default_rng(3),
+        )
+        broadcast_first = build_group(
+            num_servers=3,
+            byzantine_servers=1,
+            server_attack="random-noise-broadcast",
+            rng=np.random.default_rng(3),
+        )
+        for _ in range(4):
+            stepped.step(messages(stepped))
+            broadcast_first.broadcast()
+            broadcast_first.step(messages(broadcast_first))
+        assert stepped.params.tobytes() == broadcast_first.params.tobytes()

@@ -1,0 +1,113 @@
+"""Registry-wide server-attack contract sweep.
+
+Every name in ``available_server_attacks()`` must honour the corruption
+contract — the server-side mirror of ``tests/attacks/test_contract.py``:
+a ``(byzantine_servers, d)`` float64 output, no mutation of the
+context's arrays, determinism under a fixed RNG (with ``reset()``
+restoring stateful attacks to a fresh run), and an honest ``stateful``
+flag.  The sweep is registry-driven, so a newly registered server attack
+is contract-tested by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.servers.attacks import ServerAttackContext
+from repro.servers.registry import available_server_attacks, make_server_attack
+
+DIMENSION = 5
+NUM_SERVERS = 4
+NUM_BYZANTINE = 2
+
+
+def build_attack(name: str):
+    return make_server_attack(name)
+
+
+def make_context(
+    *,
+    num_byzantine: int = NUM_BYZANTINE,
+    seed: int = 0,
+    round_index: int = 0,
+    rng: np.random.Generator | None = None,
+) -> ServerAttackContext:
+    params_rng = np.random.default_rng(seed + 7919 * round_index)
+    context = ServerAttackContext(
+        round_index=round_index,
+        params=1.0 + params_rng.standard_normal(DIMENSION),
+        num_servers=NUM_SERVERS,
+        byzantine_indices=np.arange(
+            NUM_SERVERS - num_byzantine, NUM_SERVERS, dtype=np.int64
+        ),
+        rng=rng if rng is not None else np.random.default_rng(seed),
+    )
+    context.validate()
+    return context
+
+
+def corrupt_rounds(attack, *, rounds: int = 4, seed: int = 0):
+    """Corrupt over several evolving rounds (exercises stateful paths),
+    sharing one RNG stream across the rounds as the server group does."""
+    rng = np.random.default_rng(seed)
+    return [
+        attack.corrupt(make_context(seed=seed, round_index=t, rng=rng))
+        for t in range(rounds)
+    ]
+
+
+@pytest.mark.parametrize("name", available_server_attacks())
+class TestServerAttackContract:
+    def test_output_shape_and_dtype(self, name):
+        attack = build_attack(name)
+        for out in corrupt_rounds(attack):
+            assert out.shape == (NUM_BYZANTINE, DIMENSION)
+            assert out.dtype == np.float64
+
+    def test_does_not_mutate_context(self, name):
+        attack = build_attack(name)
+        context = make_context()
+        params_before = context.params.copy()
+        indices_before = context.byzantine_indices.copy()
+        attack.corrupt(context)
+        assert context.params.tobytes() == params_before.tobytes()
+        assert context.byzantine_indices.tobytes() == indices_before.tobytes()
+
+    def test_deterministic_under_fixed_rng(self, name):
+        first = corrupt_rounds(build_attack(name), seed=11)
+        second = corrupt_rounds(build_attack(name), seed=11)
+        for a, b in zip(first, second):
+            assert a.tobytes() == b.tobytes()
+
+    def test_reset_restores_fresh_run(self, name):
+        attack = build_attack(name)
+        corrupt_rounds(attack, seed=3)
+        attack.reset()
+        reused = corrupt_rounds(attack, seed=3)
+        fresh = corrupt_rounds(build_attack(name), seed=3)
+        for a, b in zip(reused, fresh):
+            assert a.tobytes() == b.tobytes()
+
+    def test_stateful_flag_is_honest(self, name):
+        """Attacks declaring themselves stateless must corrupt
+        identically without a reset; hidden state behind
+        ``stateful = False`` would break the batched engine's sharing
+        guard."""
+        attack = build_attack(name)
+        if attack.stateful:
+            pytest.skip("stateful attacks are covered by the reset test")
+        first = corrupt_rounds(attack, seed=5)
+        second = corrupt_rounds(attack, seed=5)
+        for a, b in zip(first, second):
+            assert a.tobytes() == b.tobytes()
+
+    def test_single_byzantine_replica(self, name):
+        attack = build_attack(name)
+        context = make_context(num_byzantine=1)
+        out = attack.corrupt(context)
+        assert out.shape == (1, DIMENSION)
+
+    def test_name_is_a_nonempty_string(self, name):
+        attack = build_attack(name)
+        assert isinstance(attack.name, str) and attack.name
