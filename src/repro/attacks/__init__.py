@@ -20,10 +20,11 @@ Extensions (post-2017 attacks, for the ablation benches):
 
 Adaptive adversaries (keyed to the defenses, for the tournament):
 :class:`StalenessGamingAttack`, :class:`LipschitzMimicryAttack`,
-:class:`DefenseProbingAttack`.
+:class:`DefenseProbingAttack`, :class:`BanditProbingAttack`.
 """
 
 from repro.attacks.adaptive import (
+    BanditProbingAttack,
     DefenseProbingAttack,
     LipschitzMimicryAttack,
     StalenessGamingAttack,
@@ -63,6 +64,7 @@ __all__ = [
     "StalenessGamingAttack",
     "LipschitzMimicryAttack",
     "DefenseProbingAttack",
+    "BanditProbingAttack",
     "register_attack",
     "available_attacks",
     "make_attack",

@@ -19,6 +19,11 @@ adapt back.  Three strategies, each keyed to one defensive mechanism:
   ``AttackContext.selected_last_round`` feedback: scale up while the
   choice function keeps accepting the proposal, back off toward the
   honest barycenter when it gets filtered.
+* :class:`BanditProbingAttack` replaces the probe's fixed grow/shrink
+  walk with a UCB bandit over a grid of amplitude arms, treating
+  "selected last round" as the reward — it converges on the largest
+  amplitude the choice function still accepts instead of oscillating
+  around it.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ __all__ = [
     "StalenessGamingAttack",
     "LipschitzMimicryAttack",
     "DefenseProbingAttack",
+    "BanditProbingAttack",
 ]
 
 
@@ -353,4 +359,99 @@ class DefenseProbingAttack(Attack):
         base = self.inner.craft(context)
         mean = context.honest_mean[None, :]
         proposals = mean + self._scale * (base - mean)
+        return self._output(context, proposals)
+
+
+class BanditProbingAttack(Attack):
+    """UCB amplitude search over the selection feedback.
+
+    Where :class:`DefenseProbingAttack` walks its amplitude with a fixed
+    grow/shrink rule — forever oscillating around the acceptance
+    boundary — this adversary treats each amplitude in ``arms`` as a
+    bandit arm.  A round's reward is 1 when any of its slots appears in
+    ``selected_last_round`` (the choice function accepted the previous
+    proposal, which was crafted at the previously pulled arm) and 0
+    otherwise.  Arms are pulled by the UCB1 index
+    ``mean + exploration · sqrt(ln N / n_arm)`` after one warm-up pull
+    each, so play concentrates on the largest amplitude the defense
+    still accepts while cheaper arms keep a logarithmic trial budget.
+
+    The proposal is the probe interpolation ``mean + arm · (inner −
+    mean)``.  Fully deterministic — ties break toward the first
+    (smallest) arm and no RNG is consumed — so loop and batched
+    executors agree.  Stateful across rounds — one instance per
+    simulation cell.
+    """
+
+    stateful = True
+
+    def __init__(
+        self,
+        inner: Attack | None = None,
+        *,
+        arms: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+        exploration: float = 1.0,
+    ):
+        if inner is None:
+            from repro.attacks.simple import SignFlipAttack
+
+            inner = SignFlipAttack()
+        if not isinstance(inner, Attack):
+            raise ConfigurationError(
+                f"inner must be an Attack, got {type(inner).__name__}"
+            )
+        arms = tuple(float(a) for a in arms)
+        if not arms or any(a <= 0 for a in arms):
+            raise ConfigurationError(
+                f"arms must be a non-empty tuple of positive amplitudes, "
+                f"got {arms}"
+            )
+        if len(set(arms)) != len(arms):
+            raise ConfigurationError(f"arms must be distinct, got {arms}")
+        if exploration < 0:
+            raise ConfigurationError(
+                f"exploration must be >= 0, got {exploration}"
+            )
+        self.inner = inner
+        self.arms = arms
+        self.exploration = float(exploration)
+        self.name = f"probe-bandit({inner.name})"
+        self.reset()
+
+    def reset(self) -> None:
+        self._pulls = np.zeros(len(self.arms), dtype=np.int64)
+        self._rewards = np.zeros(len(self.arms), dtype=np.float64)
+        self._last_arm: int | None = None
+        self.inner.reset()
+
+    @property
+    def scale(self) -> float:
+        """The amplitude the bandit pulled in the most recent round."""
+        if self._last_arm is None:
+            return self.arms[0]
+        return self.arms[self._last_arm]
+
+    def _choose_arm(self) -> int:
+        unplayed = np.flatnonzero(self._pulls == 0)
+        if unplayed.size:
+            return int(unplayed[0])
+        total = float(self._pulls.sum())
+        means = self._rewards / self._pulls
+        index = means + self.exploration * np.sqrt(
+            np.log(total) / self._pulls
+        )
+        return int(np.argmax(index))
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        feedback = context.selected_last_round
+        if feedback is not None and self._last_arm is not None:
+            # Credit the previous round's arm: the feedback describes
+            # the proposal that arm produced.
+            self._pulls[self._last_arm] += 1
+            self._rewards[self._last_arm] += float(bool(np.any(feedback)))
+        arm = self._choose_arm()
+        self._last_arm = arm
+        base = self.inner.craft(context)
+        mean = context.honest_mean[None, :]
+        proposals = mean + self.arms[arm] * (base - mean)
         return self._output(context, proposals)

@@ -49,6 +49,14 @@ class AttackContext:
     # does not already grant — it is what makes defense-probing attacks
     # expressible.
     selected_last_round: np.ndarray | None = None  # (f,) bools
+    # Decentralized (gossip) rounds only — None on the server path: the
+    # out-neighbor ids of each Byzantine node this round (one sorted
+    # int64 array per entry of ``byzantine_indices``), and, when the
+    # engine crafts per receiving edge (equivocation), the honest node
+    # id this particular craft call targets.  ``receiver is None`` means
+    # one shared proposal for every edge — the server-path semantics.
+    byzantine_neighbors: tuple[np.ndarray, ...] | None = None
+    receiver: int | None = None
 
     @property
     def num_byzantine(self) -> int:
@@ -114,6 +122,19 @@ class AttackContext:
             raise DimensionMismatchError(
                 f"{len(self.selected_last_round)} selection flags vs "
                 f"{len(self.byzantine_indices)} byzantine workers"
+            )
+        if self.byzantine_neighbors is not None and len(
+            self.byzantine_neighbors
+        ) != len(self.byzantine_indices):
+            raise DimensionMismatchError(
+                f"{len(self.byzantine_neighbors)} neighbor views vs "
+                f"{len(self.byzantine_indices)} byzantine workers"
+            )
+        if self.receiver is not None and not (
+            0 <= int(self.receiver) < self.num_workers
+        ):
+            raise ConfigurationError(
+                f"receiver {self.receiver} outside [0, {self.num_workers})"
             )
 
 

@@ -144,6 +144,27 @@ def _probe_attack(
     )
 
 
+def _probe_bandit_attack(
+    inner: str = "sign-flip",
+    inner_kwargs: Mapping[str, object] | None = None,
+    *,
+    arms: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+    exploration: float = 1.0,
+) -> Attack:
+    """Registry adapter for
+    :class:`~repro.attacks.adaptive.BanditProbingAttack`: the wrapped
+    attack is named through this registry, e.g.
+    ``("probe-bandit", {"inner": "little-is-enough"})``."""
+    from repro.attacks.adaptive import BanditProbingAttack
+
+    wrapped = make_attack(inner, inner_kwargs)
+    if wrapped is None:
+        raise ConfigurationError(
+            "probe-bandit cannot wrap the attack-free arm (inner=None)"
+        )
+    return BanditProbingAttack(wrapped, arms=arms, exploration=exploration)
+
+
 def _register_builtins() -> None:
     # Imported lazily to avoid a circular import at package load.
     from repro.attacks.adaptive import (
@@ -176,6 +197,7 @@ def _register_builtins() -> None:
     register_attack("staleness-gaming", StalenessGamingAttack)
     register_attack("lipschitz-mimicry", LipschitzMimicryAttack)
     register_attack("probe", _probe_attack)
+    register_attack("probe-bandit", _probe_bandit_attack)
 
 
 _register_builtins()

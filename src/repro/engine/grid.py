@@ -42,12 +42,16 @@ from repro.engine.workloads import (
 )
 from repro.exceptions import ConfigurationError
 from repro.servers.registry import make_server_attack
+from repro.topology.registry import make_topology, topology_factory
 
 __all__ = ["ScenarioSpec", "ScenarioGrid"]
 
 # The deprecated scalar knobs and the quadratic workload kwargs they
 # map onto (the shim below).
 _QUADRATIC_SHIM_FIELDS = ("dimension", "sigma", "curvature")
+
+# Spec/grid fields forwarded as topology factory kwargs when non-None.
+_TOPOLOGY_KNOBS = ("degree", "edge_prob", "rewire_period")
 
 
 def _resolve_quadratic_shim(
@@ -140,6 +144,10 @@ class ScenarioSpec:
     server_attack: str | None = None
     server_attack_kwargs: dict = field(default_factory=dict)
     halt_on_nonfinite: bool = False
+    topology: str = "complete"
+    degree: int | None = None
+    edge_prob: float | None = None
+    rewire_period: int | None = None
 
     def __post_init__(self) -> None:
         resolved = _resolve_quadratic_shim(
@@ -187,6 +195,36 @@ class ScenarioSpec:
         # Validates the (name, kwargs) pair at declaration time; also
         # rejects server-attack kwargs without an attack name.
         make_server_attack(self.server_attack, self.server_attack_kwargs)
+        # Topology: unknown names and knobs the named graph family does
+        # not take both fail here, at declaration time.
+        factory = topology_factory(self.topology)
+        for knob in _TOPOLOGY_KNOBS:
+            if getattr(self, knob) is not None and not _accepts(
+                factory, knob
+            ):
+                raise ConfigurationError(
+                    f"topology {self.topology!r} does not take a "
+                    f"{knob} parameter"
+                )
+        make_topology(self.topology, self.topology_kwargs)
+        if self.is_gossip:
+            if self.max_staleness != 0:
+                raise ConfigurationError(
+                    "gossip cells model lag per edge via delay_schedule; "
+                    f"max_staleness={self.max_staleness} is a server-side "
+                    f"knob and must stay 0"
+                )
+            if (
+                self.num_servers != 1
+                or self.byzantine_servers != 0
+                or self.num_shards != 1
+                or self.server_attack is not None
+            ):
+                raise ConfigurationError(
+                    "the replicated/sharded server tier and gossip "
+                    "topologies are mutually exclusive — a decentralized "
+                    "cell has no server to replicate"
+                )
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would raise on the kwargs
@@ -255,15 +293,46 @@ class ScenarioSpec:
         )
 
     @property
+    def is_gossip(self) -> bool:
+        """Whether this cell runs the serverless gossip engine.
+
+        The ``"complete"`` default routes through the server path — on
+        the complete graph with fresh edges the two engines produce the
+        same trajectory bit for bit, so the server path *is* the
+        degenerate cell and pre-topology grids are untouched.
+        """
+        return self.topology != "complete"
+
+    @property
+    def topology_kwargs(self) -> dict:
+        """The non-None topology knobs as factory kwargs."""
+        return {
+            knob: getattr(self, knob)
+            for knob in _TOPOLOGY_KNOBS
+            if getattr(self, knob) is not None
+        }
+
+    @property
+    def topology_label(self) -> str | None:
+        """The label segment identifying this cell's communication
+        graph, or ``None`` for the (default) complete graph — so
+        pre-topology labels are exactly what they were before the
+        topology axes existed."""
+        if not self.is_gossip:
+            return None
+        return "topo=" + _encode_kwargs(self.topology, self.topology_kwargs)
+
+    @property
     def label(self) -> str:
         """Unique human-readable cell identifier used in result dicts.
 
         Encodes the workload, the kwargs of the rule and the attack,
         for asynchronous cells the staleness bound and delay schedule,
-        and for server-tier cells the replica/shard topology and server
-        attack (collision-safely — see :func:`_encode_kwargs`) so grids
-        can sweep workload, rule, attack, delay *and* server parameters
-        without label collisions.
+        for server-tier cells the replica/shard topology and server
+        attack, and for gossip cells the communication graph
+        (collision-safely — see :func:`_encode_kwargs`) so grids can
+        sweep workload, rule, attack, delay, server *and* topology
+        parameters without label collisions.
         """
         agg = _encode_kwargs(self.aggregator, self.aggregator_kwargs)
         attack = (
@@ -275,20 +344,29 @@ class ScenarioSpec:
             f"seed={self.seed}|{self.workload_label}|{attack}|{agg}"
             f"|f={self.num_byzantine}"
         )
-        for suffix in (self.async_label, self.server_label):
+        for suffix in (
+            self.async_label,
+            self.server_label,
+            self.topology_label,
+        ):
             if suffix is not None:
                 base = f"{base}|{suffix}"
         return base
 
 
-def _accepts_f(factory: object) -> bool:
-    """Whether a registry factory takes an ``f`` keyword (Krum does,
-    plain averaging does not)."""
+def _accepts(factory: object, param: str) -> bool:
+    """Whether a registry factory takes keyword ``param``."""
     try:
         signature = inspect.signature(factory)
     except (TypeError, ValueError):  # builtins without introspectable sigs
         return False
-    return "f" in signature.parameters
+    return param in signature.parameters
+
+
+def _accepts_f(factory: object) -> bool:
+    """Whether a registry factory takes an ``f`` keyword (Krum does,
+    plain averaging does not)."""
+    return _accepts(factory, "f")
 
 
 @dataclass(frozen=True)
@@ -321,6 +399,15 @@ class ScenarioGrid:
     the server-attack axis to one attack-free entry, exactly as ``f = 0``
     collapses the worker-attack axis, and the all-default singular knobs
     keep pre-tier grids (and their cell labels) unchanged.
+
+    Decentralized cells add ``topology(_values)`` plus the graph knobs
+    ``degree(_values)`` / ``edge_prob`` / ``rewire_period`` from the
+    topology registry.  The ``"complete"`` default runs on the server
+    path (bit-identical to the gossip engine's complete-graph cell —
+    the degenerate-identity guarantee), non-complete topologies run the
+    event-driven :class:`~repro.topology.GossipSimulation`, and the
+    degree axis expands only under graph families that take a degree,
+    collapsing elsewhere so no duplicate labels arise.
 
     Example::
 
@@ -367,6 +454,12 @@ class ScenarioGrid:
     server_attack_kwargs: Mapping = field(default_factory=dict)
     server_attacks: Sequence[tuple[str, Mapping]] | None = None
     halt_on_nonfinite: bool = False
+    topology: str = "complete"
+    topology_values: Sequence[str] | None = None
+    degree: int | None = None
+    degree_values: Sequence[int] | None = None
+    edge_prob: float | None = None
+    rewire_period: int | None = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -535,6 +628,80 @@ class ScenarioGrid:
         object.__setattr__(self, "byzantine_servers_values", byzantine_axis)
         object.__setattr__(self, "num_shards_values", shards_axis)
         object.__setattr__(self, "server_attacks", server_attack_axis)
+        # Resolve the topology axes: plural sweeps exclude the singular
+        # knobs, mirroring every axis above.
+        if self.topology_values is not None:
+            if self.topology != "complete":
+                raise ConfigurationError(
+                    "pass either topology or a topology_values axis, "
+                    "not both"
+                )
+            if not self.topology_values:
+                raise ConfigurationError(
+                    "grid needs at least one topology name"
+                )
+            topology_axis = tuple(str(t) for t in self.topology_values)
+        else:
+            topology_axis = (str(self.topology),)
+        object.__setattr__(self, "topology_values", topology_axis)
+        if self.degree_values is not None:
+            if self.degree is not None:
+                raise ConfigurationError(
+                    "pass either degree or a degree_values axis, not both"
+                )
+            if not self.degree_values:
+                raise ConfigurationError(
+                    "grid needs at least one degree value"
+                )
+            degree_axis: tuple[int | None, ...] = tuple(
+                int(d) for d in self.degree_values
+            )
+        else:
+            degree_axis = (
+                None if self.degree is None else int(self.degree),
+            )
+        object.__setattr__(self, "degree_values", degree_axis)
+        # Each supplied knob must land somewhere: a degree (edge_prob,
+        # rewire_period) that no swept topology accepts is a typo, not a
+        # silently dropped axis.
+        for knob, supplied in (
+            ("degree", any(d is not None for d in degree_axis)),
+            ("edge_prob", self.edge_prob is not None),
+            ("rewire_period", self.rewire_period is not None),
+        ):
+            if supplied and not any(
+                _accepts(topology_factory(name), knob)
+                for name in topology_axis
+            ):
+                raise ConfigurationError(
+                    f"{knob} was given but no swept topology "
+                    f"({list(topology_axis)}) takes a {knob} parameter"
+                )
+        # Eagerly validate every topology cell (builds the unbound
+        # graph), and forbid combining gossip cells with the server-side
+        # axes — the ScenarioSpec constraint, surfaced at grid
+        # declaration so ``len(grid)`` stays exact.
+        topology_cells = tuple(self._topology_cells())
+        for name, kwargs in topology_cells:
+            make_topology(name, kwargs)
+        if any(name != "complete" for name, _ in topology_cells):
+            if any(s != 0 for s in staleness_axis):
+                raise ConfigurationError(
+                    "gossip cells model lag per edge via the delay axis; "
+                    "a max_staleness sweep is a server-side knob and "
+                    "cannot be combined with non-complete topologies"
+                )
+            if (
+                servers_axis != (1,)
+                or byzantine_axis != (0,)
+                or shards_axis != (1,)
+                or server_attack_axis
+            ):
+                raise ConfigurationError(
+                    "the replicated/sharded server tier and gossip "
+                    "topologies are mutually exclusive — a decentralized "
+                    "cell has no server to replicate"
+                )
 
     def _scalar_axis(
         self, name: str, *, default: int, minimum: int
@@ -563,6 +730,35 @@ class ScenarioGrid:
                 )
         return axis
 
+    def _topology_cells(self) -> list[tuple[str, dict]]:
+        """The resolved topology axis: one ``(name, kwargs)`` cell per
+        swept graph.
+
+        ``edge_prob``/``rewire_period`` are forwarded to the factories
+        that take them; the degree axis expands only under topologies
+        with a ``degree`` parameter (ring, k-regular) and collapses to
+        one cell elsewhere, exactly as ``f = 0`` collapses the attack
+        axis — no duplicate labels.  A ``None`` degree entry defers to
+        the factory's default.
+        """
+        cells: list[tuple[str, dict]] = []
+        for name in self.topology_values:
+            factory = topology_factory(name)
+            base: dict = {}
+            for knob in ("edge_prob", "rewire_period"):
+                value = getattr(self, knob)
+                if value is not None and _accepts(factory, knob):
+                    base[knob] = value
+            if _accepts(factory, "degree"):
+                for degree in self.degree_values:
+                    kwargs = dict(base)
+                    if degree is not None:
+                        kwargs["degree"] = int(degree)
+                    cells.append((name, kwargs))
+            else:
+                cells.append((name, base))
+        return cells
+
     def _aggregator_kwargs(self, name: str, kwargs: Mapping, f: int) -> dict:
         """Resolve a rule's kwargs for a cell, injecting the cell's f
         where the rule's factory accepts it."""
@@ -589,11 +785,15 @@ class ScenarioGrid:
             self.num_servers_values,
             self.byzantine_servers_values,
             self.num_shards_values,
+            tuple(self._topology_cells()),
         )
         for seed, (workload_name, workload_kwargs), max_staleness, (
             delay_name,
             delay_kwargs,
-        ), num_servers, byzantine_servers, num_shards in outer:
+        ), num_servers, byzantine_servers, num_shards, (
+            topology_name,
+            topology_kwargs,
+        ) in outer:
             server_specs = (
                 self.server_attacks if byzantine_servers > 0 else (None,)
             )
@@ -637,6 +837,14 @@ class ScenarioGrid:
                                     server_attack=server_name,
                                     server_attack_kwargs=server_kwargs,
                                     halt_on_nonfinite=self.halt_on_nonfinite,
+                                    topology=topology_name,
+                                    degree=topology_kwargs.get("degree"),
+                                    edge_prob=topology_kwargs.get(
+                                        "edge_prob"
+                                    ),
+                                    rewire_period=topology_kwargs.get(
+                                        "rewire_period"
+                                    ),
                                 )
                             )
         return cells
@@ -660,6 +868,7 @@ class ScenarioGrid:
             * len(self.max_staleness_values)
             * len(self.delay_schedules)
             * server_cells
+            * len(self._topology_cells())
             * per_workload
         )
 
@@ -678,6 +887,8 @@ class ScenarioGrid:
             make_delay_schedule(name, kwargs)
         for name, kwargs in self.server_attacks:
             make_server_attack(name, kwargs)
+        for name, kwargs in self._topology_cells():
+            make_topology(name, kwargs)
         checked: set[tuple] = set()
         for spec in self.scenarios():
             key = (

@@ -28,17 +28,25 @@ import numpy as np
 
 from repro.attacks.registry import make_attack
 from repro.backend import ArrayBackend, resolve_backend
-from repro.core.registry import make_aggregator
+from repro.core.aggregator import Aggregator
+from repro.core.registry import aggregator_factory, make_aggregator
 from repro.distributed.delays import make_delay_schedule
 from repro.distributed.metrics import TrainingHistory
 from repro.distributed.simulator import TrainingSimulation
-from repro.engine.grid import ScenarioGrid, ScenarioSpec
+from repro.engine.grid import ScenarioGrid, ScenarioSpec, _accepts_f
 from repro.engine.simulation import BatchedSimulation
 from repro.engine.workloads import Workload, make_workload, workload_key
 from repro.exceptions import ConfigurationError
 from repro.servers.registry import make_server_attack
+from repro.topology.gossip import GossipSimulation
+from repro.topology.registry import make_topology
 
-__all__ = ["GridResult", "build_scenario_simulation", "run_grid"]
+__all__ = [
+    "GridResult",
+    "build_scenario_simulation",
+    "build_gossip_simulation",
+    "run_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -109,6 +117,72 @@ def build_scenario_simulation(
     )
 
 
+def _gossip_rule_builder(spec: ScenarioSpec):
+    """Per-neighborhood rule factory for a gossip cell.
+
+    When the cell's aggregator factory takes an ``f`` parameter the
+    returned closure rebuilds the rule at each node's *local* Byzantine
+    bound — a Krum node surrounded by one adversary defends against one,
+    not against the global ``f``.  F-free rules return ``None`` and the
+    engine copies the fixed rule per node instead.
+    """
+    if not _accepts_f(aggregator_factory(spec.aggregator)):
+        return None
+
+    def build(f_local: int) -> Aggregator:
+        kwargs = dict(spec.aggregator_kwargs)
+        kwargs["f"] = int(f_local)
+        return make_aggregator(spec.aggregator, **kwargs)
+
+    return build
+
+
+def build_gossip_simulation(
+    spec: ScenarioSpec, *, workload: Workload | None = None
+) -> GossipSimulation:
+    """Build one gossip cell's simulation on its workload.
+
+    The workload builds a degenerate server-path template (same
+    estimators, cast, schedule, initial parameters and seed), and the
+    gossip engine takes over from it — so a gossip cell differs from its
+    server-path sibling *only* in the communication structure.  The
+    cell's delay schedule, if any, becomes the per-edge delay.
+    """
+    if not spec.is_gossip:
+        raise ConfigurationError(
+            f"spec {spec.label!r} is a complete-graph cell; it runs on "
+            f"the server path via build_scenario_simulation"
+        )
+    if workload is None:
+        workload = make_workload(spec.workload, spec.workload_kwargs)
+    aggregator = make_aggregator(spec.aggregator, **spec.aggregator_kwargs)
+    attack = make_attack(spec.attack, spec.attack_kwargs)
+    template = workload.build(
+        aggregator=aggregator,
+        num_workers=spec.num_workers,
+        num_byzantine=spec.num_byzantine,
+        attack=attack,
+        learning_rate=spec.learning_rate,
+        lr_timescale=spec.lr_timescale,
+        byzantine_slots=spec.byzantine_slots,
+        max_staleness=0,
+        delay_schedule=None,
+        num_servers=1,
+        byzantine_servers=0,
+        num_shards=1,
+        server_attack=None,
+        halt_on_nonfinite=spec.halt_on_nonfinite,
+        seed=spec.seed,
+    )
+    return GossipSimulation.from_template(
+        template,
+        topology=make_topology(spec.topology, spec.topology_kwargs),
+        aggregator_builder=_gossip_rule_builder(spec),
+        edge_delay=make_delay_schedule(spec.delay_schedule, spec.delay_kwargs),
+        seed=spec.seed,
+    )
+
+
 def run_grid(
     grid: ScenarioGrid,
     *,
@@ -172,22 +246,45 @@ def run_grid(
         finals = []
         wall_time = 0.0
         for spec in specs:
-            sim = build_scenario_simulation(spec, workload=cell_workload(spec))
+            if spec.is_gossip:
+                sim: TrainingSimulation | GossipSimulation = (
+                    build_gossip_simulation(spec, workload=cell_workload(spec))
+                )
+            else:
+                sim = build_scenario_simulation(
+                    spec, workload=cell_workload(spec)
+                )
             start = perf_counter()
             histories.append(sim.run(grid.num_rounds, eval_every=eval_every))
             wall_time += perf_counter() - start
             finals.append(sim.params)
     else:
-        simulations = [
-            build_scenario_simulation(spec, workload=cell_workload(spec))
-            for spec in specs
-        ]
-        dimensions = [cell_workload(spec).dimension for spec in specs]
+        # Gossip cells are event-driven and run per-scenario in both
+        # modes (identical trajectories by construction); only the
+        # server-path cells stack into (B, n, d) tensors.  Gossip cells
+        # count toward the native_fraction denominator with weight 0,
+        # so a grid silently routing everything through the event queue
+        # shows up in the benchmark's native fraction.
+        simulations = {
+            index: build_scenario_simulation(
+                spec, workload=cell_workload(spec)
+            )
+            for index, spec in enumerate(specs)
+            if not spec.is_gossip
+        }
+        gossip_sims = {
+            index: build_gossip_simulation(
+                spec, workload=cell_workload(spec)
+            )
+            for index, spec in enumerate(specs)
+            if spec.is_gossip
+        }
         # Cells sharing a parameter dimension batch together (the
         # executor requires a rectangular (B, n, d) tensor); a
         # mixed-workload grid runs one batch per dimension group.
         groups: dict[int, list[int]] = {}
-        for index, dim in enumerate(dimensions):
+        for index in simulations:
+            dim = cell_workload(specs[index]).dimension
             groups.setdefault(dim, []).append(index)
         histories = [None] * len(specs)  # type: ignore[list-item]
         finals = [None] * len(specs)  # type: ignore[list-item]
@@ -207,6 +304,11 @@ def run_grid(
             for offset, index in enumerate(indices):
                 histories[index] = group_histories[offset]
                 finals[index] = group_params[offset]
+        for index, gossip_sim in gossip_sims.items():
+            histories[index] = gossip_sim.run(
+                grid.num_rounds, eval_every=eval_every
+            )
+            finals[index] = gossip_sim.params
         native_fraction = native_cells / len(specs)
         wall_time = perf_counter() - start
 

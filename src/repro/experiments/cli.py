@@ -37,7 +37,7 @@ from repro.distributed.delays import (
 )
 from repro.engine.simulation import BatchedSimulation
 from repro.engine.workloads import make_workload
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.builders import build_dataset_simulation
 from repro.experiments.reporting import (
     format_league_table,
@@ -46,6 +46,11 @@ from repro.experiments.reporting import (
 )
 from repro.models.softmax import SoftmaxRegressionModel
 from repro.servers.registry import available_server_attacks
+from repro.topology import (
+    GossipSimulation,
+    available_topologies,
+    make_topology,
+)
 from repro.tournament import TournamentRunner
 
 __all__ = ["main", "build_parser"]
@@ -162,6 +167,34 @@ def build_parser() -> argparse.ArgumentParser:
         "replicas; pair with --byzantine-servers > 0",
     )
     parser.add_argument(
+        "--topology",
+        default="complete",
+        help="communication graph for serverless gossip runs (one of: "
+        f"{', '.join(available_topologies())}); 'complete' is the "
+        "paper's server setting, anything else drops the server and "
+        "each node aggregates its neighborhood with a local f.  The "
+        "name is validated through the topology registry, so an unknown "
+        "name exits with a readable configuration error",
+    )
+    parser.add_argument(
+        "--degree",
+        type=int,
+        default=None,
+        help="neighbor degree of the ring/k-regular topologies (even)",
+    )
+    parser.add_argument(
+        "--edge-prob",
+        type=float,
+        default=None,
+        help="edge probability of the erdos-renyi/time-varying topologies",
+    )
+    parser.add_argument(
+        "--rewire-period",
+        type=int,
+        default=None,
+        help="rounds between rewirings of the time-varying topology",
+    )
+    parser.add_argument(
         "--halt-on-nonfinite",
         action="store_true",
         help="raise instead of training on NaN/Inf parameters (the "
@@ -245,8 +278,97 @@ def _delay_schedule(args: argparse.Namespace):
     return make_delay_schedule(args.delay_schedule, kwargs)
 
 
+def _cli_topology(args: argparse.Namespace):
+    """Resolve the CLI's topology flags through the registry.
+
+    Unknown names and knobs the named graph family does not take both
+    raise :class:`ConfigurationError` (caught in :func:`main` and
+    reported with exit code 2), never an argparse crash.
+    """
+    kwargs: dict[str, object] = {}
+    if args.degree is not None:
+        kwargs["degree"] = args.degree
+    if args.edge_prob is not None:
+        kwargs["edge_prob"] = args.edge_prob
+    if args.rewire_period is not None:
+        kwargs["rewire_period"] = args.rewire_period
+    return make_topology(args.topology, kwargs)
+
+
+def _gossip_rule_builder(args: argparse.Namespace):
+    """Local-f rule factory for gossip runs: rebuild the CLI's rule at
+    each node's neighborhood bound (f-free rules return None and the
+    fixed rule is copied per node)."""
+    if args.aggregator not in ("krum", "multi-krum", "trimmed-mean",
+                               "minimal-diameter", "bulyan", "kardam"):
+        return None
+    pinned_m = None
+    if args.aggregator == "multi-krum":
+        pinned_m = args.m if args.m is not None else max(
+            1, args.workers - args.byzantine - 2
+        )
+
+    def build(f_local: int):
+        kwargs: dict[str, object] = {"f": int(f_local)}
+        if pinned_m is not None:
+            kwargs["m"] = pinned_m
+        return make_aggregator(args.aggregator, **kwargs)
+
+    return build
+
+
 def _build_simulation(args: argparse.Namespace, aggregator, attack):
     delay_schedule = _delay_schedule(args)
+    gossip = args.topology != "complete"
+    if gossip:
+        # Validate the flags before building anything, so a bad name or
+        # knob fails fast with the registry's error message.
+        topology = _cli_topology(args)
+        if (
+            args.max_staleness
+            or args.num_servers != 1
+            or args.byzantine_servers
+            or args.num_shards != 1
+            or args.server_attack is not None
+        ):
+            raise ConfigurationError(
+                "--topology is exclusive with the server-tier and "
+                "staleness flags — a gossip run has no server, and edge "
+                "lag comes from --delay-schedule"
+            )
+        if args.backend is not None:
+            raise ConfigurationError(
+                "--backend routes through the batched server-path "
+                "executor; gossip runs are event-driven and always "
+                "execute on numpy"
+            )
+    else:
+        topology = None
+        _cli_topology(args)  # still validates --degree etc. against it
+    template = _build_server_simulation(
+        args,
+        aggregator,
+        attack,
+        # The gossip engine takes over the template unstepped and
+        # synchronous; the CLI's delay flags become per-edge delays.
+        delay_schedule=None if gossip else delay_schedule,
+        max_staleness=0 if gossip else args.max_staleness,
+    )
+    if not gossip:
+        return template
+    return GossipSimulation.from_template(
+        template,
+        topology=topology,
+        aggregator_builder=_gossip_rule_builder(args),
+        edge_delay=delay_schedule,
+        seed=args.seed,
+    )
+
+
+def _build_server_simulation(
+    args: argparse.Namespace, aggregator, attack, *, delay_schedule,
+    max_staleness,
+):
     if args.dataset in _DATASET_WORKLOADS:
         workload = make_workload(
             _DATASET_WORKLOADS[args.dataset],
@@ -267,7 +389,7 @@ def _build_simulation(args: argparse.Namespace, aggregator, attack):
             learning_rate=args.learning_rate,
             lr_timescale=None,
             byzantine_slots="last",
-            max_staleness=args.max_staleness,
+            max_staleness=max_staleness,
             delay_schedule=delay_schedule,
             num_servers=args.num_servers,
             byzantine_servers=args.byzantine_servers,
@@ -294,7 +416,7 @@ def _build_simulation(args: argparse.Namespace, aggregator, attack):
         eval_dataset=test,
         partition=args.partition,
         dirichlet_alpha=args.dirichlet_alpha,
-        max_staleness=args.max_staleness,
+        max_staleness=max_staleness,
         delay_schedule=delay_schedule,
         num_servers=args.num_servers,
         byzantine_servers=args.byzantine_servers,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 from repro.backend import backend_factory
@@ -9,6 +10,7 @@ from repro.data.partition import PARTITION_PROTOCOLS
 from repro.distributed.delays import delay_schedule_factory
 from repro.exceptions import ConfigurationError
 from repro.servers.registry import server_attack_factory
+from repro.topology.registry import make_topology, topology_factory
 from repro.utils.validation import check_factory_kwargs
 
 __all__ = ["SGDExperimentConfig"]
@@ -63,6 +65,10 @@ class SGDExperimentConfig:
     server_attack: str | None = None
     server_attack_kwargs: dict = field(default_factory=dict)
     halt_on_nonfinite: bool = False
+    topology: str = "complete"
+    degree: int | None = None
+    edge_prob: float | None = None
+    rewire_period: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -168,7 +174,61 @@ class SGDExperimentConfig:
                 backend_factory(self.backend),
                 dict(self.backend_kwargs),
             )
+        # Topology: unknown names and knobs the named graph family does
+        # not take both fail at declaration time, like the delay and
+        # server-attack specs above.
+        factory = topology_factory(self.topology)
+        for knob in ("degree", "edge_prob", "rewire_period"):
+            value = getattr(self, knob)
+            if value is not None and knob not in _factory_params(factory):
+                raise ConfigurationError(
+                    f"topology {self.topology!r} does not take a "
+                    f"{knob} parameter"
+                )
+        make_topology(self.topology, self.topology_kwargs)
+        if self.is_gossip and (
+            self.num_servers != 1
+            or self.byzantine_servers != 0
+            or self.num_shards != 1
+            or self.server_attack is not None
+        ):
+            raise ConfigurationError(
+                "the replicated/sharded server tier and gossip topologies "
+                "are mutually exclusive — a decentralized run has no "
+                "server to replicate"
+            )
+        if self.is_gossip and self.max_staleness != 0:
+            raise ConfigurationError(
+                "gossip runs model lag per edge via delay_schedule; "
+                f"max_staleness={self.max_staleness} is a server-side knob "
+                f"and must stay 0"
+            )
+
+    @property
+    def is_gossip(self) -> bool:
+        """Whether this config runs the serverless gossip engine (any
+        topology other than the degenerate ``"complete"`` graph)."""
+        return self.topology != "complete"
+
+    @property
+    def topology_kwargs(self) -> dict:
+        """The non-None topology knobs as factory kwargs."""
+        return {
+            knob: getattr(self, knob)
+            for knob in ("degree", "edge_prob", "rewire_period")
+            if getattr(self, knob) is not None
+        }
 
     @property
     def num_honest(self) -> int:
         return self.num_workers - self.num_byzantine
+
+
+def _factory_params(factory: object) -> frozenset[str]:
+    """The keyword names a topology factory accepts (empty when the
+    signature is not introspectable)."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return frozenset()
+    return frozenset(signature.parameters)

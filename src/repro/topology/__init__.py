@@ -1,0 +1,39 @@
+"""Decentralized communication graphs and the serverless gossip engine.
+
+The topology registry names seeded, pure ``neighbors(node, round)``
+graph families; :class:`GossipSimulation` runs Byzantine-tolerant SGD
+over them without a parameter server, each node aggregating its
+in-neighborhood with a local robust rule.
+"""
+
+from repro.topology.base import (
+    CompleteTopology,
+    ErdosRenyiTopology,
+    KRegularTopology,
+    RingTopology,
+    TimeVaryingTopology,
+    Topology,
+    counter_uniform,
+)
+from repro.topology.gossip import GossipSimulation
+from repro.topology.registry import (
+    available_topologies,
+    make_topology,
+    register_topology,
+    topology_factory,
+)
+
+__all__ = [
+    "Topology",
+    "CompleteTopology",
+    "RingTopology",
+    "KRegularTopology",
+    "ErdosRenyiTopology",
+    "TimeVaryingTopology",
+    "counter_uniform",
+    "GossipSimulation",
+    "register_topology",
+    "available_topologies",
+    "topology_factory",
+    "make_topology",
+]

@@ -1,0 +1,659 @@
+"""Event-driven decentralized training over a communication graph.
+
+``GossipSimulation`` drops the parameter server entirely: every node
+keeps *local* parameters, trains on them, disseminates its proposal to
+its graph neighbors (per-edge delays via the
+:class:`~repro.distributed.delays.DelaySchedule` registry), and
+aggregates whatever it has heard with a registered choice function at a
+*local* Byzantine bound — the count of adversarial ids inside its
+current in-neighborhood.  Byzantine nodes craft their proposals through
+the worker-attack registry, optionally equivocating (a different
+message per receiving edge).
+
+The core is a heap-ordered event queue: each round expands into
+per-node ``train`` / ``craft`` / ``gossip`` / ``aggregate`` events plus
+one ``record`` event that lazily schedules the next round — there is no
+per-round barrier object, which is what lets the engine run
+thousand-node graphs (``BENCH_topology.json``).  Phase order within a
+round is fixed (train < craft < gossip < aggregate < record), so a
+zero-delay edge delivers inside its own round while ``τ ≥ 1`` messages
+park in a pending queue until their arrival round.
+
+Degenerate identity: on the ``complete`` graph with no edge delays,
+every node hears every proposal fresh, the local ``f`` equals the
+global ``f``, and each node's trajectory is bit for bit the server
+path's — ``tests/topology/test_differential.py`` pins this against
+:class:`~repro.distributed.TrainingSimulation` and both grid executors.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from collections.abc import Callable, Sequence
+from dataclasses import replace
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.core.aggregator import Aggregator
+from repro.core.staleness import StalenessAwareAggregator
+from repro.distributed.delays import DelaySchedule, make_delay_schedule
+from repro.distributed.metrics import RoundRecord, TrainingHistory
+from repro.distributed.schedules import LearningRateSchedule
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.gradients.base import GradientEstimator
+from repro.topology.base import Topology
+from repro.topology.registry import make_topology
+from repro.utils.linalg import stack_vectors
+from repro.utils.rng import SeedLike, spawn_generators
+
+__all__ = ["GossipSimulation"]
+
+Evaluator = Callable[[np.ndarray], dict[str, float]]
+
+# Phase order inside one round of the event queue.  GOSSIP must precede
+# AGGREGATE so zero-delay edges deliver within their own round, and
+# CRAFT must follow TRAIN so the omniscient adversary sees this round's
+# honest proposals — the same information order as the server path.
+_TRAIN, _CRAFT, _GOSSIP, _AGGREGATE, _RECORD = range(5)
+
+
+def _max_pairwise_distance(stack: np.ndarray) -> float:
+    """Largest pairwise euclidean distance between rows (chunked, so a
+    thousand-node stack never materializes an (n, n, d) tensor)."""
+    worst = 0.0
+    for i in range(stack.shape[0] - 1):
+        d = float(np.linalg.norm(stack[i + 1 :] - stack[i], axis=1).max())
+        if d > worst:
+            worst = d
+    return worst
+
+
+class GossipSimulation:
+    """Serverless Byzantine-tolerant SGD over a communication graph.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`~repro.topology.base.Topology` instance or registry
+        name; bound to the node count with a stream spawned from the
+        root seed.
+    aggregator:
+        The choice function each node runs locally.  Stateful rules
+        (e.g. ``kardam``) are deep-copied per node so no state leaks
+        between nodes; supply ``aggregator_builder`` to additionally
+        rebuild the rule at each node's *local* ``f``.
+    aggregator_builder:
+        Optional ``f_local -> Aggregator`` factory.  When given, each
+        (node, local-f) pair gets its own instance built at that bound —
+        the engine wires this from the cell's registry spec so Krum-style
+        rules defend against the adversaries actually inside each
+        neighborhood.  Without it the fixed ``aggregator`` (at its
+        declared ``f``) is copied per node.
+    schedule / honest_estimators / initial_params / num_byzantine /
+    attack / byzantine_slots / true_gradient_fn / evaluate /
+    halt_on_nonfinite / seed:
+        As in :class:`~repro.distributed.TrainingSimulation`.
+    edge_delay:
+        A :class:`~repro.distributed.delays.DelaySchedule` (or registry
+        name) queried per *directed edge* — ``staleness(edge_id, t)``
+        with ``edge_id = sender · n + receiver`` — giving the arrival
+        lag of each message; ``None`` delivers every message inside its
+        round.
+    equivocate:
+        When true, a Byzantine node crafts a *different* message per
+        receiving honest neighbor (the attack context's ``receiver``
+        field names the target); by default all edges carry one shared
+        crafted proposal, matching the server path's single submission.
+    """
+
+    def __init__(
+        self,
+        *,
+        topology: Topology | str,
+        aggregator: Aggregator,
+        schedule: LearningRateSchedule,
+        honest_estimators: Sequence[GradientEstimator],
+        initial_params: np.ndarray,
+        num_byzantine: int = 0,
+        attack: Attack | None = None,
+        byzantine_slots: str | Sequence[int] = "last",
+        aggregator_builder: Callable[[int], Aggregator] | None = None,
+        edge_delay: DelaySchedule | str | None = None,
+        equivocate: bool = False,
+        true_gradient_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+        evaluate: Evaluator | None = None,
+        halt_on_nonfinite: bool = False,
+        seed: SeedLike = 0,
+    ):
+        if num_byzantine < 0:
+            raise ConfigurationError(
+                f"num_byzantine must be >= 0, got {num_byzantine}"
+            )
+        if num_byzantine > 0 and attack is None:
+            raise ConfigurationError(
+                f"num_byzantine={num_byzantine} requires an attack"
+            )
+        if num_byzantine == 0 and attack is not None:
+            raise ConfigurationError(
+                "an attack was supplied but num_byzantine=0"
+            )
+        if not honest_estimators:
+            raise ConfigurationError("need at least one honest estimator")
+
+        self.num_honest = len(honest_estimators)
+        self.num_byzantine = int(num_byzantine)
+        self.num_nodes = self.num_honest + self.num_byzantine
+
+        self.byzantine_ids = self._resolve_slots(byzantine_slots)
+        byzantine_set = set(self.byzantine_ids)
+        self.honest_ids = [
+            i for i in range(self.num_nodes) if i not in byzantine_set
+        ]
+        #: The node whose trajectory the round records report — the
+        #: lowest honest id, matching the server path's single history.
+        self.reference_node = self.honest_ids[0]
+
+        # Stream layout is prefix-stable with TrainingSimulation's:
+        # honest nodes, the attack stream, the edge-delay bind stream,
+        # one reserved slot (the server path's server-attack stream —
+        # serverless here, but keeping it pins the later streams' spawn
+        # positions), and the topology bind stream.
+        streams = spawn_generators(seed, self.num_honest + 4)
+        self.attack_rng = streams[self.num_honest]
+        self._node_rng = dict(zip(self.honest_ids, streams[: self.num_honest]))
+        self._estimators = dict(zip(self.honest_ids, honest_estimators))
+
+        if isinstance(edge_delay, str):
+            edge_delay = make_delay_schedule(edge_delay)
+        if edge_delay is not None and not isinstance(edge_delay, DelaySchedule):
+            raise ConfigurationError(
+                f"edge_delay must be a DelaySchedule, registry name or "
+                f"None, got {type(edge_delay).__name__}"
+            )
+        self.edge_delay = (
+            None
+            if edge_delay is None
+            else edge_delay.bind(streams[self.num_honest + 1])
+        )
+
+        if isinstance(topology, str):
+            topology = make_topology(topology)
+        if not isinstance(topology, Topology):
+            raise ConfigurationError(
+                f"topology must be a Topology or registry name, got "
+                f"{type(topology).__name__}"
+            )
+        self.topology = topology.bind(
+            self.num_nodes, streams[self.num_honest + 3]
+        )
+
+        params = np.asarray(initial_params, dtype=np.float64)
+        if params.ndim != 1:
+            raise ConfigurationError(
+                f"initial_params must be 1-d, got shape {params.shape}"
+            )
+        dims = {est.dimension for est in honest_estimators}
+        if dims != {params.shape[0]}:
+            raise ConfigurationError(
+                f"estimator dimensions {sorted(dims)} do not match parameter "
+                f"dimension {params.shape[0]}"
+            )
+        self.dimension = int(params.shape[0])
+        # One local vector per node; Byzantine entries stay at x_0 (the
+        # adversary needs no local state — it crafts from the context).
+        self._node_params = [params.copy() for _ in range(self.num_nodes)]
+
+        self._aggregator = aggregator
+        self._aggregator_builder = aggregator_builder
+        aggregator.check_tolerance(self.num_nodes)
+        self._rules: dict[tuple[int, int], Aggregator] = {}
+
+        self.schedule = schedule
+        self.attack = attack
+        if self.attack is not None:
+            self.attack.reset()
+        self.equivocate = bool(equivocate)
+        self.true_gradient_fn = true_gradient_fn
+        self.evaluate = evaluate
+        self.halt_on_nonfinite = bool(halt_on_nonfinite)
+
+        # Event-queue state.  _inbox[v]: sender -> (computed_round,
+        # vector, params-at-computation); _pending[v]: not-yet-arrived
+        # (arrival, computed_round, sender, vector, params) messages.
+        self._events: list[tuple[int, int, int]] = []
+        self._inbox: list[dict[int, tuple[int, np.ndarray, np.ndarray]]] = [
+            {} for _ in range(self.num_nodes)
+        ]
+        self._pending: list[list[tuple]] = [[] for _ in range(self.num_nodes)]
+        self._gradients: dict[int, np.ndarray] = {}
+        self._crafted: np.ndarray | None = None
+        self._crafted_by_receiver: dict[int, np.ndarray] = {}
+        self._craft_params: np.ndarray | None = None
+        self._round_results: dict[int, tuple] = {}
+        # Union of every honest node's selected member ids last round
+        # (None before the first round) — feeds the attack context's
+        # selected_last_round exactly as the server's last_selected does.
+        self._selected_union: np.ndarray | None = None
+        self._round = 0
+
+    @classmethod
+    def from_template(
+        cls,
+        simulation,
+        *,
+        topology: Topology | str,
+        aggregator_builder: Callable[[int], Aggregator] | None = None,
+        edge_delay: DelaySchedule | str | None = None,
+        equivocate: bool = False,
+        seed: SeedLike = 0,
+    ) -> "GossipSimulation":
+        """Build a gossip simulation from an unstepped server-path one.
+
+        ``simulation`` is a freshly built
+        :class:`~repro.distributed.TrainingSimulation` on the degenerate
+        tier — its estimators, cast, schedule, initial parameters,
+        attack and evaluators are reused verbatim, so the two engines
+        start from the same ``x_0`` and draw the same gradient noise.
+        ``seed`` must repeat the template's root seed for that parity.
+        """
+        server = simulation.server
+        if server.round_index != 0:
+            raise ConfigurationError(
+                "from_template needs an unstepped simulation (its current "
+                f"round is {server.round_index}); build a fresh template"
+            )
+        if server.tier_active or server.num_shards > 1:
+            raise ConfigurationError(
+                "the replicated/sharded server tier and gossip topologies "
+                "are mutually exclusive — build the template on the "
+                "degenerate tier"
+            )
+        if simulation.is_async:
+            raise ConfigurationError(
+                "gossip models lag per edge (edge_delay), not per worker; "
+                "build the template synchronously"
+            )
+        return cls(
+            topology=topology,
+            aggregator=server.aggregator,
+            schedule=server.schedule,
+            honest_estimators=[w.estimator for w in simulation.honest_workers],
+            initial_params=server.params,
+            num_byzantine=simulation.num_byzantine,
+            attack=simulation.attack,
+            byzantine_slots=(
+                list(simulation.byzantine_ids)
+                if simulation.byzantine_ids
+                else "last"
+            ),
+            aggregator_builder=aggregator_builder,
+            edge_delay=edge_delay,
+            equivocate=equivocate,
+            true_gradient_fn=simulation.true_gradient_fn,
+            evaluate=simulation.evaluate,
+            halt_on_nonfinite=server.halt_on_nonfinite,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Cast and state accessors
+
+    def _resolve_slots(self, spec: str | Sequence[int]) -> list[int]:
+        n, f = self.num_nodes, self.num_byzantine
+        if isinstance(spec, str):
+            if spec == "last":
+                return list(range(n - f, n))
+            if spec == "first":
+                return list(range(f))
+            raise ConfigurationError(
+                f"byzantine_slots must be 'first', 'last' or explicit ids, "
+                f"got {spec!r}"
+            )
+        slots = sorted(int(s) for s in spec)
+        if len(slots) != f:
+            raise ConfigurationError(
+                f"expected {f} byzantine slots, got {len(slots)}"
+            )
+        if len(set(slots)) != len(slots) or any(s < 0 or s >= n for s in slots):
+            raise ConfigurationError(
+                f"byzantine slots must be distinct ids in [0, {n}), got {slots}"
+            )
+        return slots
+
+    @property
+    def params(self) -> np.ndarray:
+        """The reference node's current parameters (a defensive copy)."""
+        return self._node_params[self.reference_node].copy()
+
+    @property
+    def honest_params(self) -> np.ndarray:
+        """The ``(num_honest, d)`` stack of honest local parameters."""
+        return np.stack([self._node_params[i] for i in self.honest_ids])
+
+    def node_params(self, node: int) -> np.ndarray:
+        """Node ``node``'s current local parameters (a defensive copy)."""
+        if not 0 <= int(node) < self.num_nodes:
+            raise ConfigurationError(
+                f"node {node} outside [0, {self.num_nodes})"
+            )
+        return self._node_params[int(node)].copy()
+
+    def consensus_metrics(self) -> dict[str, float]:
+        """Disagreement across the honest nodes' local parameters.
+
+        ``consensus_error`` is the mean distance to the honest
+        barycenter; ``disagreement`` the largest honest pairwise
+        distance (both 0 exactly on the complete zero-delay graph, where
+        all honest trajectories coincide).
+        """
+        stack = self.honest_params
+        center = stack.mean(axis=0)
+        return {
+            "consensus_error": float(
+                np.mean(np.linalg.norm(stack - center, axis=1))
+            ),
+            "disagreement": _max_pairwise_distance(stack),
+        }
+
+    def _rule_for(self, node: int, f_local: int) -> Aggregator:
+        key = (node, f_local)
+        rule = self._rules.get(key)
+        if rule is None:
+            if self._aggregator_builder is not None:
+                rule = self._aggregator_builder(f_local)
+            else:
+                # Per-node copies so stateful rules (kardam windows)
+                # never share state across nodes; the declared f stands.
+                rule = copy.deepcopy(self._aggregator)
+            self._rules[key] = rule
+        return rule
+
+    def _edge_staleness(self, sender: int, receiver: int, t: int) -> int:
+        if self.edge_delay is None:
+            return 0
+        edge_id = sender * self.num_nodes + receiver
+        tau = int(self.edge_delay.staleness(edge_id, t))
+        if tau < 0:
+            raise SimulationError(
+                f"edge delay produced negative staleness {tau} for edge "
+                f"{sender}->{receiver} at round {t}"
+            )
+        # Nothing can arrive staler than the start of training — the
+        # same min(τ, t) clamp TrainingSimulation applies, so round 0
+        # always delivers fresh and krum-style local tolerance holds.
+        return min(tau, t)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+
+    def _push_round(self, t: int) -> None:
+        push = heapq.heappush
+        for v in self.honest_ids:
+            push(self._events, (t, _TRAIN, v))
+        if self.num_byzantine > 0:
+            push(self._events, (t, _CRAFT, 0))
+        for v in range(self.num_nodes):
+            push(self._events, (t, _GOSSIP, v))
+        for v in self.honest_ids:
+            push(self._events, (t, _AGGREGATE, v))
+        push(self._events, (t, _RECORD, 0))
+
+    def _handle_train(self, t: int, v: int) -> None:
+        estimator = self._estimators[v]
+        self._gradients[v] = estimator.estimate(
+            self._node_params[v], self._node_rng[v]
+        )
+
+    def _attack_context(self, t: int, receiver: int | None) -> AttackContext:
+        ref_params = self._node_params[self.reference_node].copy()
+        return AttackContext(
+            round_index=t,
+            params=ref_params,
+            honest_gradients=stack_vectors(
+                [self._gradients[i] for i in self.honest_ids]
+            ),
+            byzantine_indices=np.asarray(self.byzantine_ids, dtype=np.int64),
+            honest_indices=np.asarray(self.honest_ids, dtype=np.int64),
+            num_workers=self.num_nodes,
+            rng=self.attack_rng,
+            aggregator=self._aggregator,
+            true_gradient=(
+                self.true_gradient_fn(ref_params)
+                if self.true_gradient_fn is not None
+                else None
+            ),
+            # The neighbor view: each honest node's *local* parameters
+            # (on the complete zero-delay graph these coincide with
+            # ``params``, so server-path attacks behave identically).
+            honest_params=self.honest_params,
+            selected_last_round=(
+                np.isin(
+                    np.asarray(self.byzantine_ids, dtype=np.int64),
+                    self._selected_union,
+                )
+                if self._selected_union is not None
+                else None
+            ),
+            byzantine_neighbors=tuple(
+                self.topology.neighbors(b, t) for b in self.byzantine_ids
+            ),
+            receiver=receiver,
+        )
+
+    def _handle_craft(self, t: int) -> None:
+        assert self.attack is not None
+        self._crafted_by_receiver = {}
+        self._crafted = None
+        shared = self._attack_context(t, None)
+        self._craft_params = shared.params
+        if not self.equivocate:
+            self._crafted = self.attack.craft(shared)
+            return
+        # Per-edge equivocation: one craft per honest receiver adjacent
+        # to at least one Byzantine node this round, in id order (the
+        # attack stream advances deterministically).
+        receivers = sorted(
+            {
+                int(u)
+                for neighbors in shared.byzantine_neighbors or ()
+                for u in neighbors
+                if int(u) in self._node_rng
+            }
+        )
+        for u in receivers:
+            self._crafted_by_receiver[u] = self.attack.craft(
+                replace(shared, receiver=u)
+            )
+
+    def _deliver(
+        self,
+        receiver: int,
+        sender: int,
+        computed: int,
+        vector: np.ndarray,
+        used_params: np.ndarray,
+    ) -> None:
+        current = self._inbox[receiver].get(sender)
+        if current is None or computed > current[0]:
+            self._inbox[receiver][sender] = (computed, vector, used_params)
+
+    def _handle_gossip(self, t: int, v: int) -> None:
+        is_byzantine = v not in self._node_rng
+        if is_byzantine:
+            if self.num_byzantine == 0:
+                return
+            row = self.byzantine_ids.index(v)
+            used_params = self._craft_params
+        else:
+            vector = self._gradients[v]
+            used_params = self._node_params[v]
+        for u in self.topology.neighbors(v, t):
+            u = int(u)
+            if u not in self._node_rng:
+                continue  # Byzantine nodes do not aggregate
+            if is_byzantine:
+                crafted = (
+                    self._crafted_by_receiver.get(u)
+                    if self.equivocate
+                    else self._crafted
+                )
+                if crafted is None:
+                    continue
+                vector = crafted[row]
+            tau = self._edge_staleness(v, u, t)
+            if tau == 0:
+                self._deliver(u, v, t, vector, used_params)
+            else:
+                self._pending[u].append((t + tau, t, v, vector, used_params))
+
+    def _handle_aggregate(self, t: int, v: int) -> None:
+        if self._pending[v]:
+            still_pending = []
+            for entry in self._pending[v]:
+                if entry[0] <= t:
+                    self._deliver(v, *entry[1:])
+                else:
+                    still_pending.append(entry)
+            self._pending[v] = still_pending
+
+        inbox = self._inbox[v]
+        members = [v]
+        entries = [(t, self._gradients[v], self._node_params[v])]
+        for u in self.topology.neighbors(v, t):
+            entry = inbox.get(int(u))
+            if entry is not None:
+                members.append(int(u))
+                entries.append(entry)
+        order = np.argsort(members, kind="stable")
+        member_ids = [members[i] for i in order]
+        stack = stack_vectors([entries[i][1] for i in order])
+        f_local = sum(1 for m in member_ids if m not in self._node_rng)
+
+        rule = self._rule_for(v, f_local)
+        rule.check_tolerance(len(member_ids))
+        if isinstance(rule, StalenessAwareAggregator):
+            staleness = np.asarray(
+                [t - entries[i][0] for i in order], dtype=np.int64
+            )
+            used_params = np.stack([entries[i][2] for i in order])
+            result = rule.aggregate_detailed_stale(
+                stack, staleness, used_params=used_params
+            )
+        else:
+            result = rule.aggregate_detailed(stack)
+
+        rate = self.schedule(t)
+        self._node_params[v] = self._node_params[v] - rate * result.vector
+        if self.halt_on_nonfinite and not np.all(
+            np.isfinite(self._node_params[v])
+        ):
+            raise SimulationError(
+                f"parameters of node {v} became non-finite at round {t} "
+                f"(aggregator {rule.name}); a Byzantine proposal reached "
+                f"the update"
+            )
+        selected_ids = tuple(
+            int(member_ids[i]) for i in np.asarray(result.selected, dtype=np.int64)
+        )
+        self._round_results[v] = (result, selected_ids, rate)
+
+    def _record(self, t: int) -> RoundRecord:
+        result, selected_ids, rate = self._round_results[self.reference_node]
+        byzantine_set = set(self.byzantine_ids)
+        record = RoundRecord(
+            round_index=t,
+            learning_rate=rate,
+            aggregate_norm=float(np.linalg.norm(result.vector)),
+            params_norm=float(
+                np.linalg.norm(self._node_params[self.reference_node])
+            ),
+            selected=selected_ids,
+            byzantine_selected=sum(
+                1 for i in selected_ids if i in byzantine_set
+            ),
+        )
+        # Feed next round's selection feedback: a Byzantine id counts as
+        # selected if *any* honest node selected it (on the complete
+        # graph every node selects identically, recovering the server's
+        # last_selected verdict).
+        all_selected = [
+            ids
+            for _, ids, _ in (
+                self._round_results[v] for v in self.honest_ids
+            )
+        ]
+        flat = sorted({i for ids in all_selected for i in ids})
+        self._selected_union = np.asarray(flat, dtype=np.int64)
+        self._round_results = {}
+        self._gradients = {}
+        return record
+
+    # ------------------------------------------------------------------
+    # Driver
+
+    def run(self, num_rounds: int, *, eval_every: int = 10) -> TrainingHistory:
+        """Drive the event queue for ``num_rounds`` rounds.
+
+        Returns the reference node's history; evaluated rounds also
+        carry the cluster-wide ``consensus_error`` and ``disagreement``
+        metrics in ``extras``.  The final round is always evaluated.
+        """
+        if num_rounds < 1:
+            raise ConfigurationError(
+                f"num_rounds must be >= 1, got {num_rounds}"
+            )
+        if eval_every < 1:
+            raise ConfigurationError(
+                f"eval_every must be >= 1, got {eval_every}"
+            )
+        history = TrainingHistory()
+        start = self._round
+        stop = start + num_rounds
+        self._push_round(start)
+        while self._events:
+            t, phase, node = heapq.heappop(self._events)
+            if phase == _TRAIN:
+                self._handle_train(t, node)
+            elif phase == _CRAFT:
+                self._handle_craft(t)
+            elif phase == _GOSSIP:
+                self._handle_gossip(t, node)
+            elif phase == _AGGREGATE:
+                self._handle_aggregate(t, node)
+            else:
+                record = self._record(t)
+                if (t - start) % eval_every == 0 or t == stop - 1:
+                    record = self._evaluate_record(record)
+                history.append(record)
+                self._round = t + 1
+                if t + 1 < stop:
+                    self._push_round(t + 1)
+        return history
+
+    def _evaluate_record(self, record: RoundRecord) -> RoundRecord:
+        params = self._node_params[self.reference_node]
+        loss = accuracy = grad_norm = None
+        extras: dict[str, float] = {}
+        if self.evaluate is not None:
+            metrics = dict(self.evaluate(params.copy()))
+            loss = metrics.pop("loss", None)
+            accuracy = metrics.pop("accuracy", None)
+            grad_norm = metrics.pop("grad_norm", None)
+            extras = {k: float(v) for k, v in metrics.items()}
+        if grad_norm is None and self.true_gradient_fn is not None:
+            grad_norm = float(np.linalg.norm(self.true_gradient_fn(params)))
+        extras.update(self.consensus_metrics())
+        return RoundRecord(
+            round_index=record.round_index,
+            learning_rate=record.learning_rate,
+            aggregate_norm=record.aggregate_norm,
+            params_norm=record.params_norm,
+            selected=record.selected,
+            byzantine_selected=record.byzantine_selected,
+            loss=None if loss is None else float(loss),
+            accuracy=None if accuracy is None else float(accuracy),
+            grad_norm=None if grad_norm is None else float(grad_norm),
+            extras=extras,
+        )

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.attacks import (
+    BanditProbingAttack,
     DefenseProbingAttack,
     LipschitzMimicryAttack,
     SignFlipAttack,
@@ -219,3 +220,102 @@ class TestDefenseProbing:
             DefenseProbingAttack(min_scale=2.0, max_scale=1.0)
         with pytest.raises(ConfigurationError):
             DefenseProbingAttack(inner="sign-flip")  # type: ignore[arg-type]
+
+
+class TestBanditProbing:
+    def _context(self, rng, selected, round_index=0):
+        return make_context(
+            rng,
+            round_index=round_index,
+            selected_last_round=selected,
+        )
+
+    def test_warm_up_pulls_arms_in_order(self, rng):
+        attack = BanditProbingAttack(arms=(0.5, 1.0, 2.0))
+        accepted = np.array([True, True])
+        for expected in (0.5, 1.0, 2.0):
+            attack.craft(self._context(rng, accepted))
+            assert attack.scale == pytest.approx(expected)
+
+    def test_no_feedback_assigns_no_credit(self, rng):
+        """Rounds without feedback (round 0, or an averaging defense
+        that reports nothing) must not move the pull counts."""
+        attack = BanditProbingAttack(arms=(0.5, 1.0))
+        attack.craft(self._context(rng, None))
+        attack.craft(self._context(rng, None, 1))
+        assert attack._pulls.sum() == 0
+        # Without credit the warm-up never advances past the first arm.
+        assert attack.scale == pytest.approx(0.5)
+
+    def test_concentrates_on_accepted_arm(self, rng):
+        """With a defense that accepts only amplitudes <= 1, UCB play
+        concentrates on the largest surviving arm."""
+        attack = BanditProbingAttack(
+            arms=(0.5, 1.0, 8.0), exploration=0.5
+        )
+        feedback = None
+        for t in range(60):
+            attack.craft(self._context(rng, feedback, t))
+            feedback = np.array([attack.scale <= 1.0] * 2)
+        pulls = dict(zip(attack.arms, attack._pulls))
+        assert pulls[1.0] > pulls[8.0]
+        means = attack._rewards / np.maximum(attack._pulls, 1)
+        assert means[attack.arms.index(1.0)] == pytest.approx(1.0)
+        assert means[attack.arms.index(8.0)] == pytest.approx(0.0)
+
+    def test_output_interpolates_from_honest_mean(self, rng):
+        """mean + arm · (inner − mean) at the first warm-up arm."""
+        attack = BanditProbingAttack(SignFlipAttack(scale=1.0), arms=(0.5,))
+        ctx = self._context(rng, None)
+        out = attack.craft(ctx)
+        expected = ctx.honest_mean + 0.5 * (-ctx.honest_mean - ctx.honest_mean)
+        np.testing.assert_allclose(out, np.tile(expected, (2, 1)))
+
+    def test_deterministic_across_instances(self, rng):
+        """Same feedback stream ⇒ same arm sequence and proposals — the
+        property the loop/batched identity relies on."""
+        feedbacks = [None] + [
+            np.array([t % 3 != 0, t % 2 == 0]) for t in range(9)
+        ]
+        outputs = []
+        for _ in range(2):
+            attack = BanditProbingAttack(arms=(0.5, 1.0, 2.0))
+            inner_rng = np.random.default_rng(5)
+            outs = [
+                attack.craft(self._context(inner_rng, fb, t)).tobytes()
+                for t, fb in enumerate(feedbacks)
+            ]
+            outputs.append(outs)
+        assert outputs[0] == outputs[1]
+
+    def test_reset_clears_bandit_state(self, rng):
+        attack = BanditProbingAttack(arms=(0.5, 1.0))
+        for t in range(4):
+            attack.craft(self._context(rng, np.array([True, True]), t))
+        assert attack._pulls.sum() > 0
+        attack.reset()
+        assert attack._pulls.sum() == 0
+        assert attack._rewards.sum() == 0.0
+        assert attack._last_arm is None
+        assert attack.scale == pytest.approx(0.5)
+
+    def test_registry_resolves_inner(self):
+        attack = make_attack(
+            "probe-bandit",
+            {"inner": "little-is-enough", "arms": (1.0, 2.0)},
+        )
+        assert isinstance(attack, BanditProbingAttack)
+        assert attack.arms == (1.0, 2.0)
+        assert "little-is-enough" in attack.name
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            BanditProbingAttack(arms=())
+        with pytest.raises(ConfigurationError):
+            BanditProbingAttack(arms=(1.0, -2.0))
+        with pytest.raises(ConfigurationError):
+            BanditProbingAttack(arms=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            BanditProbingAttack(exploration=-0.5)
+        with pytest.raises(ConfigurationError):
+            BanditProbingAttack(inner="sign-flip")  # type: ignore[arg-type]

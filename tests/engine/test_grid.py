@@ -278,3 +278,83 @@ class TestBatchedSimulation:
         with pytest.raises(SimulationError, match="non-finite") as batched_err:
             batched.run(5)
         assert str(loop_err.value) == str(batched_err.value)
+
+
+class TestTopologyAxis:
+    def test_no_axis_means_no_label_suffix(self):
+        assert all("topo=" not in c.label for c in small_grid().scenarios())
+
+    def test_topology_axis_multiplies_len_and_suffixes_labels(self):
+        grid = small_grid(
+            topology_values=("complete", "ring"), degree=4
+        )
+        cells = grid.scenarios()
+        assert len(cells) == 2 * len(small_grid())
+        assert len(grid) == len(cells)
+        complete = [c for c in cells if c.topology == "complete"]
+        ring = [c for c in cells if c.topology == "ring"]
+        assert all("topo=" not in c.label for c in complete)
+        assert all("topo=ring(degree=4)" in c.label for c in ring)
+        assert len(set(c.label for c in cells)) == len(cells)
+
+    def test_degree_axis_collapses_where_not_accepted(self):
+        """The degree sweep expands only under graph families that take
+        a degree; the complete cells collapse to one — no duplicate
+        labels."""
+        grid = small_grid(
+            topology_values=("complete", "ring"),
+            degree_values=(4, 6),
+        )
+        cells = grid.scenarios()
+        base = len(small_grid())
+        # complete × 1 + ring × 2 degrees
+        assert len(cells) == base + 2 * base
+        labels = [c.label for c in cells]
+        assert len(set(labels)) == len(labels)
+        ring_degrees = {
+            c.degree for c in cells if c.topology == "ring"
+        }
+        assert ring_degrees == {4, 6}
+        assert all(
+            c.degree is None for c in cells if c.topology == "complete"
+        )
+
+    def test_singular_and_plural_axes_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            small_grid(topology="ring", topology_values=("ring",), degree=4)
+        with pytest.raises(ConfigurationError, match="not both"):
+            small_grid(
+                topology="ring", degree=4, degree_values=(4, 6)
+            )
+
+    def test_knob_must_land_somewhere(self):
+        with pytest.raises(ConfigurationError, match="edge_prob"):
+            small_grid(topology="ring", degree=4, edge_prob=0.5)
+        with pytest.raises(ConfigurationError, match="degree"):
+            small_grid(topology="erdos-renyi", edge_prob=0.5, degree=4)
+
+    def test_unknown_topology_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            small_grid(topology_values=("complete", "torus"))
+
+    def test_gossip_excludes_staleness_sweep_and_server_axes(self):
+        with pytest.raises(ConfigurationError):
+            small_grid(topology="ring", degree=4, max_staleness_values=(0, 2))
+        with pytest.raises(ConfigurationError):
+            small_grid(topology="ring", degree=4, num_servers=3)
+
+    def test_gossip_spec_routes_to_gossip_simulation(self):
+        from repro.engine.runner import build_gossip_simulation
+        from repro.topology import GossipSimulation
+
+        spec = small_grid(topology="ring", degree=4).scenarios()[0]
+        assert spec.is_gossip
+        simulation = build_gossip_simulation(spec)
+        assert isinstance(simulation, GossipSimulation)
+
+    def test_build_gossip_rejects_degenerate_spec(self):
+        from repro.engine.runner import build_gossip_simulation
+
+        spec = small_grid().scenarios()[0]
+        with pytest.raises(ConfigurationError):
+            build_gossip_simulation(spec)

@@ -149,3 +149,90 @@ class TestPartitionFlags:
         out = capsys.readouterr().out
         assert code == 0
         assert "spambase-like" in out
+
+
+class TestTopologyFlags:
+    def test_defaults_to_complete(self):
+        args = build_parser().parse_args([])
+        assert args.topology == "complete"
+        assert args.degree is None
+        assert args.edge_prob is None
+        assert args.rewire_period is None
+
+    def test_gossip_run_prints_summary(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--aggregator", "krum",
+                "--topology", "ring",
+                "--degree", "6",
+                "--workers", "9",
+                "--byzantine", "2",
+                "--attack", "gaussian",
+                "--rounds", "10",
+                "--train-size", "120",
+                "--test-size", "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "summary" in out
+
+    def test_unknown_topology_is_registry_error_not_crash(self, capsys):
+        """--topology has no argparse choices: unknown names reach the
+        registry and come back as a clean exit-2 configuration error
+        listing the alternatives."""
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--topology", "torus",
+                "--rounds", "5",
+                "--train-size", "100",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+        assert "torus" in err and "available" in err
+
+    def test_knob_for_wrong_family_errors(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--topology", "ring",
+                "--edge-prob", "0.5",
+                "--rounds", "5",
+                "--train-size", "100",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_topology_excludes_server_tier_flags(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--topology", "ring",
+                "--num-servers", "3",
+                "--rounds", "5",
+                "--train-size", "100",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "exclusive" in err
+
+    def test_topology_excludes_backend(self, capsys):
+        code = main(
+            [
+                "--dataset", "blobs",
+                "--topology", "ring",
+                "--backend", "numpy",
+                "--rounds", "5",
+                "--train-size", "100",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "event-driven" in err

@@ -113,3 +113,46 @@ class TestAsyncConfigFields:
             halt_on_nonfinite=True,
         )
         assert config.max_staleness == 3
+
+
+class TestTopologyConfigFields:
+    def _config(self, **overrides):
+        kwargs = dict(
+            num_workers=10, num_byzantine=0, num_rounds=5,
+            aggregator="krum",
+        )
+        kwargs.update(overrides)
+        return SGDExperimentConfig(**kwargs)
+
+    def test_defaults_are_the_degenerate_complete_graph(self):
+        config = self._config()
+        assert config.topology == "complete"
+        assert not config.is_gossip
+        assert config.topology_kwargs == {}
+
+    def test_gossip_config_accepted(self):
+        config = self._config(topology="ring", degree=6)
+        assert config.is_gossip
+        assert config.topology_kwargs == {"degree": 6}
+
+    def test_unknown_topology_fails_at_declaration(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            self._config(topology="torus")
+
+    def test_knob_for_wrong_family_rejected(self):
+        with pytest.raises(ConfigurationError, match="edge_prob"):
+            self._config(topology="ring", edge_prob=0.5)
+        with pytest.raises(ConfigurationError, match="degree"):
+            self._config(topology="erdos-renyi", degree=4)
+
+    def test_bad_knob_value_fails_at_declaration(self):
+        with pytest.raises(ConfigurationError):
+            self._config(topology="ring", degree=3)  # odd
+
+    def test_gossip_excludes_server_tier(self):
+        with pytest.raises(ConfigurationError, match="exclusive"):
+            self._config(topology="ring", num_servers=3)
+
+    def test_gossip_excludes_max_staleness(self):
+        with pytest.raises(ConfigurationError, match="max_staleness"):
+            self._config(topology="ring", max_staleness=2)

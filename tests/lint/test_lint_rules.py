@@ -517,3 +517,52 @@ class TestRegistryFactoryContract:
             """,
         )
         assert findings == []
+
+    def test_topology_registry_shape_satisfies(self):
+        """The topology registry's make function — look up, resolve,
+        validate against the factory signature, then splat — is the
+        contract the rule enforces."""
+        findings = run_rule(
+            "registry-factory-contract",
+            """
+            from repro.utils.validation import check_factory_kwargs
+
+            _REGISTRY = {}
+
+            def topology_factory(name):
+                if name not in _REGISTRY:
+                    raise ConfigurationError(
+                        f"unknown topology {name!r}; "
+                        f"available: {sorted(_REGISTRY)}"
+                    )
+                return _REGISTRY[name]
+
+            def make_topology(name, kwargs=None):
+                factory = topology_factory(name)
+                resolved = dict(kwargs or {})
+                check_factory_kwargs("topology", name, factory, resolved)
+                return factory(**resolved)
+            """,
+        )
+        assert findings == []
+
+    def test_topology_registry_without_kwargs_check_fires(self):
+        """The same shape minus the signature validation splats raw
+        user kwargs into the factory — a TypeError instead of the
+        registry taxonomy's ConfigurationError."""
+        findings = run_rule(
+            "registry-factory-contract",
+            """
+            _REGISTRY = {}
+
+            def topology_factory(name):
+                return _REGISTRY[name]
+
+            def make_topology(name, kwargs=None):
+                factory = topology_factory(name)
+                resolved = dict(kwargs or {})
+                return factory(**resolved)
+            """,
+        )
+        assert [f.rule for f in findings] == ["registry-factory-contract"]
+        assert "make_topology" in findings[0].message
