@@ -17,7 +17,7 @@ gate, so a fixed bug class cannot be reintroduced.
 from __future__ import annotations
 
 from repro.lint import rules as _builtin_rules  # noqa: F401
-from repro.lint.base import LintRule, ModuleContext
+from repro.lint.base import LintRule, ModuleContext, ProjectRule
 from repro.lint.engine import (
     LintReport,
     collect_python_files,
@@ -26,6 +26,11 @@ from repro.lint.engine import (
     resolve_rules,
 )
 from repro.lint.findings import Finding
+from repro.lint.project import (
+    Document,
+    ProjectContext,
+    build_project_context,
+)
 from repro.lint.registry import (
     available_rules,
     make_rule,
@@ -33,11 +38,16 @@ from repro.lint.registry import (
     rule_descriptions,
     rule_factory,
 )
+from repro.lint.sarif import as_sarif, sarif_report
 
 __all__ = [
     "Finding",
     "LintRule",
+    "ProjectRule",
     "ModuleContext",
+    "ProjectContext",
+    "Document",
+    "build_project_context",
     "LintReport",
     "lint_source",
     "lint_paths",
@@ -48,4 +58,6 @@ __all__ = [
     "rule_factory",
     "make_rule",
     "rule_descriptions",
+    "sarif_report",
+    "as_sarif",
 ]

@@ -1,0 +1,528 @@
+"""Whole-program context for project-scoped lint rules.
+
+Per-file rules (:class:`~repro.lint.base.LintRule` over one
+:class:`~repro.lint.base.ModuleContext`) cannot see the invariants the
+codebase actually rests on: eight registries that must stay in sync with
+contract tests, CLI choices and README tables; purity contracts that
+hold only *transitively* through helper calls; RNG stream layouts whose
+order is shared across modules.  A :class:`ProjectContext` is built once
+per lint run over every linted module and hands project-scoped rules
+
+- a **symbol table** (top-level functions, classes and their methods,
+  per-module import aliases, with re-export chains followed),
+- an **intra-project call graph** with method resolution through
+  ``self.``/``cls.`` receivers and cross-module base classes (the
+  registry/ABC subclass pattern the library uses everywhere), and
+- the **auxiliary sources** whole-program rules need to cross-check:
+  the project's ``tests/`` tree (parsed, facts only — findings never
+  anchor there) and its ``README.md``.
+
+The graph is deliberately conservative: unresolvable receivers (instance
+attributes, closure parameters, third-party modules) produce no edges,
+so reachability is a *lower* bound — rules built on it flag only what
+they can prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+
+from repro.lint.base import ModuleContext
+
+__all__ = [
+    "Document",
+    "FunctionInfo",
+    "ClassInfo",
+    "ProjectContext",
+    "build_project_context",
+    "discover_project_root",
+]
+
+#: ``(dotted module name, qualified symbol name)`` — the node identity
+#: used by the symbol table and the call graph.  Qualified names are
+#: ``"function"`` for top-level defs and ``"Class.method"`` for methods.
+SymbolKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Document:
+    """A non-Python project source (README, docs) rules may cross-check."""
+
+    path: str
+    text: str
+
+    @property
+    def posix_path(self) -> str:
+        return PurePath(self.path).as_posix()
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method in the project symbol table."""
+
+    key: SymbolKey
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: ModuleContext
+    class_name: str | None = None
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition in the project symbol table."""
+
+    key: SymbolKey
+    node: ast.ClassDef
+    module: ModuleContext
+    base_names: tuple[str, ...] = ()
+    base_keys: tuple[SymbolKey, ...] = field(default=(), compare=False)
+
+
+def _module_dotted_name(path: str) -> str:
+    """The dotted module name for a source file.
+
+    Prefers the filesystem truth (walk up while ``__init__.py`` exists);
+    for paths that do not exist on disk (fixture snippets with fake
+    library paths) falls back to the components after the last ``src``
+    directory, which matches both the repo layout and the fixture
+    convention of faking ``src/<pkg>/...`` paths.
+    """
+    concrete = Path(path)
+    if concrete.is_file():
+        names = [] if concrete.stem == "__init__" else [concrete.stem]
+        parent = concrete.parent
+        while (parent / "__init__.py").is_file():
+            names.insert(0, parent.name)
+            parent = parent.parent
+        if names:
+            return ".".join(names)
+    parts = list(PurePath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src") :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    cleaned = [part for part in parts if part not in ("/", "\\", "..", ".")]
+    return ".".join(cleaned) or "<module>"
+
+
+def _is_package(path: str) -> bool:
+    return PurePath(path).name == "__init__.py"
+
+
+#: Sentinel import-target kinds.
+_MODULE = "module"
+_SYMBOL = "symbol"
+
+
+def _collect_imports(
+    module_name: str, is_package: bool, tree: ast.Module
+) -> dict[str, tuple[str, str, str | None]]:
+    """Alias table for one module: ``alias -> (kind, module, symbol)``.
+
+    Function-level imports (the lazy-import idiom used to break registry
+    import cycles) are folded into the module-level table — good enough
+    for reachability, since aliases are unique in practice.
+    """
+    imports: dict[str, tuple[str, str, str | None]] = {}
+    package_parts = module_name.split(".")
+    if not is_package:
+        package_parts = package_parts[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[bound] = (_MODULE, target, None)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package_parts[: len(package_parts) - (node.level - 1)]
+                target_module = ".".join(
+                    base + (node.module.split(".") if node.module else [])
+                )
+            else:
+                target_module = node.module or ""
+            if not target_module:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imports[bound] = (_SYMBOL, target_module, alias.name)
+    return imports
+
+
+class ProjectContext:
+    """Everything a project-scoped rule can see, built once per run."""
+
+    def __init__(
+        self,
+        modules: Iterable[ModuleContext],
+        auxiliary: Iterable[ModuleContext] = (),
+        documents: Iterable[Document] = (),
+    ):
+        self.modules: tuple[ModuleContext, ...] = tuple(modules)
+        self.auxiliary: tuple[ModuleContext, ...] = tuple(auxiliary)
+        self.documents: tuple[Document, ...] = tuple(documents)
+
+        #: dotted module name -> ModuleContext (linted modules only)
+        self.modules_by_name: dict[str, ModuleContext] = {}
+        self._module_names: dict[str, str] = {}
+        for module in self.modules:
+            name = _module_dotted_name(module.path)
+            self._module_names[module.path] = name
+            self.modules_by_name[name] = module
+
+        self.functions: dict[SymbolKey, FunctionInfo] = {}
+        self.classes: dict[SymbolKey, ClassInfo] = {}
+        self._imports: dict[str, dict[str, tuple[str, str, str | None]]] = {}
+        self._build_symbols()
+        self._resolve_class_bases()
+        self._callees: dict[SymbolKey, set[SymbolKey]] = {}
+        self._build_call_graph()
+
+    # -- construction --------------------------------------------------
+
+    def _build_symbols(self) -> None:
+        for module in self.modules:
+            name = self._module_names[module.path]
+            self._imports[name] = _collect_imports(
+                name, _is_package(module.posix_path), module.tree
+            )
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    key = (name, node.name)
+                    self.functions[key] = FunctionInfo(
+                        key=key, node=node, module=module
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    key = (name, node.name)
+                    self.classes[key] = ClassInfo(
+                        key=key,
+                        node=node,
+                        module=module,
+                        base_names=tuple(
+                            base_name
+                            for base in node.bases
+                            if (base_name := _base_name(base)) is not None
+                        ),
+                    )
+                    for statement in node.body:
+                        if isinstance(
+                            statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            method_key = (name, f"{node.name}.{statement.name}")
+                            self.functions[method_key] = FunctionInfo(
+                                key=method_key,
+                                node=statement,
+                                module=module,
+                                class_name=node.name,
+                            )
+
+    def _resolve_class_bases(self) -> None:
+        by_simple_name: dict[str, list[SymbolKey]] = {}
+        for key in self.classes:
+            by_simple_name.setdefault(key[1], []).append(key)
+        for key, info in list(self.classes.items()):
+            resolved: list[SymbolKey] = []
+            for base in info.base_names:
+                target = self.resolve(key[0], base)
+                if target is not None and target[0] == "class":
+                    resolved.append(target[1])
+                elif len(by_simple_name.get(base, ())) == 1:
+                    # Unresolvable import chain but a unique project class
+                    # of that name — link it (fixtures, star-imports).
+                    resolved.append(by_simple_name[base][0])
+            self.classes[key] = ClassInfo(
+                key=info.key,
+                node=info.node,
+                module=info.module,
+                base_names=info.base_names,
+                base_keys=tuple(resolved),
+            )
+
+    def _build_call_graph(self) -> None:
+        for key, info in self.functions.items():
+            self._callees[key] = self._extract_callees(info)
+
+    def _extract_callees(self, info: FunctionInfo) -> set[SymbolKey]:
+        module_name = info.key[0]
+        edges: set[SymbolKey] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                target = self.resolve(module_name, func.id)
+                if target is None:
+                    continue
+                kind, target_key = target
+                if kind == "function":
+                    edges.add(target_key)
+                elif kind == "class":
+                    # Construction: reachability expands a class edge to
+                    # its __init__/__post_init__ (see reachable_from).
+                    edges.add(target_key)
+            elif isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                receiver = func.value.id
+                if receiver in ("self", "cls") and info.class_name is not None:
+                    method = self.resolve_method(
+                        (module_name, info.class_name), func.attr
+                    )
+                    if method is not None:
+                        edges.add(method)
+                    continue
+                target = self.resolve(module_name, receiver)
+                if target is None:
+                    continue
+                kind, resolved = target
+                if kind == "module":
+                    attr_target = self.resolve(resolved[0], func.attr)
+                    if attr_target is not None and attr_target[0] != "module":
+                        edges.add(attr_target[1])
+                elif kind == "class":
+                    method = self.resolve_method(resolved, func.attr)
+                    if method is not None:
+                        edges.add(method)
+        return edges
+
+    # -- symbol resolution ---------------------------------------------
+
+    def resolve(
+        self,
+        module_name: str,
+        symbol: str,
+        _seen: frozenset[SymbolKey] | None = None,
+    ) -> tuple[str, SymbolKey] | None:
+        """Resolve ``symbol`` as seen from ``module_name``.
+
+        Returns ``("function", key)``, ``("class", key)`` or
+        ``("module", (dotted, ""))``; ``None`` when the name leads out of
+        the project or cannot be followed.  Re-export chains
+        (``from .impl import X`` in an ``__init__``) are walked,
+        cycle-safe.
+        """
+        seen = _seen or frozenset()
+        if (module_name, symbol) in seen:
+            return None
+        seen = seen | {(module_name, symbol)}
+        key = (module_name, symbol)
+        if key in self.functions:
+            return ("function", key)
+        if key in self.classes:
+            return ("class", key)
+        entry = self._imports.get(module_name, {}).get(symbol)
+        if entry is None:
+            return None
+        kind, target_module, target_symbol = entry
+        if kind == _MODULE:
+            if target_module in self.modules_by_name:
+                return ("module", (target_module, ""))
+            return None
+        if target_symbol is None or target_module not in self.modules_by_name:
+            return None
+        return self.resolve(target_module, target_symbol, seen)
+
+    def resolve_method(
+        self, class_key: SymbolKey, method: str
+    ) -> SymbolKey | None:
+        """The defining ``Class.method`` key, walking project ancestors."""
+        for ancestor in self.ancestry(class_key):
+            key = (ancestor[0], f"{ancestor[1]}.{method}")
+            if key in self.functions:
+                return key
+        return None
+
+    def ancestry(self, class_key: SymbolKey) -> list[SymbolKey]:
+        """``class_key`` plus its resolved project ancestors (cycle-safe)."""
+        chain: list[SymbolKey] = []
+        seen: set[SymbolKey] = set()
+        frontier = [class_key]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            chain.append(current)
+            frontier.extend(self.classes[current].base_keys)
+        return chain
+
+    def subclasses_of(self, class_name: str) -> list[ClassInfo]:
+        """Every project class transitively deriving from a class named
+        ``class_name`` (the root itself excluded)."""
+        roots = {key for key in self.classes if key[1] == class_name}
+        if not roots:
+            return []
+        result = []
+        for key, info in self.classes.items():
+            if key in roots:
+                continue
+            if any(a in roots for a in self.ancestry(key)):
+                result.append(info)
+        return sorted(result, key=lambda info: info.key)
+
+    # -- call graph ----------------------------------------------------
+
+    def callees(self, key: SymbolKey) -> frozenset[SymbolKey]:
+        return frozenset(self._callees.get(key, ()))
+
+    def methods_of(
+        self, class_key: SymbolKey, include_ancestors: bool = True
+    ) -> list[SymbolKey]:
+        """Function keys of every method the class defines or inherits."""
+        classes = (
+            self.ancestry(class_key) if include_ancestors else [class_key]
+        )
+        keys: list[SymbolKey] = []
+        for cls in classes:
+            prefix = f"{cls[1]}."
+            keys.extend(
+                key
+                for key in self.functions
+                if key[0] == cls[0] and key[1].startswith(prefix)
+            )
+        return sorted(set(keys))
+
+    def reachable_from(self, starts: Iterable[SymbolKey]) -> set[SymbolKey]:
+        """Transitive call-graph closure; class nodes expand to their
+        constructors."""
+        seen: set[SymbolKey] = set()
+        frontier = list(starts)
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self.classes:
+                for ctor in ("__init__", "__post_init__"):
+                    method = self.resolve_method(current, ctor)
+                    if method is not None:
+                        frontier.append(method)
+                continue
+            frontier.extend(self._callees.get(current, ()))
+        return seen
+
+    # -- convenience ---------------------------------------------------
+
+    def module_name(self, module: ModuleContext) -> str:
+        return self._module_names[module.path]
+
+    def find_functions(self, name: str) -> list[FunctionInfo]:
+        """Top-level functions named ``name`` across the project."""
+        return sorted(
+            (
+                info
+                for key, info in self.functions.items()
+                if key[1] == name and info.class_name is None
+            ),
+            key=lambda info: info.key,
+        )
+
+    def class_attr_constant(self, class_key: SymbolKey, attr: str) -> object:
+        """A class-level ``attr = <constant>`` value, walking ancestors."""
+        for ancestor in self.ancestry(class_key):
+            node = self.classes[ancestor].node
+            for statement in node.body:
+                targets: list[ast.expr] = []
+                value = None
+                if isinstance(statement, ast.Assign):
+                    targets, value = statement.targets, statement.value
+                elif isinstance(statement, ast.AnnAssign):
+                    targets, value = [statement.target], statement.value
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == attr
+                        and isinstance(value, ast.Constant)
+                    ):
+                        return value.value
+        return None
+
+
+def _base_name(base: ast.expr) -> str | None:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    if isinstance(base, ast.Subscript):  # Generic[...] style bases
+        return _base_name(base.value)
+    return None
+
+
+def discover_project_root(files: Sequence[str | Path]) -> Path | None:
+    """Walk up from the linted files to the directory holding
+    ``pyproject.toml`` (or ``setup.py``/``.git``); ``None`` if absent."""
+    if not files:
+        return None
+    start = Path(files[0]).resolve()
+    candidate = start if start.is_dir() else start.parent
+    for _ in range(12):
+        if any(
+            (candidate / marker).exists()
+            for marker in ("pyproject.toml", "setup.py", ".git")
+        ):
+            return candidate
+        if candidate.parent == candidate:
+            return None
+        candidate = candidate.parent
+    return None
+
+
+def _parse_auxiliary(root: Path) -> list[ModuleContext]:
+    """Parse the project's ``tests/`` tree as fact sources.
+
+    Syntax errors here are silently skipped — auxiliary files are not
+    linted, and a broken test file is pytest's problem, not the gate's.
+    """
+    tests_dir = root / "tests"
+    if not tests_dir.is_dir():
+        return []
+    contexts = []
+    for path in sorted(tests_dir.rglob("*.py")):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+        contexts.append(
+            ModuleContext(path=str(path), source=source, tree=tree)
+        )
+    return contexts
+
+
+def build_project_context(
+    modules: Iterable[ModuleContext],
+    root: Path | None = None,
+) -> ProjectContext:
+    """Build the whole-program context for one lint run.
+
+    ``root`` defaults to the discovered project root of the linted
+    files; when found, the project's ``tests/`` tree and ``README.md``
+    are loaded as auxiliary fact sources for cross-checking rules.
+    """
+    modules = tuple(modules)
+    if root is None:
+        root = discover_project_root([m.path for m in modules])
+    auxiliary: list[ModuleContext] = []
+    documents: list[Document] = []
+    if root is not None:
+        auxiliary = _parse_auxiliary(root)
+        readme = root / "README.md"
+        if readme.is_file():
+            try:
+                documents.append(
+                    Document(
+                        path=str(readme),
+                        text=readme.read_text(encoding="utf-8"),
+                    )
+                )
+            except (OSError, UnicodeDecodeError):
+                pass
+    return ProjectContext(
+        modules=modules, auxiliary=auxiliary, documents=documents
+    )

@@ -1,0 +1,141 @@
+"""loop-batched-pairing: paired kernels share masked linalg primitives.
+
+The batched executor is only trusted because every native
+``BatchedAggregator`` kernel is bit-for-bit equivalent to its
+per-scenario rule.  That equivalence is not an accident of testing — it
+is engineered by routing both sides through the *same* masked primitive
+in ``repro/utils/linalg.py`` (``pairwise_sq_distances`` /
+``batched_pairwise_sq_distances``, ``batched_weiszfeld``'s masked
+helpers, ...).  A kernel that reimplements its math inline can drift
+from its rule one refactor later and the differential tests become the
+only line of defense.
+
+For each ``register_batched_kernel(RuleCls, KernelCls)`` pairing this
+rule walks the project call graph from all methods of both classes
+(ancestors included, so shared mixin helpers count) and collects the
+``repro/utils/linalg.py`` functions each side reaches.  Primitive names
+are folded into *families* by stripping the ``batched_`` prefix, so
+``pairwise_sq_distances`` and ``batched_pairwise_sq_distances`` pair up.
+A pairing passes when both sides reach no linalg primitive at all
+(pure-``xp`` kernels like the mean/median family) or when their family
+sets intersect; reaching disjoint families is a finding at the
+registration call.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.base import ProjectRule
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext, SymbolKey
+
+__all__ = ["LoopBatchedPairingRule"]
+
+_PRIMITIVE_MODULE = "repro/utils/linalg.py"
+_REGISTER = "register_batched_kernel"
+_BATCHED_PREFIX = "batched_"
+
+
+def _family(primitive: str) -> str:
+    if primitive.startswith(_BATCHED_PREFIX):
+        return primitive[len(_BATCHED_PREFIX) :]
+    return primitive
+
+
+class LoopBatchedPairingRule(ProjectRule):
+    """Paired loop rules and batched kernels share linalg primitives."""
+
+    name = "loop-batched-pairing"
+    description = (
+        "every register_batched_kernel(RuleCls, KernelCls) pairing "
+        "reaches a shared masked primitive family in utils/linalg.py "
+        "from both sides (or neither side uses linalg at all)"
+    )
+
+    def __init__(
+        self,
+        primitive_module: str = _PRIMITIVE_MODULE,
+        register_name: str = _REGISTER,
+    ):
+        self.primitive_module = primitive_module
+        self.register_name = register_name
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            module_name = project.module_name(module)
+            for call in ast.walk(module.tree):
+                if not (
+                    isinstance(call, ast.Call)
+                    and self._is_register(call.func)
+                    and len(call.args) >= 2
+                ):
+                    continue
+                pair = [
+                    self._resolve_class(project, module_name, arg)
+                    for arg in call.args[:2]
+                ]
+                if pair[0] is None or pair[1] is None:
+                    continue  # dynamic registration: nothing provable
+                rule_key, kernel_key = pair
+                rule_fams = self._reached_families(project, rule_key)
+                kernel_fams = self._reached_families(project, kernel_key)
+                if not rule_fams and not kernel_fams:
+                    continue  # pure array-API pair (mean/median family)
+                if rule_fams & kernel_fams:
+                    continue
+                findings.append(
+                    self.project_finding(
+                        module.path,
+                        call,
+                        f"{rule_key[1]} and {kernel_key[1]} are registered "
+                        f"as a loop/batched pair but reach no shared "
+                        f"linalg primitive family: the rule reaches "
+                        f"{self._describe(rule_fams)} while the kernel "
+                        f"reaches {self._describe(kernel_fams)} — route "
+                        f"both through the same masked primitive in "
+                        f"utils/linalg.py so they cannot drift apart",
+                    )
+                )
+        return sorted(findings, key=Finding.sort_key)
+
+    def _is_register(self, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id == self.register_name
+        if isinstance(func, ast.Attribute):
+            return func.attr == self.register_name
+        return False
+
+    def _resolve_class(
+        self, project: ProjectContext, module_name: str, arg: ast.expr
+    ) -> SymbolKey | None:
+        if not isinstance(arg, ast.Name):
+            return None
+        resolved = project.resolve(module_name, arg.id)
+        if resolved is None or resolved[0] != "class":
+            return None
+        return resolved[1]
+
+    def _reached_families(
+        self, project: ProjectContext, class_key: SymbolKey
+    ) -> set[str]:
+        starts: list[SymbolKey] = list(
+            project.methods_of(class_key, include_ancestors=True)
+        )
+        starts.append(class_key)  # constructors via class-node expansion
+        families: set[str] = set()
+        for key in project.reachable_from(starts):
+            info = project.functions.get(key)
+            if info is None:
+                continue
+            if info.module.is_module(self.primitive_module):
+                families.add(_family(key[1].rsplit(".", 1)[-1]))
+        return families
+
+    @staticmethod
+    def _describe(families: set[str]) -> str:
+        if not families:
+            return "no linalg primitive"
+        return "{" + ", ".join(sorted(families)) + "}"

@@ -1,0 +1,451 @@
+"""registry-drift: the eight registries stay in sync with their consumers.
+
+The library's extension surface is eight name-based registries
+(aggregators, attacks, workloads, backends, delay schedules, server
+attacks, topologies, lint rules).  Each has three consumers that must
+track the registered names: a contract-test sweep (a test that iterates
+the matching ``available_*()`` list), the CLI choice source (choices
+derived from the registry, not a hard-coded list), and the README's
+``Registry name`` tables.  Drift in either direction is a real bug
+shape: PR 8 registered ``probe-bandit`` without its README row; a
+hard-coded CLI choices list silently hides new registrations.
+
+Checks, per family:
+
+- every literal name passed to the family's ``register_*`` call is
+  collected (``ClassName.name`` registrations resolve through the
+  project symbol table);
+- some test module must reference the family's ``available_*()`` sweep
+  — otherwise registered names are unreachable from the contract tests;
+- a CLI module (``*/cli.py``) exposing the family must derive its
+  choices dynamically (reference ``available_*``/``make_*``/factory
+  accessors); a literal ``choices=[...]`` list claimed by a family must
+  cover every registered name;
+- every literal name passed to the family's ``make_*`` entry point in
+  linted code must be registered (typo'd names fail at runtime — this
+  catches them statically);
+- every README table whose first column is ``Registry name`` is claimed
+  by the family with the largest overlap and diffed both ways.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.lint.base import ModuleContext, ProjectRule
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+
+__all__ = ["RegistryDriftRule", "FAMILY_SPECS"]
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One registry family and the accessor names that consume it."""
+
+    label: str
+    register: str
+    available: str
+    #: Dynamic choice-source accessors: referencing any of these counts
+    #: as deriving the CLI surface from the registry (their error paths
+    #: list the available names).
+    accessors: tuple[str, ...]
+
+
+FAMILY_SPECS: tuple[FamilySpec, ...] = (
+    FamilySpec(
+        "aggregator",
+        "register_aggregator",
+        "available_aggregators",
+        ("make_aggregator", "aggregator_factory"),
+    ),
+    FamilySpec(
+        "attack",
+        "register_attack",
+        "available_attacks",
+        ("make_attack", "attack_factory"),
+    ),
+    FamilySpec(
+        "workload",
+        "register_workload",
+        "available_workloads",
+        ("make_workload", "workload_factory"),
+    ),
+    FamilySpec(
+        "backend",
+        "register_backend",
+        "available_backends",
+        ("make_backend", "backend_factory", "resolve_backend"),
+    ),
+    FamilySpec(
+        "delay schedule",
+        "register_delay_schedule",
+        "available_delay_schedules",
+        ("make_delay_schedule", "delay_schedule_factory"),
+    ),
+    FamilySpec(
+        "server attack",
+        "register_server_attack",
+        "available_server_attacks",
+        ("make_server_attack", "server_attack_factory"),
+    ),
+    FamilySpec(
+        "topology",
+        "register_topology",
+        "available_topologies",
+        ("make_topology", "topology_factory"),
+    ),
+    FamilySpec(
+        "lint rule",
+        "register_rule",
+        "available_rules",
+        ("make_rule", "rule_factory", "rule_descriptions", "resolve_rules"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class _Registration:
+    name: str
+    module: ModuleContext
+    node: ast.Call
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _referenced_names(tree: ast.Module) -> set[str]:
+    """Every ``Name`` id and ``Attribute`` attr in the tree — the cheap
+    "does this module mention accessor X at all" predicate."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+#: A README table row; the first cell's backticked name is captured.
+_TABLE_ROW = re.compile(r"^\|\s*`(?P<name>[^`]+)`\s*\|")
+_TABLE_HEADER = re.compile(r"^\|\s*Registry name\s*\|", re.IGNORECASE)
+
+
+def _readme_tables(text: str) -> list[tuple[int, list[tuple[int, str]]]]:
+    """``(header_line, [(row_line, name), ...])`` for each table whose
+    first header cell is ``Registry name`` (1-based lines)."""
+    tables = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        if _TABLE_HEADER.match(lines[index]):
+            header_line = index + 1
+            rows: list[tuple[int, str]] = []
+            cursor = index + 1
+            while cursor < len(lines) and lines[cursor].startswith("|"):
+                match = _TABLE_ROW.match(lines[cursor])
+                if match:
+                    rows.append((cursor + 1, match.group("name").strip()))
+                cursor += 1
+            tables.append((header_line, rows))
+            index = cursor
+        else:
+            index += 1
+    return tables
+
+
+class RegistryDriftRule(ProjectRule):
+    """Registered names, contract sweeps, CLI choices and README tables
+    must agree."""
+
+    name = "registry-drift"
+    description = (
+        "every registered name is reachable from its contract-test sweep, "
+        "CLI choice source and README table — and every referenced name "
+        "exists in a registry"
+    )
+
+    def __init__(
+        self,
+        families: tuple[FamilySpec, ...] = FAMILY_SPECS,
+        cli_suffixes: tuple[str, ...] = ("/cli.py", "cli.py"),
+    ):
+        self.families = tuple(families)
+        self.cli_suffixes = tuple(cli_suffixes)
+
+    # -- collection ----------------------------------------------------
+
+    def _collect_registrations(
+        self, project: ProjectContext, spec: FamilySpec
+    ) -> list[_Registration]:
+        registrations: list[_Registration] = []
+        for module in project.modules:
+            module_name = project.module_name(module)
+            for node in ast.walk(module.tree):
+                if (
+                    not isinstance(node, ast.Call)
+                    or _call_name(node.func) != spec.register
+                    or not node.args
+                ):
+                    continue
+                literal = self._literal_name(project, module_name, node.args[0])
+                if literal is not None:
+                    registrations.append(
+                        _Registration(name=literal, module=module, node=node)
+                    )
+        return registrations
+
+    @staticmethod
+    def _literal_name(
+        project: ProjectContext, module_name: str, arg: ast.expr
+    ) -> str | None:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        # ``register_rule(SomeRule.name, SomeRule)`` — resolve the class
+        # through the symbol table and read its ``name`` class attribute.
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.attr == "name"
+        ):
+            target = project.resolve(module_name, arg.value.id)
+            if target is not None and target[0] == "class":
+                value = project.class_attr_constant(target[1], "name")
+                if isinstance(value, str):
+                    return value
+        return None
+
+    # -- the checks ----------------------------------------------------
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        aux_names: set[str] = set()
+        for module in project.auxiliary:
+            aux_names |= _referenced_names(module.tree)
+
+        cli_modules = [
+            module
+            for module in project.modules
+            if module.is_module(*self.cli_suffixes)
+        ]
+        cli_names: set[str] = set()
+        for module in cli_modules:
+            cli_names |= _referenced_names(module.tree)
+
+        registered: dict[str, set[str]] = {}
+        findings: list[Finding] = []
+        for spec in self.families:
+            registrations = self._collect_registrations(project, spec)
+            registered[spec.label] = {r.name for r in registrations}
+            if not registrations:
+                continue
+            anchor = min(
+                registrations, key=lambda r: (r.module.path, r.node.lineno)
+            )
+            if project.auxiliary and spec.available not in aux_names:
+                findings.append(
+                    self.project_finding(
+                        anchor.module.path,
+                        anchor.node,
+                        f"{spec.label} names registered via "
+                        f"{spec.register}() are not swept by any contract "
+                        f"test — no test references {spec.available}(), so "
+                        f"registered names are unreachable from the sweep",
+                    )
+                )
+            findings.extend(
+                self._check_cli(spec, registrations, cli_modules, cli_names)
+            )
+        findings.extend(self._check_references(project, registered))
+        findings.extend(self._check_readme(project, registered))
+        return sorted(findings, key=Finding.sort_key)
+
+    def _check_cli(
+        self,
+        spec: FamilySpec,
+        registrations: list[_Registration],
+        cli_modules: list[ModuleContext],
+        cli_names: set[str],
+    ) -> list[Finding]:
+        if not cli_modules:
+            return []
+        dynamic = {spec.available, *spec.accessors}
+        if cli_names & dynamic:
+            return []
+        # No dynamic accessor anywhere in a CLI module: the family is
+        # either not a CLI surface (then no literal mentions it and the
+        # strings check below stays silent) or hard-coded (then every
+        # registered name must at least appear literally).
+        cli_strings: set[str] = set()
+        for module in cli_modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    cli_strings.add(node.value)
+        mentioned = {r.name for r in registrations} & cli_strings
+        if not mentioned:
+            return []
+        findings = []
+        for registration in registrations:
+            if registration.name not in cli_strings:
+                findings.append(
+                    self.project_finding(
+                        registration.module.path,
+                        registration.node,
+                        f"{spec.label} {registration.name!r} is registered "
+                        f"but unreachable from the CLI choice source — the "
+                        f"CLI hard-codes {sorted(mentioned)} instead of "
+                        f"deriving choices from {spec.available}()",
+                    )
+                )
+        return findings
+
+    def _check_references(
+        self, project: ProjectContext, registered: dict[str, set[str]]
+    ) -> list[Finding]:
+        """Literal names passed to ``make_*`` entry points (and literal
+        argparse ``choices=`` lists) must exist in the claimed registry."""
+        make_to_spec = {
+            accessor: spec
+            for spec in self.families
+            for accessor in spec.accessors
+            if accessor.startswith("make_")
+        }
+        findings = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                called = _call_name(node.func)
+                spec = make_to_spec.get(called or "")
+                if (
+                    spec is not None
+                    and registered.get(spec.label)
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value not in registered[spec.label]
+                ):
+                    findings.append(
+                        self.project_finding(
+                            module.path,
+                            node.args[0],
+                            f"{called}({node.args[0].value!r}) names an "
+                            f"unregistered {spec.label}; registered: "
+                            f"{sorted(registered[spec.label])}",
+                        )
+                    )
+                for keyword in node.keywords:
+                    if keyword.arg == "choices" and isinstance(
+                        keyword.value, (ast.List, ast.Tuple)
+                    ):
+                        findings.extend(
+                            self._check_choices_literal(
+                                module, keyword.value, registered
+                            )
+                        )
+        return findings
+
+    def _check_choices_literal(
+        self,
+        module: ModuleContext,
+        node: ast.List | ast.Tuple,
+        registered: dict[str, set[str]],
+    ) -> list[Finding]:
+        values = [
+            element.value
+            for element in node.elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ]
+        if len(values) != len(node.elts) or not values:
+            return []
+        best_label, best_overlap = None, 0
+        for label, names in registered.items():
+            overlap = len(set(values) & names)
+            if overlap > best_overlap:
+                best_label, best_overlap = label, overlap
+        if best_label is None:
+            return []
+        missing = sorted(registered[best_label] - set(values))
+        unknown = sorted(set(values) - registered[best_label])
+        findings = []
+        if missing:
+            findings.append(
+                self.project_finding(
+                    module.path,
+                    node,
+                    f"literal choices list covers only {sorted(values)} of "
+                    f"the registered {best_label}s — missing {missing}; "
+                    f"derive choices from the registry instead",
+                )
+            )
+        if unknown:
+            findings.append(
+                self.project_finding(
+                    module.path,
+                    node,
+                    f"literal choices list names unregistered {best_label}"
+                    f"(s) {unknown}",
+                )
+            )
+        return findings
+
+    def _check_readme(
+        self, project: ProjectContext, registered: dict[str, set[str]]
+    ) -> list[Finding]:
+        findings = []
+        for document in project.documents:
+            if not document.posix_path.endswith(".md"):
+                continue
+            for header_line, rows in _readme_tables(document.text):
+                table_names = {name for _, name in rows}
+                if not table_names:
+                    continue
+                best_label, best_overlap = None, 0
+                for label, names in registered.items():
+                    overlap = len(table_names & names)
+                    if overlap > best_overlap:
+                        best_label, best_overlap = label, overlap
+                if best_label is None:
+                    continue
+                family_names = registered[best_label]
+                for row_line, name in rows:
+                    if name not in family_names:
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=document.path,
+                                line=row_line,
+                                column=1,
+                                message=(
+                                    f"README {best_label} table row "
+                                    f"{name!r} does not exist in the "
+                                    f"{best_label} registry; registered: "
+                                    f"{sorted(family_names)}"
+                                ),
+                            )
+                        )
+                for missing in sorted(family_names - table_names):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=document.path,
+                            line=header_line,
+                            column=1,
+                            message=(
+                                f"registered {best_label} {missing!r} is "
+                                f"missing from the README {best_label} "
+                                f"table — add a row for it"
+                            ),
+                        )
+                    )
+        return findings

@@ -39,6 +39,7 @@ class _Visitor(ast.NodeVisitor):
         self.module = module
         self.findings: list[Finding] = []
         self.numpy_aliases: set[str] = set()
+        self.random_aliases: set[str] = set()
         self._sanctioned: set[int] = set()
 
     def _flag(self, node: ast.AST, message: str) -> None:
@@ -49,6 +50,7 @@ class _Visitor(ast.NodeVisitor):
             if alias.name == "numpy":
                 self.numpy_aliases.add(alias.asname or "numpy")
             if alias.name == "random" or alias.name.startswith("random."):
+                self.random_aliases.add(alias.asname or alias.name.split(".")[0])
                 self._flag(
                     node,
                     "the stdlib 'random' module has global state — draw "
@@ -94,9 +96,30 @@ class _Visitor(ast.NodeVisitor):
         )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in self.random_aliases
+        ):
+            # Usage sites are flagged besides the import: a suppressed
+            # import line must not grandfather in every later draw.
+            self._flag(
+                node,
+                f"{node.value.id}.{node.attr} draws from the stdlib "
+                f"global RNG — results stop being a function of the root "
+                f"seed; use repro.utils.rng (as_generator / "
+                f"spawn_generators)",
+            )
         if self._is_np_random(node.value):
             self._sanctioned.add(id(node.value))
-            if node.attr not in _ALLOWED_NP_RANDOM:
+            if node.attr == "seed":
+                self._flag(
+                    node,
+                    "np.random.seed mutates numpy's process-global RNG "
+                    "state — every legacy draw anywhere shifts with it; "
+                    "bind an explicit Generator from repro.utils.rng "
+                    "instead",
+                )
+            elif node.attr not in _ALLOWED_NP_RANDOM:
                 self._flag(
                     node,
                     f"np.random.{node.attr} bypasses the seeded-stream "

@@ -1,0 +1,366 @@
+"""rng-stream-order: spawn counts match consumers; streams only append.
+
+``spawn_generators(seed, n)`` is sequential and prefix-stable: the first
+k children are identical for every ``n >= k``, so consumers may *append*
+streams without perturbing existing trajectories — the contract PR 5
+(delay stream), PR 8 (server-attack stream) and PR 9 (topology stream)
+each relied on.  What silently breaks it is an *insertion*: a new stream
+consumed at an existing offset shifts every later stream's index, and
+every published trajectory with it.
+
+For each ``spawn_generators(seed, k)`` site this rule checks that the
+spawn count matches the distinct stream consumers:
+
+- a tuple-unpacked spawn must unpack exactly ``k`` targets;
+- a ``base + K`` spawn assigned to one name must consume the worker
+  block (``streams[:base]``) and literal tail offsets ``base + j`` with
+  every ``j < K``;
+- offsets past the spawn count, and spawned-but-unconsumed offsets, are
+  findings (a gap is only legal when the frozen layout declares the slot
+  reserved).
+
+Modules with a **frozen stream layout** (the manifest below) addition-
+ally pin each tail offset to a role keyword: the consuming statement
+must mention its slot's keyword, and the tail length must equal the
+manifest's.  Appending a stream therefore requires extending the
+manifest — an explicit, reviewable act — while an insertion that shifts
+existing indices mismatches the frozen roles and is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.base import ProjectRule
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+
+__all__ = ["RngStreamOrderRule", "FROZEN_STREAM_LAYOUTS"]
+
+#: module-path suffix -> role keyword per tail offset (``base + j`` maps
+#: to entry ``j``).  ``None`` marks a deliberately reserved slot: it is
+#: spawned to pin later streams' positions and must NOT be consumed.
+#: Append-only contract: extending a layout appends entries; editing or
+#: reordering existing entries means stream indices shifted.
+FROZEN_STREAM_LAYOUTS: dict[str, tuple[str | None, ...]] = {
+    "repro/distributed/simulator.py": ("attack", "delay", "server"),
+    "repro/topology/gossip.py": ("attack", "delay", None, "topology"),
+}
+
+
+def _int_constant(node: ast.expr) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _split_count(node: ast.expr) -> tuple[str | None, int] | None:
+    """Decompose a spawn count into ``(base_expr_source, tail_len)``.
+
+    ``7`` -> ``(None, 7)``; ``self.num_honest + 3`` ->
+    ``("self.num_honest", 3)``; anything else is unanalyzable.
+    """
+    literal = _int_constant(node)
+    if literal is not None:
+        return (None, literal)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        right = _int_constant(node.right)
+        if right is not None:
+            return (ast.unparse(node.left), right)
+        left = _int_constant(node.left)
+        if left is not None:
+            return (ast.unparse(node.right), left)
+    return None
+
+
+class _Consumer:
+    """One ``streams[...]`` use: a literal/tail offset or the block slice."""
+
+    def __init__(self, node: ast.Subscript, statement: ast.stmt):
+        self.node = node
+        self.statement = statement
+        self.offset: int | None = None
+        self.is_block = False
+        self.recognized = False
+
+    def classify(self, base: str | None) -> None:
+        index = self.node.slice
+        if isinstance(index, ast.Slice):
+            upper = (
+                ast.unparse(index.upper) if index.upper is not None else None
+            )
+            if (
+                index.lower is None
+                and index.step is None
+                and base is not None
+                and upper == base
+            ):
+                self.is_block = True
+                self.recognized = True
+            return
+        literal = _int_constant(index)
+        if base is None:
+            if literal is not None:
+                self.offset = literal
+                self.recognized = True
+            return
+        split = _split_count(index)
+        if split is not None and split[0] == base:
+            self.offset = split[1]
+            self.recognized = True
+        elif isinstance(index, ast.expr) and ast.unparse(index) == base:
+            self.offset = 0
+            self.recognized = True
+
+
+def _enclosing_function(
+    tree: ast.Module, target: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | ast.Module:
+    """The innermost def containing ``target`` (the module if none)."""
+    best: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module = tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(child is target for child in ast.walk(node)):
+                best = node  # walk order visits outer defs first
+    return best
+
+
+def _statement_of(scope: ast.AST, target: ast.AST) -> ast.stmt | None:
+    statement: ast.stmt | None = None
+    for node in ast.walk(scope):
+        if isinstance(node, ast.stmt) and any(
+            child is target for child in ast.walk(node)
+        ):
+            statement = node  # walk order: the last hit is the innermost
+    return statement
+
+
+class RngStreamOrderRule(ProjectRule):
+    """spawn_generators counts match consumers; frozen layouts only grow."""
+
+    name = "rng-stream-order"
+    description = (
+        "each spawn_generators(seed, k) site consumes exactly its k "
+        "streams; frozen stream layouts are append-only (insertions "
+        "shift existing stream indices)"
+    )
+
+    def __init__(
+        self,
+        frozen_layouts: dict[str, tuple[str | None, ...]] | None = None,
+        spawn_names: tuple[str, ...] = ("spawn_generators",),
+    ):
+        self.frozen_layouts = dict(
+            FROZEN_STREAM_LAYOUTS if frozen_layouts is None else frozen_layouts
+        )
+        self.spawn_names = tuple(spawn_names)
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            layout = None
+            for suffix, entry in self.frozen_layouts.items():
+                if module.is_module(suffix):
+                    layout = entry
+            for call in ast.walk(module.tree):
+                if (
+                    isinstance(call, ast.Call)
+                    and self._is_spawn(call.func)
+                    and len(call.args) >= 2
+                ):
+                    findings.extend(
+                        self._check_site(module, call, layout)
+                    )
+        return sorted(findings, key=Finding.sort_key)
+
+    def _is_spawn(self, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in self.spawn_names
+        if isinstance(func, ast.Attribute):
+            return func.attr in self.spawn_names
+        return False
+
+    def _check_site(
+        self,
+        module,
+        call: ast.Call,
+        layout: tuple[str | None, ...] | None,
+    ) -> list[Finding]:
+        split = _split_count(call.args[1])
+        if split is None:
+            return []  # non-constant count: nothing provable
+        base, tail = split
+
+        scope = _enclosing_function(module.tree, call)
+        statement = _statement_of(scope, call)
+        if statement is None:
+            return []
+
+        # Tuple-unpacked spawn: target count must equal the literal k.
+        if (
+            base is None
+            and isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], (ast.Tuple, ast.List))
+        ):
+            targets = statement.targets[0].elts
+            if not any(isinstance(t, ast.Starred) for t in targets) and (
+                len(targets) != tail
+            ):
+                return [
+                    self.project_finding(
+                        module.path,
+                        call,
+                        f"spawn_generators(..., {tail}) is unpacked into "
+                        f"{len(targets)} target(s) — the spawn count must "
+                        f"match the distinct stream consumers",
+                    )
+                ]
+            return []
+
+        if not (
+            isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+        ):
+            return []
+        streams_name = statement.targets[0].id
+
+        consumers: list[_Consumer] = []
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == streams_name
+            ):
+                consumer_statement = _statement_of(scope, node)
+                if consumer_statement is None or consumer_statement is statement:
+                    continue
+                consumer = _Consumer(node, consumer_statement)
+                consumer.classify(base)
+                consumers.append(consumer)
+
+        findings: list[Finding] = []
+        consumed: dict[int, _Consumer] = {}
+        all_recognized = all(c.recognized for c in consumers)
+        for consumer in consumers:
+            if consumer.offset is None:
+                continue
+            if consumer.offset >= tail:
+                findings.append(
+                    self.project_finding(
+                        module.path,
+                        consumer.node,
+                        f"stream offset {self._offset_label(base, consumer.offset)} "
+                        f"is outside the spawned range — only {tail} tail "
+                        f"stream(s) were spawned at this site",
+                    )
+                )
+            else:
+                consumed.setdefault(consumer.offset, consumer)
+
+        if layout is not None:
+            findings.extend(
+                self._check_layout(
+                    module, call, base, tail, layout, consumed, consumers
+                )
+            )
+        elif all_recognized and consumers:
+            for offset in range(tail):
+                if offset not in consumed:
+                    findings.append(
+                        self.project_finding(
+                            module.path,
+                            call,
+                            f"stream "
+                            f"{self._offset_label(base, offset)} is spawned "
+                            f"but never consumed — remove it, consume it, "
+                            f"or declare the slot reserved in the frozen "
+                            f"stream layout (new streams may only append)",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _offset_label(base: str | None, offset: int) -> str:
+        if base is None:
+            return f"[{offset}]"
+        return f"[{base} + {offset}]" if offset else f"[{base}]"
+
+    def _check_layout(
+        self,
+        module,
+        call: ast.Call,
+        base: str | None,
+        tail: int,
+        layout: tuple[str | None, ...],
+        consumed: dict[int, "_Consumer"],
+        consumers: list["_Consumer"],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        if tail != len(layout):
+            findings.append(
+                self.project_finding(
+                    module.path,
+                    call,
+                    f"this site spawns {tail} tail stream(s) but the frozen "
+                    f"stream layout declares {len(layout)} "
+                    f"({[r or '<reserved>' for r in layout]}) — new streams "
+                    f"may only append, and appending requires extending the "
+                    f"layout manifest in rng_stream_order.py",
+                )
+            )
+            return findings
+        if base is not None and not any(c.is_block for c in consumers):
+            findings.append(
+                self.project_finding(
+                    module.path,
+                    call,
+                    f"the worker stream block [:{base}] is never consumed "
+                    f"at this frozen-layout site",
+                )
+            )
+        for offset, role in enumerate(layout):
+            consumer = consumed.get(offset)
+            label = self._offset_label(base, offset)
+            if role is None:
+                if consumer is not None:
+                    findings.append(
+                        self.project_finding(
+                            module.path,
+                            consumer.node,
+                            f"stream {label} is a reserved slot in the "
+                            f"frozen layout (spawned only to pin later "
+                            f"streams' positions) — consuming it repurposes "
+                            f"the slot and shifts stream semantics",
+                        )
+                    )
+                continue
+            if consumer is None:
+                findings.append(
+                    self.project_finding(
+                        module.path,
+                        call,
+                        f"stream {label} is frozen as the {role!r} stream "
+                        f"but never consumed — removing a stream shifts "
+                        f"every later index; update the layout manifest "
+                        f"deliberately if the stream really went away",
+                    )
+                )
+                continue
+            statement_source = ast.get_source_segment(
+                module.source, consumer.statement
+            ) or ""
+            if role.lower() not in statement_source.lower():
+                findings.append(
+                    self.project_finding(
+                        module.path,
+                        consumer.node,
+                        f"stream {label} is frozen as the {role!r} stream "
+                        f"but its consuming statement does not mention "
+                        f"{role!r} — an inserted stream here would shift "
+                        f"existing stream indices (streams are append-only)",
+                    )
+                )
+        return findings

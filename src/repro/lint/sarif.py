@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 emitter for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the schema code
+scanners speak to code-review UIs: one ``run`` per tool invocation, the
+tool's rule inventory under ``tool.driver.rules``, and one ``result``
+per finding with a physical location.  Emitting it lets CI upload
+repro-lint findings to code scanning and lets editors surface them
+inline — without teaching either about the native JSON report.
+
+Only the stable core of the spec is emitted (no graphs, no code flows):
+``version``/``$schema``, driver name and rule metadata (id, short
+description), and per-result ``ruleId``, ``level``, ``message.text``
+and ``physicalLocation`` with a 1-based ``region``.  Every finding is
+``level: "error"`` — repro-lint invariants gate the build; a warning
+tier would just be a finding someone decided to stop reading.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+
+from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
+from repro.lint.registry import rule_descriptions
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "sarif_report", "as_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_TOOL_NAME = "repro-lint"
+
+
+def _artifact_uri(path: str) -> str:
+    """Forward-slash relative URI for a finding path (SARIF wants URIs)."""
+    pure = PurePath(path)
+    posix = pure.as_posix()
+    if posix.startswith("/"):
+        posix = posix.lstrip("/")
+    return posix
+
+
+def _rule_entries(report: LintReport) -> list[dict[str, object]]:
+    """Driver rule inventory, in the report's (stable) rule order."""
+    descriptions = rule_descriptions()
+    entries = []
+    for name in report.rule_names:
+        entries.append(
+            {
+                "id": name,
+                "name": name,
+                "shortDescription": {
+                    "text": descriptions.get(name, "") or name
+                },
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return entries
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(finding.path),
+                    },
+                    "region": {
+                        "startLine": int(finding.line),
+                        "startColumn": int(finding.column),
+                    },
+                }
+            }
+        ],
+    }
+    index = rule_index.get(finding.rule)
+    if index is not None:
+        result["ruleIndex"] = index
+    return result
+
+
+def sarif_report(report: LintReport) -> dict[str, object]:
+    """The SARIF 2.1.0 document for ``report``, as a plain dict."""
+    rules = _rule_entries(report)
+    rule_index = {name: i for i, name in enumerate(report.rule_names)}
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA_URI,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(finding, rule_index)
+                    for finding in report.findings
+                ],
+            }
+        ],
+    }
+
+
+def as_sarif(report: LintReport) -> str:
+    return json.dumps(sarif_report(report), indent=2, sort_keys=False)

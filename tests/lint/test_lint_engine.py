@@ -134,3 +134,119 @@ class TestFileDiscovery:
         target.write_text("x = 1\n")
         files = collect_python_files([target, tmp_path, str(target)])
         assert files == [target]
+
+
+class TestSuppressionAnchors:
+    """Suppressions reach findings anchored elsewhere in the statement."""
+
+    def test_multiline_statement_suppression(self):
+        # The finding anchors at the raise (line 2); the suppression sits
+        # on the closing-paren line of the same statement.
+        source = (
+            "def f():\n"
+            "    raise ValueError(\n"
+            '        "nope"\n'
+            "    )  # repro-lint: ignore[error-taxonomy]\n"
+        )
+        assert lint_source(source, rules=taxonomy_rules()) == []
+
+    def test_decorator_line_suppression_reaches_the_def(self):
+        rules = resolve_rules(
+            select=["stateful-attack-declaration", "unused-suppression"]
+        )
+        source = (
+            "@register  # repro-lint: ignore\n"
+            "class Sneaky(Attack):\n"
+            "    def craft(self, value):\n"
+            "        self.count = 1\n"
+            "        return value\n"
+        )
+        assert lint_source(source, rules=rules) == []
+        # Same class without the suppression: the findings anchor on the
+        # class line, not the decorator.
+        unsuppressed = lint_source(source.replace(
+            "  # repro-lint: ignore", ""
+        ), rules=rules)
+        assert unsuppressed and all(f.line == 2 for f in unsuppressed)
+
+    def test_body_suppression_does_not_reach_the_header(self):
+        rules = resolve_rules(
+            select=["stateful-attack-declaration", "unused-suppression"]
+        )
+        source = (
+            "class Sneaky(Attack):\n"
+            "    def craft(self, value):\n"
+            "        self.count = 1  # repro-lint: ignore\n"
+            "        return value\n"
+        )
+        findings = lint_source(source, rules=rules)
+        assert any(
+            f.rule == "stateful-attack-declaration" for f in findings
+        )
+
+    def test_exact_line_suppression_still_works(self):
+        source = (
+            "def f():\n"
+            '    raise ValueError("nope")  # repro-lint: ignore\n'
+        )
+        assert lint_source(source, rules=taxonomy_rules()) == []
+
+
+def _write_bad_tree(tmp_path):
+    for index in range(4):
+        (tmp_path / f"mod_{index}.py").write_text(
+            "import numpy as np\n"
+            f"def sample_{index}():\n"
+            "    return np.random.default_rng(3).normal()\n"
+        )
+
+
+class TestParallelJobs:
+    def test_jobs_output_is_identical_to_serial(self, tmp_path):
+        _write_bad_tree(tmp_path)
+        serial = lint_paths([tmp_path], jobs=1)
+        parallel = lint_paths([tmp_path], jobs=2)
+        assert serial.findings == parallel.findings
+        assert serial.rule_names == parallel.rule_names
+        assert serial.files_checked == parallel.files_checked == 4
+
+    def test_jobs_must_be_positive(self, tmp_path):
+        _write_bad_tree(tmp_path)
+        with pytest.raises(ConfigurationError, match="jobs"):
+            lint_paths([tmp_path], jobs=0)
+
+
+class TestProjectPass:
+    def test_no_project_skips_whole_program_rules(self, tmp_path):
+        (tmp_path / "sim.py").write_text(
+            "def spawn_generators(seed, count):\n"
+            "    return list(range(count))\n"
+            "\n"
+            "def setup(seed):\n"
+            "    first, second = spawn_generators(seed, 3)\n"
+            "    return first, second\n"
+        )
+        with_project = lint_paths(
+            [tmp_path], select=["rng-stream-order"], project=True
+        )
+        without = lint_paths(
+            [tmp_path], select=["rng-stream-order"], project=False
+        )
+        assert len(with_project.findings) == 1
+        assert without.findings == ()
+
+    def test_project_findings_honor_suppressions(self, tmp_path):
+        (tmp_path / "sim.py").write_text(
+            "def spawn_generators(seed, count):\n"
+            "    return list(range(count))\n"
+            "\n"
+            "def setup(seed):\n"
+            "    first, second = spawn_generators(\n"
+            "        seed, 3\n"
+            "    )  # repro-lint: ignore[rng-stream-order]\n"
+            "    return first, second\n"
+        )
+        report = lint_paths(
+            [tmp_path], select=["rng-stream-order", "unused-suppression"]
+        )
+        assert report.findings == ()

@@ -205,7 +205,7 @@ class TestRngDiscipline:
         )
         assert len(findings) == 1
 
-    def test_stdlib_random_import_fires(self):
+    def test_stdlib_random_import_and_usage_fire(self):
         findings = run_rule(
             "rng-discipline",
             """
@@ -215,8 +215,34 @@ class TestRngDiscipline:
                 return random.choice(items)
             """,
         )
-        assert len(findings) == 1
+        assert len(findings) == 2
         assert "global state" in findings[0].message
+        assert "random.choice" in findings[1].message
+
+    def test_stdlib_random_alias_usage_fires(self):
+        findings = run_rule(
+            "rng-discipline",
+            """
+            import random as rnd
+
+            def pick():
+                return rnd.random()
+            """,
+        )
+        assert any("rnd.random" in f.message for f in findings)
+
+    def test_np_random_seed_global_state_message(self):
+        findings = run_rule(
+            "rng-discipline",
+            """
+            import numpy as np
+
+            def reset():
+                np.random.seed(0)
+            """,
+        )
+        assert len(findings) == 1
+        assert "process-global" in findings[0].message
 
     def test_from_numpy_random_import_fires(self):
         findings = run_rule(

@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 emitter: schema shape, stable ids, round-trip, CLI smoke."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.lint import lint_paths
+from repro.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    as_sarif,
+    sarif_report,
+)
+
+BAD_MODULE = """
+import numpy as np
+
+
+def sample():
+    return np.random.default_rng(3).normal()
+
+
+def check(x):
+    raise ValueError("nope")
+"""
+
+
+def report_for(tmp_path: Path):
+    (tmp_path / "bad.py").write_text(textwrap.dedent(BAD_MODULE))
+    return lint_paths([tmp_path / "bad.py"])
+
+
+def test_schema_shape(tmp_path):
+    document = sarif_report(report_for(tmp_path))
+    assert document["version"] == SARIF_VERSION == "2.1.0"
+    assert document["$schema"] == SARIF_SCHEMA_URI
+    assert len(document["runs"]) == 1
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert {"tool", "results"} <= set(run)
+    for rule in driver["rules"]:
+        assert set(rule) >= {"id", "shortDescription", "defaultConfiguration"}
+        assert rule["defaultConfiguration"]["level"] == "error"
+    for result in run["results"]:
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+
+def test_rule_ids_are_stable_and_indexed(tmp_path):
+    report = report_for(tmp_path)
+    document = sarif_report(report)
+    driver = document["runs"][0]["tool"]["driver"]
+    ids = [rule["id"] for rule in driver["rules"]]
+    assert ids == list(report.rule_names)
+    for result in document["runs"][0]["results"]:
+        assert result["ruleId"] in ids
+        assert ids[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_findings_round_trip(tmp_path):
+    # Every native finding appears as exactly one SARIF result, in the
+    # same order, carrying the same anchor.
+    report = report_for(tmp_path)
+    assert report.findings  # the fixture must actually trip rules
+    results = json.loads(as_sarif(report))["runs"][0]["results"]
+    assert len(results) == len(report.findings)
+    for finding, result in zip(report.findings, results):
+        assert result["ruleId"] == finding.rule
+        assert result["message"]["text"] == finding.message
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.column
+
+
+def test_artifact_uris_are_forward_slash(tmp_path):
+    document = sarif_report(report_for(tmp_path))
+    for result in document["runs"][0]["results"]:
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"][
+            "uri"
+        ]
+        assert "\\" not in uri
+        assert not uri.startswith("/")
+
+
+def test_cli_sarif_subprocess_smoke(tmp_path):
+    (tmp_path / "bad.py").write_text(textwrap.dedent(BAD_MODULE))
+    out_file = tmp_path / "lint.sarif"
+    src_root = str(Path(repro.__file__).parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.lint",
+            str(tmp_path / "bad.py"),
+            "--format",
+            "sarif",
+            "--output",
+            str(out_file),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert completed.returncode == 1, completed.stderr
+    stdout_doc = json.loads(completed.stdout)
+    file_doc = json.loads(out_file.read_text())
+    assert stdout_doc == file_doc
+    assert file_doc["version"] == "2.1.0"
+    assert file_doc["runs"][0]["results"]
